@@ -1,0 +1,446 @@
+package codecomp
+
+// One benchmark per table and figure in the paper's evaluation; the
+// mapping to the paper is in DESIGN.md §4 and the recorded results in
+// EXPERIMENTS.md. Ratios and sizes are attached to the benchmark
+// output via ReportMetric, so `go test -bench=.` regenerates the
+// numbers behind every table row.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/flatezip"
+	"repro/internal/ir"
+	"repro/internal/native"
+	"repro/internal/paging"
+	"repro/internal/vm"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// modCache avoids recompiling the big workloads for every benchmark.
+var modCache = map[string]*ir.Module{}
+var progCache = map[string]*vm.Program{}
+var objCache = map[string]*brisc.Object{}
+
+func benchModule(b *testing.B, p workload.Profile) *ir.Module {
+	b.Helper()
+	if m, ok := modCache[p.Name]; ok {
+		return m
+	}
+	m, err := cc.Compile(p.Name, workload.Generate(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	modCache[p.Name] = m
+	return m
+}
+
+func benchProgram(b *testing.B, p workload.Profile) *vm.Program {
+	b.Helper()
+	if pr, ok := progCache[p.Name]; ok {
+		return pr
+	}
+	pr, err := codegen.Generate(benchModule(b, p), codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	progCache[p.Name] = pr
+	return pr
+}
+
+func benchObject(b *testing.B, p workload.Profile) *brisc.Object {
+	b.Helper()
+	if o, ok := objCache[p.Name]; ok {
+		return o
+	}
+	o, err := brisc.Compress(benchProgram(b, p), brisc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	objCache[p.Name] = o
+	return o
+}
+
+func kernelProgram(b *testing.B, name string) *vm.Program {
+	b.Helper()
+	if pr, ok := progCache["kernel-"+name]; ok {
+		return pr
+	}
+	mod, err := cc.Compile(name, workload.Kernels()[name])
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	progCache["kernel-"+name] = pr
+	return pr
+}
+
+// ---- T1: wire-code table (§3) ----
+
+func benchTableWire(b *testing.B, p workload.Profile) {
+	mod := benchModule(b, p)
+	prog := benchProgram(b, p)
+	conv := native.EncodeFixed(prog.Code)
+	var wb []byte
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wb, err = wire.Compress(mod)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	gz := flatezip.Compress(conv)
+	b.ReportMetric(float64(len(conv)), "conv-bytes")
+	b.ReportMetric(float64(len(gz)), "gzip-bytes")
+	b.ReportMetric(float64(len(wb)), "wire-bytes")
+	b.ReportMetric(float64(len(conv))/float64(len(wb)), "factor")
+}
+
+func BenchmarkTableWireLcc(b *testing.B) { benchTableWire(b, workload.Lcc) }
+func BenchmarkTableWireGcc(b *testing.B) { benchTableWire(b, workload.Gcc) }
+func BenchmarkTableWireWep(b *testing.B) { benchTableWire(b, workload.Wep) }
+
+// ---- T2: BRISC results table (§4) ----
+
+func benchTableBrisc(b *testing.B, p workload.Profile) {
+	prog := benchProgram(b, p)
+	natBytes := native.VariableSize(prog.Code)
+	var obj *brisc.Object
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj, err = brisc.Compress(prog, brisc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	objCache[p.Name] = obj
+	sb := obj.Size()
+	gz := len(flatezip.Compress(native.EncodeVariable(prog.Code)))
+	b.ReportMetric(float64(natBytes), "native-bytes")
+	b.ReportMetric(float64(sb.CodeSize()), "brisc-bytes")
+	b.ReportMetric(float64(sb.CodeSize())/float64(natBytes), "brisc-ratio")
+	b.ReportMetric(float64(gz)/float64(natBytes), "gzip-ratio")
+	b.ReportMetric(float64(sb.NumPatterns), "dict-patterns")
+}
+
+func BenchmarkTableBriscLcc(b *testing.B) { benchTableBrisc(b, workload.Lcc) }
+func BenchmarkTableBriscGcc(b *testing.B) { benchTableBrisc(b, workload.Gcc) }
+func BenchmarkTableBriscWep(b *testing.B) { benchTableBrisc(b, workload.Wep) }
+
+// ---- T3: abstract-machine variants (§5) ----
+
+func BenchmarkTableVariants(b *testing.B) {
+	mod := benchModule(b, workload.Lcc)
+	base, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := float64(native.VariableSize(base.Code))
+	for _, v := range []struct {
+		name string
+		opt  codegen.Options
+	}{
+		{"RISC", codegen.Options{}},
+		{"MinusImmediates", codegen.Options{NoImmediates: true}},
+		{"MinusRegDisp", codegen.Options{NoRegDisp: true}},
+		{"MinusBoth", codegen.Options{NoImmediates: true, NoRegDisp: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			prog, err := codegen.Generate(mod, v.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var obj *brisc.Object
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj, err = brisc.Compress(prog, brisc.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(obj.Size().CodeSize())/baseline, "ratio-vs-native")
+		})
+	}
+}
+
+// ---- F1: the salt() worked example (§4) ----
+
+func BenchmarkSaltExample(b *testing.B) {
+	const saltSrc = `
+int pepper(int a, int b) { return a + b; }
+int salt(int j, int i) {
+	if (j > 0) { pepper(i, j); j--; }
+	return j;
+}
+int main(void) { return salt(3, 4); }`
+	mod, err := cc.Compile("salt", saltSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := benchObject(b, workload.Gcc).LearnedDict()
+	var obj *brisc.Object
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj, err = brisc.CompressWithDict(prog, dict, brisc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(native.VariableSize(prog.Code)), "native-bytes")
+	b.ReportMetric(float64(obj.Size().CodeBytes), "brisc-stream-bytes")
+}
+
+// ---- S1: interpretation penalty ----
+
+func BenchmarkInterpPenalty(b *testing.B) {
+	for _, name := range []string{"fib", "sieve", "matmul", "qsortk", "strops"} {
+		prog := kernelProgram(b, name)
+		obj, err := brisc.Compress(prog, brisc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := vm.NewMachine(prog, 0, io.Discard)
+				if _, err := m.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/interp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				it := brisc.NewInterp(obj, 0, io.Discard)
+				if _, err := it.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- S2: JIT throughput ("2.5 MB/s on a 120 MHz Pentium") ----
+
+func BenchmarkJITThroughput(b *testing.B) {
+	obj := benchObject(b, workload.Gcc)
+	jp, err := brisc.JIT(obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(native.VariableSize(jp.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := brisc.JIT(obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- S5: JIT'd code speed ("within 1.08x of ... machine code") ----
+
+func BenchmarkJITRunPenalty(b *testing.B) {
+	for _, name := range []string{"fib", "sieve"} {
+		prog := kernelProgram(b, name)
+		obj, err := brisc.Compress(prog, brisc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jp, err := brisc.JIT(obj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := vm.NewMachine(prog, 0, io.Discard)
+				if _, err := m.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/jitted", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := vm.NewMachine(jp, 0, io.Discard)
+				if _, err := m.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- S3: working-set reduction ----
+
+func BenchmarkWorkingSet(b *testing.B) {
+	p := workload.Lcc
+	p.Name = "lcc-ws"
+	p.MainSweep = true
+	prog := benchProgram(b, p)
+	obj, err := brisc.Compress(prog, brisc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	offsets := make([]int64, len(prog.Code)+1)
+	for i, ins := range prog.Code {
+		offsets[i+1] = offsets[i] + int64(native.VariableSize([]vm.Instr{ins}))
+	}
+	var natPages, briscPages int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		natSim := paging.NewSimulator(paging.Config{PageSize: 1024})
+		m := vm.NewMachine(prog, 0, io.Discard)
+		m.Trace = func(pc int32) { natSim.Touch(offsets[pc], int(offsets[pc+1]-offsets[pc])) }
+		if _, err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		briscSim := paging.NewSimulator(paging.Config{PageSize: 1024})
+		it := brisc.NewInterp(obj, 0, io.Discard)
+		it.Trace = func(off int32) { briscSim.Touch(int64(off), 2) }
+		if _, err := it.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		natPages = natSim.Result(1).PagesTouched
+		briscPages = briscSim.Result(1).PagesTouched
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(natPages), "native-pages")
+	b.ReportMetric(float64(briscPages), "brisc-pages")
+	b.ReportMetric(100*(1-float64(briscPages)/float64(natPages)), "reduction-%")
+}
+
+// ---- S4: the intro paging scenario ----
+
+func BenchmarkPagingScenario(b *testing.B) {
+	p := workload.Lcc
+	p.Name = "lcc-paging"
+	p.MainSweep = true
+	p.MainRounds = 40
+	prog := benchProgram(b, p)
+	obj, err := brisc.Compress(prog, brisc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	offsets := make([]int64, len(prog.Code)+1)
+	for i, ins := range prog.Code {
+		offsets[i+1] = offsets[i] + int64(native.VariableSize([]vm.Instr{ins}))
+	}
+	const page = 4096
+	budget := (native.VariableSize(prog.Code)/page + 1) / 2 // half the native image
+	var natMs, briscMs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := paging.Config{PageSize: page, ResidentPages: budget}
+		natSim := paging.NewSimulator(cfg)
+		m := vm.NewMachine(prog, 0, io.Discard)
+		m.Trace = func(pc int32) { natSim.Touch(offsets[pc], int(offsets[pc+1]-offsets[pc])) }
+		if _, err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		briscSim := paging.NewSimulator(cfg)
+		it := brisc.NewInterp(obj, 0, io.Discard)
+		it.Trace = func(off int32) { briscSim.Touch(int64(off), 2) }
+		if _, err := it.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		natMs = natSim.Result(1).TotalTime / 1000
+		briscMs = briscSim.Result(12).TotalTime / 1000
+	}
+	b.StopTimer()
+	b.ReportMetric(natMs, "native-ms")
+	b.ReportMetric(briscMs, "brisc-ms")
+}
+
+// ---- ablations the design sections call out ----
+
+func BenchmarkWireAblations(b *testing.B) {
+	mod := benchModule(b, workload.Wep)
+	for _, v := range []struct {
+		name string
+		opt  wire.Options
+	}{
+		{"Full", wire.Options{}},
+		{"NoMTF", wire.Options{NoMTF: true}},
+		{"NoHuffman", wire.Options{NoHuffman: true}},
+		{"ArithFinal", wire.Options{Final: wire.FinalArith}},
+		{"NoFinal", wire.Options{Final: wire.FinalNone}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var out []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				out, err = wire.CompressOpts(mod, v.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(out)), "bytes")
+		})
+	}
+}
+
+// BenchmarkPeepholeAblation compares BRISC on plain versus
+// peephole-optimized code (the paper's input came from an optimizing
+// commercial back end).
+func BenchmarkPeepholeAblation(b *testing.B) {
+	plain := benchProgram(b, workload.Wep)
+	optimized := codegen.Peephole(plain)
+	for _, v := range []struct {
+		name string
+		prog *vm.Program
+	}{{"Plain", plain}, {"Optimized", optimized}} {
+		b.Run(v.name, func(b *testing.B) {
+			var obj *brisc.Object
+			var err error
+			for i := 0; i < b.N; i++ {
+				obj, err = brisc.Compress(v.prog, brisc.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(native.VariableSize(v.prog.Code)), "native-bytes")
+			b.ReportMetric(float64(obj.Size().CodeSize()), "brisc-bytes")
+		})
+	}
+}
+
+func BenchmarkBriscAblations(b *testing.B) {
+	prog := benchProgram(b, workload.Wep)
+	for _, v := range []struct {
+		name string
+		opt  brisc.Options
+	}{
+		{"Full", brisc.Options{}},
+		{"NoCombine", brisc.Options{NoCombine: true}},
+		{"NoSpecialize", brisc.Options{NoSpecialize: true}},
+		{"AbundantMemory", brisc.Options{AbundantMemory: true}},
+		{"NoEPI", brisc.Options{NoEPI: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var obj *brisc.Object
+			var err error
+			for i := 0; i < b.N; i++ {
+				obj, err = brisc.Compress(prog, v.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(obj.Size().CodeSize()), "bytes")
+		})
+	}
+}

@@ -1,0 +1,125 @@
+// Command briscc compiles MiniC to a BRISC object — the paper's
+// interpretable compressed executable format.
+//
+// Usage:
+//
+//	briscc file.mc -o file.brisc
+//	briscc file.mc -stats          section sizes and ratios
+//	briscc file.mc -dict           print the learned dictionary
+//	briscc file.mc -K 20 -abundant -no-combine -no-specialize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/flatezip"
+	"repro/internal/native"
+	"repro/internal/vm"
+)
+
+func main() {
+	out := flag.String("o", "", "output path for the BRISC object")
+	k := flag.Int("K", 20, "candidates adopted per pass (paper: 20)")
+	abundant := flag.Bool("abundant", false, "abundant-memory mode (B = P)")
+	noCombine := flag.Bool("no-combine", false, "ablation: disable opcode combination")
+	noSpecialize := flag.Bool("no-specialize", false, "ablation: disable operand specialization")
+	noEPI := flag.Bool("no-epi", false, "disable the epi epilogue macro")
+	optimize := flag.Bool("O", false, "peephole-optimize before compressing")
+	stats := flag.Bool("stats", false, "print size statistics")
+	dict := flag.Bool("dict", false, "print the learned dictionary")
+	dictOut := flag.String("dict-out", "", "save the learned dictionary for reuse")
+	dictIn := flag.String("dict-in", "", "compress with a previously trained dictionary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: briscc [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := cc.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		prog = codegen.Peephole(prog)
+	}
+	opt := brisc.Options{
+		K:              *k,
+		AbundantMemory: *abundant,
+		NoCombine:      *noCombine,
+		NoSpecialize:   *noSpecialize,
+		NoEPI:          *noEPI,
+	}
+	var obj *brisc.Object
+	if *dictIn != "" {
+		data, err := os.ReadFile(*dictIn)
+		if err != nil {
+			fatal(err)
+		}
+		trained, err := brisc.DecodeDict(data)
+		if err != nil {
+			fatal(err)
+		}
+		obj, err = brisc.CompressWithDict(prog, trained, opt)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		obj, err = brisc.Compress(prog, opt)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *dictOut != "" {
+		if err := os.WriteFile(*dictOut, brisc.EncodeDict(obj.LearnedDict()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote dictionary %s (%d patterns)\n",
+			*dictOut, len(obj.LearnedDict()))
+	}
+	if *stats {
+		sb := obj.Size()
+		nat := native.VariableSize(prog.Code)
+		gz := len(flatezip.Compress(native.EncodeVariable(prog.Code)))
+		fmt.Printf("instructions:       %d\n", len(prog.Code))
+		fmt.Printf("native (x86-like):  %d bytes (1.00)\n", nat)
+		fmt.Printf("gzipped native:     %d bytes (%.2f)\n", gz, float64(gz)/float64(nat))
+		fmt.Printf("BRISC code stream:  %d bytes\n", sb.CodeBytes)
+		fmt.Printf("BRISC dictionary:   %d bytes (%d learned patterns, %d passes)\n",
+			sb.DictBytes, sb.NumPatterns, obj.Passes)
+		fmt.Printf("BRISC Markov tables:%d bytes\n", sb.TableBytes)
+		fmt.Printf("BRISC block table:  %d bytes (%d blocks)\n", sb.BlockBytes, sb.NumBlocks)
+		fmt.Printf("BRISC total code:   %d bytes (%.2f)\n", sb.CodeSize(),
+			float64(sb.CodeSize())/float64(nat))
+	}
+	if *dict {
+		for i, p := range obj.Dict[vm.NumOpcodes:] {
+			fmt.Printf("%4d: %s\n", vm.NumOpcodes+i, p)
+		}
+	}
+	if *out != "" {
+		data := obj.Bytes()
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "briscc:", err)
+	os.Exit(1)
+}

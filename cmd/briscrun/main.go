@@ -1,0 +1,79 @@
+// Command briscrun executes a BRISC object, either by in-place
+// interpretation (the memory-bottleneck path) or by JIT translation to
+// native VM code (the speed path).
+//
+// Usage:
+//
+//	briscrun file.brisc           interpret in place
+//	briscrun -jit file.brisc      JIT to native code, then run
+//	briscrun -time file.brisc     report execution statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/brisc"
+	"repro/internal/vm"
+)
+
+func main() {
+	jit := flag.Bool("jit", false, "JIT to native code before running")
+	cache := flag.Bool("cache", false, "interpret with the decoded-unit cache (faster, larger working set)")
+	timing := flag.Bool("time", false, "report execution statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: briscrun [-jit] [-time] file.brisc")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := brisc.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	var code int32
+	var steps int64
+	if *jit {
+		prog, err := brisc.JIT(obj)
+		if err != nil {
+			fatal(err)
+		}
+		jitDone := time.Now()
+		m := vm.NewMachine(prog, 0, os.Stdout)
+		code, err = m.Run(0)
+		if err != nil {
+			fatal(err)
+		}
+		steps = m.Steps
+		if *timing {
+			fmt.Fprintf(os.Stderr, "jit: %v, run: %v, %d instructions\n",
+				jitDone.Sub(start), time.Since(jitDone), steps)
+		}
+	} else {
+		it := brisc.NewInterp(obj, 0, os.Stdout)
+		if *cache {
+			it.EnableCache()
+		}
+		code, err = it.Run(0)
+		if err != nil {
+			fatal(err)
+		}
+		steps = it.Steps
+		if *timing {
+			fmt.Fprintf(os.Stderr, "interp: %v, %d instructions in %d units, cache %d bytes\n",
+				time.Since(start), it.Steps, it.Units, it.CacheBytes())
+		}
+	}
+	os.Exit(int(code))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "briscrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command mcc is the MiniC compiler driver: it compiles MiniC source to
+// lcc-style tree IR, OmniVM assembly, or a runnable program.
+//
+// Usage:
+//
+//	mcc [flags] file.mc
+//
+//	-dump-ir     print the tree IR (the paper's textual form)
+//	-dump-asm    print the OmniVM disassembly
+//	-run         execute the program and print its exit code
+//	-no-imm      de-tuned variant: no immediate instructions
+//	-no-regdisp  de-tuned variant: no register-displacement addressing
+//	-stats       print code-size statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/flatezip"
+	"repro/internal/native"
+	"repro/internal/vm"
+)
+
+func main() {
+	dumpIR := flag.Bool("dump-ir", false, "print tree IR")
+	dumpAsm := flag.Bool("dump-asm", false, "print OmniVM disassembly")
+	run := flag.Bool("run", false, "execute the program")
+	noImm := flag.Bool("no-imm", false, "variant: remove immediate instructions")
+	noRegDisp := flag.Bool("no-regdisp", false, "variant: remove register-displacement addressing")
+	optimize := flag.Bool("O", false, "run the peephole optimizer")
+	stats := flag.Bool("stats", false, "print code-size statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := cc.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpIR {
+		fmt.Print(mod.String())
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{
+		NoImmediates: *noImm,
+		NoRegDisp:    *noRegDisp,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		prog = codegen.Peephole(prog)
+	}
+	if *dumpAsm {
+		fmt.Print(prog.Disassemble())
+	}
+	if *stats {
+		fixed := native.FixedSize(prog.Code)
+		variable := native.VariableSize(prog.Code)
+		gz := len(flatezip.Compress(native.EncodeVariable(prog.Code)))
+		fmt.Printf("instructions:        %d\n", len(prog.Code))
+		fmt.Printf("fixed (SPARC-like):  %d bytes\n", fixed)
+		fmt.Printf("variable (x86-like): %d bytes\n", variable)
+		fmt.Printf("gzipped variable:    %d bytes\n", gz)
+	}
+	if *run {
+		m := vm.NewMachine(prog, 0, os.Stdout)
+		code, err := m.Run(0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "exit %d (%d instructions)\n", code, m.Steps)
+		os.Exit(int(code))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command wirec compresses MiniC programs with the paper's wire format
+// and decompresses wire objects back to tree IR.
+//
+// Usage:
+//
+//	wirec -c file.mc -o file.wire      compress source
+//	wirec -d file.wire [-dump-ir]      decompress (and optionally dump)
+//	wirec -c file.mc -stats            per-stage size report
+//	wirec -c file.mc -no-mtf|-no-huff|-final=lz|arith|none   ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/wire"
+)
+
+func main() {
+	compress := flag.String("c", "", "MiniC source to compress")
+	decompress := flag.String("d", "", "wire object to decompress")
+	out := flag.String("o", "", "output path")
+	dumpIR := flag.Bool("dump-ir", false, "print reconstructed tree IR after -d")
+	stats := flag.Bool("stats", false, "print per-stage sizes")
+	noMTF := flag.Bool("no-mtf", false, "ablation: skip move-to-front")
+	noHuff := flag.Bool("no-huff", false, "ablation: skip Huffman coding")
+	final := flag.String("final", "lz", "final stage: lz, arith, none")
+	indexed := flag.Bool("indexed", false, "function-at-a-time random-access format")
+	fn := flag.String("func", "", "with -d on an indexed object: load only this function")
+	flag.Parse()
+
+	opt := wire.Options{NoMTF: *noMTF, NoHuffman: *noHuff}
+	switch *final {
+	case "lz":
+		opt.Final = wire.FinalLZ
+	case "arith":
+		opt.Final = wire.FinalArith
+	case "none":
+		opt.Final = wire.FinalNone
+	default:
+		fatal(fmt.Errorf("unknown -final %q", *final))
+	}
+
+	switch {
+	case *compress != "":
+		src, err := os.ReadFile(*compress)
+		if err != nil {
+			fatal(err)
+		}
+		mod, err := cc.Compile(*compress, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		var data []byte
+		if *indexed {
+			data, err = wire.CompressIndexed(mod, opt)
+		} else {
+			data, err = wire.CompressOpts(mod, opt)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			st, err := wire.Measure(mod, opt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trees:            %d (%d distinct shapes)\n", st.Trees, st.Shapes)
+			fmt.Printf("metadata:         %d bytes\n", st.MetadataBytes)
+			fmt.Printf("operator streams: %d bytes\n", st.OperatorBytes)
+			fmt.Printf("literal streams:  %d bytes\n", st.LiteralBytes)
+			fmt.Printf("container:        %d bytes\n", st.ContainerBytes)
+			fmt.Printf("final object:     %d bytes\n", st.FinalBytes)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
+		} else if !*stats {
+			if _, err := os.Stdout.Write(data); err != nil {
+				fatal(err)
+			}
+		}
+	case *decompress != "":
+		data, err := os.ReadFile(*decompress)
+		if err != nil {
+			fatal(err)
+		}
+		if *indexed {
+			r, err := wire.OpenIndexed(data)
+			if err != nil {
+				fatal(err)
+			}
+			if *fn != "" {
+				f, err := r.LoadFunction(*fn)
+				if err != nil {
+					fatal(err)
+				}
+				if *dumpIR {
+					for _, t := range f.Trees {
+						fmt.Println(t)
+					}
+				}
+				fmt.Fprintf(os.Stderr, "loaded %s: %d trees, touched %d of %d bytes\n",
+					*fn, len(f.Trees), r.BytesTouched, len(data))
+				return
+			}
+			mod, err := r.LoadAll()
+			if err != nil {
+				fatal(err)
+			}
+			if *dumpIR {
+				fmt.Print(mod.String())
+			}
+			fmt.Fprintf(os.Stderr, "decompressed %s: %d functions\n", mod.Name, len(mod.Functions))
+			return
+		}
+		mod, err := wire.Decompress(data)
+		if err != nil {
+			fatal(err)
+		}
+		if *dumpIR {
+			fmt.Print(mod.String())
+		} else {
+			fmt.Fprintf(os.Stderr, "decompressed %s: %d functions, %d trees, %d globals\n",
+				mod.Name, len(mod.Functions), mod.NumTrees(), len(mod.Globals))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: wirec -c file.mc [-o out.wire] | wirec -d file.wire")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wirec:", err)
+	os.Exit(1)
+}

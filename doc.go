@@ -1,0 +1,9 @@
+// Package codecomp is a from-scratch Go reproduction of "Code
+// Compression" (Ernst, Evans, Fraser, Lucco, Proebsting; PLDI 1997).
+//
+// The library lives under internal/ (see internal/core for the public
+// façade), the command-line tools under cmd/, runnable examples under
+// examples/, and the benchmark harness that regenerates every table in
+// the paper's evaluation in bench_test.go at this root. See README.md,
+// DESIGN.md, and EXPERIMENTS.md.
+package codecomp

@@ -1,0 +1,63 @@
+// Designspace: the paper's §5 study "Reducing RISC abstract machines".
+// The OmniVM back end is progressively de-tuned — removing immediate
+// instructions, removing register-displacement addressing, then both —
+// and each variant's code is BRISC-compressed to see whether a minimal
+// abstract machine compresses as well as one with ad hoc size features.
+//
+// The paper's answer: nearly (0.54 vs 0.59), so "a minimal abstract
+// machine compresses nearly as well as one with typical ad hoc
+// features for making programs smaller."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/native"
+	"repro/internal/workload"
+)
+
+func main() {
+	src := workload.Generate(workload.Lcc)
+	mod, err := cc.Compile("lcc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	variants := []struct {
+		name string
+		opt  codegen.Options
+	}{
+		{"RISC", codegen.Options{}},
+		{"minus immediates", codegen.Options{NoImmediates: true}},
+		{"minus register-displacement", codegen.Options{NoRegDisp: true}},
+		{"minus both", codegen.Options{NoImmediates: true, NoRegDisp: true}},
+	}
+
+	base, err := codegen.Generate(mod, variants[0].opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := float64(native.VariableSize(base.Code))
+
+	fmt.Println("Abstract machine variant          instrs   compressed/native   (paper)")
+	paper := []string{"0.54", "0.56", "0.57", "0.59"}
+	for i, v := range variants {
+		prog, err := codegen.Generate(mod, v.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obj, err := brisc.Compress(prog, brisc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := float64(obj.Size().CodeSize()) / baseline
+		fmt.Printf("%-32s %7d %19.2f   %7s\n", v.name, len(prog.Code), ratio, paper[i])
+	}
+	fmt.Println("\nde-tuning costs only a few points: the minimal abstract machine")
+	fmt.Println("compresses nearly as well, because the compressor re-learns the")
+	fmt.Println("removed idioms as dictionary patterns.")
+}

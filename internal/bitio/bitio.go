@@ -1,0 +1,158 @@
+// Package bitio provides MSB-first bit-granular readers and writers used
+// by every entropy coder in this repository (Huffman, arithmetic, and the
+// wire/BRISC container formats).
+//
+// Bits are packed most-significant-bit first within each byte, so a
+// stream written as WriteBit(1), WriteBit(0), WriteBit(1) occupies the
+// top three bits of the first output byte (0b101xxxxx). This matches the
+// canonical-Huffman convention in internal/huffman, where codes compare
+// lexicographically as left-justified bit strings.
+package bitio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrOverflow is returned when a requested bit count exceeds what a
+// single call supports (64 bits).
+var ErrOverflow = errors.New("bitio: bit count out of range")
+
+// Writer accumulates bits MSB-first and flushes whole bytes to an
+// underlying io.Writer. The zero value is not usable; use NewWriter.
+type Writer struct {
+	w      io.Writer
+	cur    byte // partially filled byte
+	nbits  uint // number of bits used in cur (0..7)
+	count  int64
+	outbuf [1]byte
+	err    error
+}
+
+// NewWriter returns a Writer that emits packed bytes to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// WriteBit appends a single bit (any nonzero b counts as 1).
+func (bw *Writer) WriteBit(b uint) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	bw.cur <<= 1
+	if b != 0 {
+		bw.cur |= 1
+	}
+	bw.nbits++
+	bw.count++
+	if bw.nbits == 8 {
+		bw.outbuf[0] = bw.cur
+		if _, err := bw.w.Write(bw.outbuf[:]); err != nil {
+			bw.err = err
+			return err
+		}
+		bw.cur, bw.nbits = 0, 0
+	}
+	return nil
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+func (bw *Writer) WriteBits(v uint64, n uint) error {
+	if n > 64 {
+		return ErrOverflow
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		if err := bw.WriteBit(uint(v>>uint(i)) & 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteByte appends 8 bits.
+func (bw *Writer) WriteByte(b byte) error {
+	return bw.WriteBits(uint64(b), 8)
+}
+
+// BitsWritten reports the total number of bits accepted so far,
+// including any bits still buffered in the current partial byte.
+func (bw *Writer) BitsWritten() int64 { return bw.count }
+
+// Flush pads the current partial byte with zero bits and writes it.
+// It is safe to call Flush when the stream is already byte-aligned.
+func (bw *Writer) Flush() error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.nbits == 0 {
+		return nil
+	}
+	bw.cur <<= 8 - bw.nbits
+	bw.outbuf[0] = bw.cur
+	if _, err := bw.w.Write(bw.outbuf[:]); err != nil {
+		bw.err = err
+		return err
+	}
+	bw.cur, bw.nbits = 0, 0
+	return nil
+}
+
+// Reader consumes bits MSB-first from an underlying io.Reader.
+type Reader struct {
+	r     io.Reader
+	cur   byte
+	nbits uint // bits remaining in cur
+	count int64
+	inbuf [1]byte
+}
+
+// NewReader returns a Reader that unpacks bits from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// ReadBit returns the next bit (0 or 1). At end of input it returns
+// io.EOF (possibly io.ErrUnexpectedEOF from the underlying reader).
+func (br *Reader) ReadBit() (uint, error) {
+	if br.nbits == 0 {
+		if _, err := io.ReadFull(br.r, br.inbuf[:]); err != nil {
+			return 0, err
+		}
+		br.cur = br.inbuf[0]
+		br.nbits = 8
+	}
+	br.nbits--
+	br.count++
+	return uint(br.cur>>br.nbits) & 1, nil
+}
+
+// ReadBits reads n bits and returns them right-justified.
+func (br *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, ErrOverflow
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := br.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadByte reads 8 bits.
+func (br *Reader) ReadByte() (byte, error) {
+	v, err := br.ReadBits(8)
+	return byte(v), err
+}
+
+// BitsRead reports the total number of bits consumed so far.
+func (br *Reader) BitsRead() int64 { return br.count }
+
+// Align discards bits up to the next byte boundary.
+func (br *Reader) Align() {
+	br.count += int64(br.nbits)
+	br.nbits = 0
+}

@@ -1,0 +1,198 @@
+package bitio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.WriteBits(0b101, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBits(0xAB, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBits(0x3FFFF, 18); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bw.BitsWritten(), int64(29); got != want {
+		t.Errorf("BitsWritten = %d, want %d", got, want)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), 4; got != want {
+		t.Fatalf("output length = %d, want %d", got, want)
+	}
+
+	br := NewReader(&buf)
+	v, err := br.ReadBits(3)
+	if err != nil || v != 0b101 {
+		t.Fatalf("ReadBits(3) = %v, %v; want 5", v, err)
+	}
+	v, err = br.ReadBits(8)
+	if err != nil || v != 0xAB {
+		t.Fatalf("ReadBits(8) = %#x, %v; want 0xAB", v, err)
+	}
+	v, err = br.ReadBits(18)
+	if err != nil || v != 0x3FFFF {
+		t.Fatalf("ReadBits(18) = %#x, %v; want 0x3FFFF", v, err)
+	}
+}
+
+func TestMSBFirstPacking(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	for _, b := range []uint{1, 0, 1} {
+		if err := bw.WriteBit(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Bytes()[0], byte(0b10100000); got != want {
+		t.Errorf("packed byte = %08b, want %08b", got, want)
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.WriteByte(0x7F); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 1 {
+		t.Errorf("double Flush wrote extra bytes: len=%d", buf.Len())
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	br := NewReader(bytes.NewReader(nil))
+	if _, err := br.ReadBit(); err != io.EOF {
+		t.Errorf("ReadBit at EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.WriteBits(0, 65); err != ErrOverflow {
+		t.Errorf("WriteBits(65) err = %v, want ErrOverflow", err)
+	}
+	br := NewReader(&buf)
+	if _, err := br.ReadBits(65); err != ErrOverflow {
+		t.Errorf("ReadBits(65) err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.WriteBits(0b1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteByte(0xCD); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	br := NewReader(&buf)
+	if _, err := br.ReadBit(); err != nil {
+		t.Fatal(err)
+	}
+	br.Align()
+	b, err := br.ReadByte()
+	if err != nil || b != 0xCD {
+		t.Fatalf("after Align, ReadByte = %#x, %v; want 0xCD", b, err)
+	}
+	if got := br.BitsRead(); got != 16 {
+		t.Errorf("BitsRead = %d, want 16", got)
+	}
+}
+
+// TestRoundTripQuick checks that any sequence of (value, width) pairs
+// written and re-read yields the original values.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type item struct {
+			v uint64
+			n uint
+		}
+		items := make([]item, int(n)%64+1)
+		for i := range items {
+			width := uint(rng.Intn(64) + 1)
+			items[i] = item{v: rng.Uint64() & (^uint64(0) >> (64 - width)), n: width}
+		}
+		var buf bytes.Buffer
+		bw := NewWriter(&buf)
+		for _, it := range items {
+			if err := bw.WriteBits(it.v, it.n); err != nil {
+				return false
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return false
+		}
+		br := NewReader(&buf)
+		for _, it := range items {
+			v, err := br.ReadBits(it.n)
+			if err != nil || v != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsWrittenMatchesBitsRead(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	widths := []uint{1, 7, 13, 32, 64, 3}
+	var total uint
+	for i, w := range widths {
+		if err := bw.WriteBits(uint64(i), w); err != nil {
+			t.Fatal(err)
+		}
+		total += w
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bw.BitsWritten(); got != int64(total) {
+		t.Errorf("BitsWritten = %d, want %d", got, total)
+	}
+	br := NewReader(&buf)
+	for i, w := range widths {
+		v, err := br.ReadBits(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i) {
+			t.Errorf("value %d: got %d", i, v)
+		}
+	}
+	if got := br.BitsRead(); got != int64(total) {
+		t.Errorf("BitsRead = %d, want %d", got, total)
+	}
+}

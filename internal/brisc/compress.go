@@ -1,0 +1,783 @@
+package brisc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vm"
+)
+
+// Options tunes the compressor; the zero value requests the paper's
+// configuration (K=20, B = P − W).
+type Options struct {
+	// K is the number of best candidates adopted per pass (paper: 20).
+	K int
+	// MaxPasses bounds the greedy loop (the paper's compressor stops
+	// when a pass yields fewer than K useful candidates; this is a
+	// safety bound on top).
+	MaxPasses int
+	// AbundantMemory sets B = P, ignoring decoder-table cost W.
+	AbundantMemory bool
+	// NoSpecialize disables operand specialization (ablation).
+	NoSpecialize bool
+	// NoCombine disables opcode combination (ablation).
+	NoCombine bool
+	// NoEPI disables the epilogue-macro peephole (the paper's epi).
+	NoEPI bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 20
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 50
+	}
+	return o
+}
+
+// unit is one encodable element of the working program: a run of
+// concrete instructions currently covered by one dictionary pattern.
+type unit struct {
+	instrs []vm.Instr // concrete; FTgt operands hold block indices
+	pat    int        // dictionary index
+	vals   []int32    // unfixed operand values
+	nib    int        // cached operand nibble count under pat
+	block  bool       // unit starts a basic block
+}
+
+// Compress builds a BRISC object from a linked VM program.
+func Compress(p *vm.Program, opt Options) (*Object, error) {
+	opt = opt.withDefaults()
+	c := &compressor{opt: opt}
+	prog := p
+	if !opt.NoEPI {
+		prog = peepholeEPI(p)
+	}
+	if err := c.buildUnits(prog); err != nil {
+		return nil, err
+	}
+	c.run()
+	return c.finish(prog)
+}
+
+// CompressWithDict encodes a program against an externally trained
+// dictionary (the learned patterns of another object) without growing
+// it — the paper's closing example applies the dictionary built while
+// compressing gcc-2.6.3 to the small salt() program, shrinking it from
+// 60 to 17 bytes. dict should be a previously built Object's learned
+// patterns (Object.LearnedDict).
+func CompressWithDict(p *vm.Program, dict []Pattern, opt Options) (*Object, error) {
+	opt = opt.withDefaults()
+	c := &compressor{opt: opt}
+	prog := p
+	if !opt.NoEPI {
+		prog = peepholeEPI(p)
+	}
+	if err := c.buildUnits(prog); err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, pat := range dict {
+		key := pat.key()
+		if _, dup := c.dictKeys[key]; dup {
+			continue
+		}
+		id := len(c.dict)
+		c.dict = append(c.dict, clonePattern(pat))
+		c.dictKeys[key] = id
+		ids = append(ids, id)
+	}
+	// Iterate rewriting so combined patterns can stack (a four-
+	// instruction pattern applies only after its two-instruction
+	// halves have merged their units).
+	for i := 0; i < 8; i++ {
+		c.rewrite(ids)
+	}
+	c.passes = 0
+	return c.finish(prog)
+}
+
+// LearnedDict returns the object's non-base dictionary entries, in the
+// form CompressWithDict accepts.
+func (o *Object) LearnedDict() []Pattern {
+	return o.Dict[vm.NumOpcodes:]
+}
+
+type compressor struct {
+	opt           Options
+	units         []unit
+	dict          []Pattern
+	dictKeys      map[string]int
+	flocCache     map[int][]floc
+	dictCostCache map[int]int
+	// stats
+	passes int
+}
+
+// buildUnits seeds one unit per instruction with base patterns and
+// block-relative targets.
+func (c *compressor) buildUnits(p *vm.Program) error {
+	p2 := *p
+	p2.ComputeBlockStarts()
+	blockOf := make(map[int32]int32, len(p2.BlockStarts))
+	for bi, idx := range p2.BlockStarts {
+		blockOf[int32(idx)] = int32(bi)
+	}
+	c.dictKeys = map[string]int{}
+	c.dict = make([]Pattern, vm.NumOpcodes)
+	for op := 1; op < vm.NumOpcodes; op++ {
+		c.dict[op] = basePattern(vm.Opcode(op))
+		c.dictKeys[c.dict[op].key()] = op
+	}
+	blockSet := make(map[int]bool, len(p2.BlockStarts))
+	for _, idx := range p2.BlockStarts {
+		blockSet[idx] = true
+	}
+	c.units = make([]unit, len(p2.Code))
+	for i, ins := range p2.Code {
+		cp := ins
+		// Rewrite code targets to block indices.
+		for fi, f := range ins.Op.Fields() {
+			if f == vm.FTgt {
+				b, ok := blockOf[getField(cp, fi)]
+				if !ok {
+					return fmt.Errorf("brisc: target %d of instr %d is not a block start", getField(cp, fi), i)
+				}
+				setField(&cp, fi, b)
+			}
+		}
+		pat := int(cp.Op)
+		vals := c.dict[pat].extract([]vm.Instr{cp})
+		c.units[i] = unit{
+			instrs: []vm.Instr{cp},
+			pat:    pat,
+			vals:   vals,
+			nib:    c.dict[pat].operandNibbles(vals),
+			block:  blockSet[i],
+		}
+	}
+	return nil
+}
+
+// dictEntryBytes estimates the serialized dictionary cost of a pattern
+// (the paper's "bytes needed to represent the instruction pattern in
+// the dictionary").
+func dictEntryBytes(p Pattern) int {
+	n := 1 // instruction count
+	for _, pi := range p.Seq {
+		n += 1 + (len(pi.Fixed)+7)/8
+		for f, fx := range pi.Fixed {
+			if fx {
+				n += uvarintLen(zigzag32(pi.Val[f]))
+			}
+		}
+	}
+	return n
+}
+
+// tableCostW models the decoder's per-entry working-set cost: the
+// native handler sequence for the pattern, averaged over the two
+// simulated targets (standing in for the paper's Pentium/PowerPC 601
+// averages — their example gives W=25 for a one-instruction pattern).
+func tableCostW(p Pattern) int {
+	return 12 + 11*len(p.Seq)
+}
+
+// candKey identifies a candidate without materializing its pattern:
+// a source pattern plus an optional one-field specialization for each
+// half (f == -1 means no specialization; pid2 == -1 means the candidate
+// is a pure specialization of pid1).
+type candKey struct {
+	pid1, f1 int
+	v1       int32
+	pid2, f2 int
+	v2       int32
+}
+
+type candStat struct {
+	count   int
+	savings int // accumulated program-byte reduction across occurrences
+}
+
+// floc locates one unfixed field within a pattern.
+type floc struct {
+	ii, fi int
+	kind   vm.FieldKind
+}
+
+// flocs returns (cached) the unfixed-field locations of dictionary
+// pattern pid, in operand order.
+func (c *compressor) flocs(pid int) []floc {
+	if c.flocCache == nil {
+		c.flocCache = map[int][]floc{}
+	}
+	if fl, ok := c.flocCache[pid]; ok {
+		return fl
+	}
+	p := c.dict[pid]
+	var fl []floc
+	for ii, pi := range p.Seq {
+		fields := pi.Op.Fields()
+		for fi, fx := range pi.Fixed {
+			if !fx {
+				fl = append(fl, floc{ii, fi, fields[fi]})
+			}
+		}
+	}
+	c.flocCache[pid] = fl
+	return fl
+}
+
+// fieldNibbles is the operand cost of one unfixed field instance.
+func fieldNibbles(kind vm.FieldKind, v int32) int {
+	if kind == vm.FReg {
+		return 1
+	}
+	return 1 + nibblesForValue(v)
+}
+
+// materialize builds the Pattern a candidate key denotes.
+func (c *compressor) materialize(k candKey) Pattern {
+	p := c.dict[k.pid1]
+	if k.f1 >= 0 {
+		fl := c.flocs(k.pid1)[k.f1]
+		p = specialize(p, fl.ii, fl.fi, k.v1)
+	}
+	if k.pid2 >= 0 {
+		q := c.dict[k.pid2]
+		if k.f2 >= 0 {
+			fl := c.flocs(k.pid2)[k.f2]
+			q = specialize(q, fl.ii, fl.fi, k.v2)
+		}
+		p = combine(p, q)
+	} else if k.f1 < 0 {
+		p = clonePattern(p)
+	}
+	return p
+}
+
+// run executes the greedy multi-pass dictionary construction.
+func (c *compressor) run() {
+	for pass := 0; pass < c.opt.MaxPasses; pass++ {
+		c.passes++
+		cands := c.generateCandidates()
+		adopted := c.adopt(cands)
+		if len(adopted) == 0 {
+			break
+		}
+		c.rewrite(adopted)
+		if len(adopted) < c.opt.K {
+			break // the pass did not yield K useful patterns
+		}
+	}
+}
+
+// generateCandidates scans the program once, proposing operand
+// specializations and opcode combinations with estimated savings.
+// Sizes are computed arithmetically from cached nibble counts; no
+// candidate pattern is materialized until adoption.
+func (c *compressor) generateCandidates() map[candKey]*candStat {
+	cands := make(map[candKey]*candStat)
+	add := func(k candKey, saved int) {
+		if saved <= 0 {
+			return
+		}
+		st, ok := cands[k]
+		if !ok {
+			st = &candStat{}
+			cands[k] = st
+		}
+		st.count++
+		st.savings += saved
+	}
+	ceil2 := func(n int) int { return (n + 1) / 2 }
+
+	for i := range c.units {
+		u := &c.units[i]
+		uFlocs := c.flocs(u.pat)
+		uSize := 1 + ceil2(u.nib)
+
+		if !c.opt.NoSpecialize {
+			// One-field specializations of the unit's pattern. Code
+			// targets are not specialized: burned-in branch
+			// destinations almost never repeat.
+			for k, fl := range uFlocs {
+				if fl.kind == vm.FTgt {
+					continue
+				}
+				newSize := 1 + ceil2(u.nib-fieldNibbles(fl.kind, u.vals[k]))
+				add(candKey{pid1: u.pat, f1: k, v1: u.vals[k], pid2: -1, f2: -1},
+					uSize-newSize)
+			}
+		}
+		if c.opt.NoCombine || i+1 >= len(c.units) {
+			continue
+		}
+		v := &c.units[i+1]
+		if v.block {
+			continue // never combine across a basic-block boundary
+		}
+		vFlocs := c.flocs(v.pat)
+		oldSize := uSize + 1 + ceil2(v.nib)
+		// Zero-or-one-field specializations of each side, crossed (the
+		// paper's augmented operand-specialized sets).
+		uChoices := specChoices(uFlocs, u.vals, c.opt.NoSpecialize)
+		vChoices := specChoices(vFlocs, v.vals, c.opt.NoSpecialize)
+		for _, uc := range uChoices {
+			nibU := u.nib
+			if uc >= 0 {
+				nibU -= fieldNibbles(uFlocs[uc].kind, u.vals[uc])
+			}
+			for _, vc := range vChoices {
+				nibV := v.nib
+				if vc >= 0 {
+					nibV -= fieldNibbles(vFlocs[vc].kind, v.vals[vc])
+				}
+				newSize := 1 + ceil2(nibU+nibV)
+				k := candKey{pid1: u.pat, f1: uc, pid2: v.pat, f2: vc}
+				if uc >= 0 {
+					k.v1 = u.vals[uc]
+				}
+				if vc >= 0 {
+					k.v2 = v.vals[vc]
+				}
+				add(k, oldSize-newSize)
+			}
+		}
+	}
+	return cands
+}
+
+// specChoices returns -1 (no specialization) plus each specializable
+// field index.
+func specChoices(fls []floc, vals []int32, noSpec bool) []int {
+	out := []int{-1}
+	if noSpec {
+		return out
+	}
+	for k, fl := range fls {
+		if fl.kind != vm.FTgt {
+			out = append(out, k)
+		}
+	}
+	_ = vals
+	return out
+}
+
+// adopt selects the K best candidates by benefit and installs them in
+// the dictionary, returning their indices.
+func (c *compressor) adopt(cands map[candKey]*candStat) []int {
+	type scored struct {
+		key candKey
+		b   int
+	}
+	var list []scored
+	for k, st := range cands {
+		b := st.savings - c.dictCostOfKey(k)
+		if !c.opt.AbundantMemory {
+			b -= 12 + 11*c.seqLenOfKey(k)
+		}
+		if b > 0 {
+			list = append(list, scored{k, b})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].b != list[j].b {
+			return list[i].b > list[j].b
+		}
+		return candKeyLess(list[i].key, list[j].key) // deterministic
+	})
+	// Materialize winners only; distinct candidate keys can denote the
+	// same pattern or an existing dictionary entry — keep the first.
+	var ids []int
+	for _, s := range list {
+		if len(ids) >= c.opt.K {
+			break
+		}
+		p := c.materialize(s.key)
+		key := p.key()
+		if _, exists := c.dictKeys[key]; exists {
+			continue
+		}
+		id := len(c.dict)
+		c.dict = append(c.dict, p)
+		c.dictKeys[key] = id
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// dictCostOfKey computes the would-be dictionary entry size of a
+// candidate without materializing it.
+func (c *compressor) dictCostOfKey(k candKey) int {
+	cost := 1 + c.baseDictCost(k.pid1) - 1
+	if k.f1 >= 0 {
+		cost += uvarintLen(zigzag32(k.v1))
+	}
+	if k.pid2 >= 0 {
+		cost += c.baseDictCost(k.pid2) - 1
+		if k.f2 >= 0 {
+			cost += uvarintLen(zigzag32(k.v2))
+		}
+	}
+	return cost
+}
+
+func (c *compressor) baseDictCost(pid int) int {
+	if c.dictCostCache == nil {
+		c.dictCostCache = map[int]int{}
+	}
+	if v, ok := c.dictCostCache[pid]; ok {
+		return v
+	}
+	v := dictEntryBytes(c.dict[pid])
+	c.dictCostCache[pid] = v
+	return v
+}
+
+func (c *compressor) seqLenOfKey(k candKey) int {
+	n := len(c.dict[k.pid1].Seq)
+	if k.pid2 >= 0 {
+		n += len(c.dict[k.pid2].Seq)
+	}
+	return n
+}
+
+func candKeyLess(a, b candKey) bool {
+	switch {
+	case a.pid1 != b.pid1:
+		return a.pid1 < b.pid1
+	case a.f1 != b.f1:
+		return a.f1 < b.f1
+	case a.v1 != b.v1:
+		return a.v1 < b.v1
+	case a.pid2 != b.pid2:
+		return a.pid2 < b.pid2
+	case a.f2 != b.f2:
+		return a.f2 < b.f2
+	default:
+		return a.v2 < b.v2
+	}
+}
+
+// rewrite applies newly adopted patterns: combinations first (merging
+// adjacent units), then the cheapest matching pattern per unit.
+func (c *compressor) rewrite(newIDs []int) {
+	// Multi-instruction patterns apply by merging adjacent units;
+	// afterwards every new pattern competes to re-cover matching units.
+	var combinators, specializers []int
+	for _, id := range newIDs {
+		if len(c.dict[id].Seq) >= 2 {
+			combinators = append(combinators, id)
+		}
+		specializers = append(specializers, id)
+	}
+
+	if len(combinators) > 0 {
+		var out []unit
+		i := 0
+		for i < len(c.units) {
+			merged := false
+			u := &c.units[i]
+			if i+1 < len(c.units) && !c.units[i+1].block {
+				v := &c.units[i+1]
+				cat := append(append([]vm.Instr(nil), u.instrs...), v.instrs...)
+				oldSize := c.dict[u.pat].encodedSize(u.vals) + c.dict[v.pat].encodedSize(v.vals)
+				best, bestSize := -1, oldSize
+				for _, id := range combinators {
+					p := c.dict[id]
+					if !p.matches(cat) {
+						continue
+					}
+					if sz := p.encodedSize(p.extract(cat)); sz < bestSize {
+						best, bestSize = id, sz
+					}
+				}
+				if best >= 0 {
+					vals := c.dict[best].extract(cat)
+					out = append(out, unit{
+						instrs: cat,
+						pat:    best,
+						vals:   vals,
+						nib:    c.dict[best].operandNibbles(vals),
+						block:  u.block,
+					})
+					i += 2
+					merged = true
+				}
+			}
+			if !merged {
+				out = append(out, *u)
+				i++
+			}
+		}
+		c.units = out
+	}
+
+	// Re-pattern units with cheaper new patterns.
+	for i := range c.units {
+		u := &c.units[i]
+		curSize := c.dict[u.pat].encodedSize(u.vals)
+		for _, id := range specializers {
+			p := c.dict[id]
+			if len(p.Seq) != len(u.instrs) || !p.matches(u.instrs) {
+				continue
+			}
+			if sz := p.encodedSize(p.extract(u.instrs)); sz < curSize {
+				u.pat = id
+				u.vals = p.extract(u.instrs)
+				u.nib = p.operandNibbles(u.vals)
+				curSize = sz
+			}
+		}
+	}
+}
+
+// peepholeEPI rewrites each three-instruction epilogue
+// (ld.iw ra,total-4(sp); exit sp,sp,total; rjr ra) into the paper's epi
+// macro-instruction, remapping all code targets.
+func peepholeEPI(p *vm.Program) *vm.Program {
+	isTarget := make(map[int32]bool)
+	for _, ins := range p.Code {
+		for fi, f := range ins.Op.Fields() {
+			if f == vm.FTgt {
+				isTarget[getField(ins, fi)] = true
+			}
+		}
+	}
+	newIdx := make([]int32, len(p.Code)+1)
+	var out []vm.Instr
+	i := 0
+	for i < len(p.Code) {
+		newIdx[i] = int32(len(out))
+		if i+2 < len(p.Code) &&
+			!isTarget[int32(i+1)] && !isTarget[int32(i+2)] {
+			a, b, r := p.Code[i], p.Code[i+1], p.Code[i+2]
+			if a.Op == vm.LDW && a.Rd == vm.RegRA && a.Rs1 == vm.RegSP &&
+				b.Op == vm.EXIT && a.Imm == b.Imm-4 &&
+				r.Op == vm.RJR && r.Rs1 == vm.RegRA {
+				newIdx[i+1] = int32(len(out))
+				newIdx[i+2] = int32(len(out))
+				out = append(out, vm.Instr{Op: vm.EPI, Imm: b.Imm})
+				i += 3
+				continue
+			}
+		}
+		out = append(out, p.Code[i])
+		i++
+	}
+	newIdx[len(p.Code)] = int32(len(out))
+
+	// Remap targets and function boundaries.
+	for j := range out {
+		ins := &out[j]
+		for fi, f := range ins.Op.Fields() {
+			if f == vm.FTgt {
+				setField(ins, fi, newIdx[getField(*ins, fi)])
+			}
+		}
+	}
+	np := &vm.Program{
+		Name:     p.Name,
+		Code:     out,
+		Globals:  p.Globals,
+		DataSize: p.DataSize,
+	}
+	for _, f := range p.Funcs {
+		np.Funcs = append(np.Funcs, vm.FuncInfo{
+			Name:  f.Name,
+			Entry: int(newIdx[f.Entry]),
+			End:   int(newIdx[f.End]),
+			Frame: f.Frame,
+		})
+	}
+	np.ComputeBlockStarts()
+	return np
+}
+
+// finish performs the final Markov encoding and assembles the object.
+func (c *compressor) finish(p *vm.Program) (*Object, error) {
+	// Garbage-collect learned patterns that no unit uses; base patterns
+	// (ids < NumOpcodes) are implicit and free.
+	used := make(map[int]bool)
+	for i := range c.units {
+		used[c.units[i].pat] = true
+	}
+	remap := make(map[int]int)
+	var dict []Pattern
+	for id := 0; id < vm.NumOpcodes; id++ {
+		remap[id] = id
+	}
+	dict = append(dict, c.dict[:vm.NumOpcodes]...)
+	for id := vm.NumOpcodes; id < len(c.dict); id++ {
+		if used[id] {
+			remap[id] = len(dict)
+			dict = append(dict, c.dict[id])
+		}
+	}
+	for i := range c.units {
+		c.units[i].pat = remap[c.units[i].pat]
+	}
+
+	obj := &Object{
+		Name:     p.Name,
+		Dict:     dict,
+		Globals:  p.Globals,
+		DataSize: p.DataSize,
+		Passes:   c.passes,
+	}
+
+	// Follower statistics per context (0 = block start, i+1 = pattern i).
+	nCtx := len(dict) + 1
+	follows := make([]map[int]int, nCtx)
+	for i := range follows {
+		follows[i] = map[int]int{}
+	}
+	ctx := 0
+	for i := range c.units {
+		u := &c.units[i]
+		if u.block {
+			ctx = 0
+		}
+		follows[ctx][u.pat]++
+		ctx = u.pat + 1
+	}
+	obj.Contexts = make([][]int, nCtx)
+	for ci, m := range follows {
+		type pf struct {
+			pid, n int
+		}
+		var list []pf
+		for pid, n := range m {
+			list = append(list, pf{pid, n})
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].n != list[b].n {
+				return list[a].n > list[b].n
+			}
+			return list[a].pid < list[b].pid
+		})
+		if len(list) > 255 {
+			list = list[:255] // overflow encodes via escape byte
+		}
+		tbl := make([]int, len(list))
+		for i, e := range list {
+			tbl[i] = e.pid
+		}
+		obj.Contexts[ci] = tbl
+	}
+
+	// Encode the unit stream; record block byte offsets in order.
+	var code []byte
+	var nw nibbleWriter
+	ctx = 0
+	for i := range c.units {
+		u := &c.units[i]
+		if u.block {
+			ctx = 0
+			obj.Blocks = append(obj.Blocks, int32(len(code)))
+		}
+		// Opcode byte: index in context table, or escape.
+		idx := indexOf(obj.Contexts[ctx], u.pat)
+		if idx >= 0 && idx < 255 {
+			code = append(code, byte(idx))
+		} else {
+			code = append(code, 255)
+			code = appendUvarint(code, uint64(u.pat))
+		}
+		// Operand nibbles.
+		nw.reset()
+		p := dict[u.pat]
+		vi := 0
+		for _, pi := range p.Seq {
+			fields := pi.Op.Fields()
+			for f, fx := range pi.Fixed {
+				if fx {
+					continue
+				}
+				v := u.vals[vi]
+				vi++
+				if fields[f] == vm.FReg {
+					if v < 0 || v > 15 {
+						return nil, fmt.Errorf("brisc: register value %d out of range", v)
+					}
+					nw.put(uint8(v))
+				} else {
+					n := nibblesForValue(v)
+					nw.put(uint8(n))
+					for k := n - 1; k >= 0; k-- {
+						nw.put(uint8(v >> (4 * k) & 0xF))
+					}
+				}
+			}
+		}
+		code = nw.appendTo(code)
+		ctx = u.pat + 1
+	}
+	obj.Code = code
+
+	// Function table: entry instruction -> block index.
+	instrBlock := map[int]int{}
+	for bi, idx := range p.BlockStarts {
+		instrBlock[idx] = bi
+	}
+	for _, f := range p.Funcs {
+		bi, ok := instrBlock[f.Entry]
+		if !ok {
+			return nil, fmt.Errorf("brisc: function %s entry %d is not a block start", f.Name, f.Entry)
+		}
+		obj.Funcs = append(obj.Funcs, ObjFunc{Name: f.Name, EntryBlock: int32(bi), Frame: int32(f.Frame)})
+	}
+	return obj, nil
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// nibbleWriter packs nibbles high-first into bytes.
+type nibbleWriter struct {
+	buf  []byte
+	half bool
+}
+
+func (w *nibbleWriter) reset() { w.buf = w.buf[:0]; w.half = false }
+
+func (w *nibbleWriter) put(n uint8) {
+	if w.half {
+		w.buf[len(w.buf)-1] |= n & 0xF
+		w.half = false
+	} else {
+		w.buf = append(w.buf, n<<4)
+		w.half = true
+	}
+}
+
+func (w *nibbleWriter) appendTo(dst []byte) []byte { return append(dst, w.buf...) }
+
+func zigzag32(v int32) uint64 { return uint64(uint32(v<<1) ^ uint32(v>>31)) }
+
+func unzigzag32(u uint64) int32 { return int32(uint32(u)>>1) ^ -int32(u&1) }
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}

@@ -1,0 +1,69 @@
+package brisc_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+)
+
+// The memory-bottleneck pipeline: compress native code into BRISC and
+// execute it in place, without decompressing.
+func ExampleCompress() {
+	mod, err := cc.Compile("demo", `
+int main(void) { putint(6 * 7); return 0; }`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	obj, err := brisc.Compress(prog, brisc.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var out bytes.Buffer
+	it := brisc.NewInterp(obj, 0, &out)
+	code, err := it.Run(0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%sexit %d", out.String(), code)
+	// Output: 42
+	// exit 0
+}
+
+// The fast path: JIT-translate a BRISC object back to directly
+// executable code.
+func ExampleJIT() {
+	mod, err := cc.Compile("demo", `
+int main(void) { return 7; }`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	obj, err := brisc.Compress(prog, brisc.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	jp, err := brisc.JIT(obj)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(jp.Code) > 0, jp.Func("main") != nil)
+	// Output: true true
+}

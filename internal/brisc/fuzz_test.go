@@ -1,0 +1,29 @@
+package brisc
+
+import "testing"
+
+// FuzzParse: the object parser must never panic on arbitrary bytes,
+// and a parsed object's interpreter must fail cleanly rather than
+// crash.
+func FuzzParse(f *testing.F) {
+	prog := compileProg(f, "seed", saltSrc)
+	if obj, err := Compress(prog, Options{}); err == nil {
+		f.Add(obj.Bytes())
+		f.Add(EncodeDict(obj.LearnedDict()))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("BRS1"))
+	f.Add([]byte("BRD1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obj, err := Parse(data)
+		if err != nil {
+			_, _ = DecodeDict(data)
+			return
+		}
+		// A structurally valid object may still contain garbage code;
+		// execution must stop with an error, not a panic.
+		it := NewInterp(obj, 1<<16, nil)
+		_, _ = it.Run(10_000)
+		_, _ = JIT(obj)
+	})
+}

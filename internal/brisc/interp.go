@@ -1,0 +1,368 @@
+package brisc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/vm"
+)
+
+// Interp executes a BRISC object in place: each step Markov-decodes
+// the unit at the current byte offset, expands its pattern, and
+// executes the instructions directly, without ever materializing the
+// decompressed program. Branch targets are block indices resolved
+// through the object's block-offset table, and return addresses are
+// byte offsets, so the compressed stream is the only code
+// representation in memory — the working-set property the paper's
+// memory-bottleneck scenario relies on.
+type Interp struct {
+	Obj  *Object
+	Mem  []byte
+	Regs [vm.NumRegs]int32
+	PC   int32 // byte offset into Obj.Code
+	Out  io.Writer
+
+	Steps    int64 // instructions executed
+	Units    int64 // units decoded
+	ExitCode int32
+	Halted   bool
+
+	blockSet map[int32]bool
+	ctx      int
+	// Trace, when non-nil, receives the byte offset of every unit.
+	Trace func(off int32)
+
+	// cache, when enabled, memoizes decoded units by byte offset. This
+	// is the working-set-for-speed trade the paper's W cost models:
+	// the decoder's expanded tables make interpretation faster but
+	// consume the memory that compressing the code was saving.
+	cache map[int32]*cachedUnit
+}
+
+type cachedUnit struct {
+	pid  int
+	vals []int32
+	next int32
+}
+
+// Interpreter runtime errors.
+var (
+	ErrOutOfSteps = errors.New("brisc: step limit exceeded")
+	ErrMemFault   = errors.New("brisc: memory fault")
+	ErrDivByZero  = errors.New("brisc: division by zero")
+)
+
+// NewInterp builds an interpreter with the given memory size
+// (0 selects vm.DefaultMemSize), writing trap output to out.
+func NewInterp(o *Object, memSize int, out io.Writer) *Interp {
+	if memSize <= 0 {
+		memSize = vm.DefaultMemSize
+	}
+	it := &Interp{Obj: o, Mem: make([]byte, memSize), Out: out}
+	it.blockSet = make(map[int32]bool, len(o.Blocks))
+	for _, off := range o.Blocks {
+		it.blockSet[off] = true
+	}
+	it.Reset()
+	return it
+}
+
+// Reset reinitializes memory and registers and positions the pc at the
+// first block (the linker's start stub).
+func (it *Interp) Reset() {
+	for i := range it.Mem {
+		it.Mem[i] = 0
+	}
+	for _, g := range it.Obj.Globals {
+		copy(it.Mem[g.Addr:], g.Init)
+	}
+	it.Regs = [vm.NumRegs]int32{}
+	it.Regs[vm.RegSP] = int32(len(it.Mem))
+	it.PC = 0
+	it.ctx = 0
+	it.Steps = 0
+	it.Units = 0
+	it.Halted = false
+	it.ExitCode = 0
+	if it.cache != nil {
+		it.cache = make(map[int32]*cachedUnit)
+	}
+}
+
+// Run interprets until halt/exit, an error, or maxSteps instructions
+// (0 = unlimited), returning the exit code.
+func (it *Interp) Run(maxSteps int64) (int32, error) {
+	for !it.Halted {
+		if maxSteps > 0 && it.Steps >= maxSteps {
+			return 0, fmt.Errorf("%w: %d", ErrOutOfSteps, maxSteps)
+		}
+		if err := it.StepUnit(); err != nil {
+			return 0, err
+		}
+	}
+	return it.ExitCode, nil
+}
+
+// EnableCache turns on the decoded-unit cache (see the cache field).
+// Call before Run; Reset preserves the setting but drops contents.
+func (it *Interp) EnableCache() {
+	it.cache = make(map[int32]*cachedUnit)
+}
+
+// CacheBytes estimates the memory held by the decode cache — the
+// interpreter's extra working set.
+func (it *Interp) CacheBytes() int {
+	n := 0
+	for _, cu := range it.cache {
+		n += 16 + 4*len(cu.vals)
+	}
+	return n
+}
+
+// StepUnit decodes and executes one unit (one or more instructions).
+func (it *Interp) StepUnit() error {
+	if it.blockSet[it.PC] {
+		it.ctx = 0
+	}
+	if it.Trace != nil {
+		it.Trace(it.PC)
+	}
+	var pid int
+	var vals []int32
+	var next int32
+	if cu, ok := it.cache[it.PC]; ok {
+		pid, vals, next = cu.pid, cu.vals, cu.next
+	} else {
+		var err error
+		pid, vals, next, err = it.Obj.decodeUnit(it.PC, it.ctx)
+		if err != nil {
+			return err
+		}
+		if it.cache != nil {
+			it.cache[it.PC] = &cachedUnit{pid: pid, vals: vals, next: next}
+		}
+	}
+	it.Units++
+	p := &it.Obj.Dict[pid]
+	// Execute the pattern's instructions with decoded operands.
+	vi := 0
+	jumped := false
+	for si := range p.Seq {
+		pi := &p.Seq[si]
+		var ins vm.Instr
+		ins.Op = pi.Op
+		for f := range pi.Fixed {
+			if pi.Fixed[f] {
+				setField(&ins, f, pi.Val[f])
+			} else {
+				setField(&ins, f, vals[vi])
+				vi++
+			}
+		}
+		taken, err := it.exec(ins, next)
+		if err != nil {
+			return err
+		}
+		it.Steps++
+		if taken || it.Halted {
+			jumped = true
+			break
+		}
+	}
+	if !jumped {
+		it.ctx = pid + 1
+		it.PC = next
+	}
+	return nil
+}
+
+// blockTarget resolves a block index to a byte offset.
+func (it *Interp) blockTarget(b int32) (int32, error) {
+	if b < 0 || int(b) >= len(it.Obj.Blocks) {
+		return 0, fmt.Errorf("%w: block target %d", ErrCorrupt, b)
+	}
+	return it.Obj.Blocks[b], nil
+}
+
+// exec executes one expanded instruction. next is the byte offset of
+// the following unit (the return address for CALL). It reports whether
+// control transferred.
+func (it *Interp) exec(ins vm.Instr, next int32) (bool, error) {
+	r := &it.Regs
+	switch ins.Op {
+	case vm.LDW:
+		v, err := it.load32(r[ins.Rs1] + ins.Imm)
+		if err != nil {
+			return false, err
+		}
+		r[ins.Rd] = v
+	case vm.LDB:
+		addr := r[ins.Rs1] + ins.Imm
+		if addr < 0 || int(addr) >= len(it.Mem) {
+			return false, fmt.Errorf("%w: load8 at %d", ErrMemFault, addr)
+		}
+		r[ins.Rd] = int32(int8(it.Mem[addr]))
+	case vm.STW:
+		if err := it.store32(r[ins.Rs1]+ins.Imm, r[ins.Rs2]); err != nil {
+			return false, err
+		}
+	case vm.STB:
+		addr := r[ins.Rs1] + ins.Imm
+		if addr < 0 || int(addr) >= len(it.Mem) {
+			return false, fmt.Errorf("%w: store8 at %d", ErrMemFault, addr)
+		}
+		it.Mem[addr] = byte(r[ins.Rs2])
+	case vm.LDI:
+		r[ins.Rd] = ins.Imm
+	case vm.ADDI:
+		r[ins.Rd] = r[ins.Rs1] + ins.Imm
+	case vm.MOV:
+		r[ins.Rd] = r[ins.Rs1]
+	case vm.ADD:
+		r[ins.Rd] = r[ins.Rs1] + r[ins.Rs2]
+	case vm.SUB:
+		r[ins.Rd] = r[ins.Rs1] - r[ins.Rs2]
+	case vm.MUL:
+		r[ins.Rd] = r[ins.Rs1] * r[ins.Rs2]
+	case vm.DIV:
+		if r[ins.Rs2] == 0 {
+			return false, ErrDivByZero
+		}
+		r[ins.Rd] = r[ins.Rs1] / r[ins.Rs2]
+	case vm.REM:
+		if r[ins.Rs2] == 0 {
+			return false, ErrDivByZero
+		}
+		r[ins.Rd] = r[ins.Rs1] % r[ins.Rs2]
+	case vm.AND:
+		r[ins.Rd] = r[ins.Rs1] & r[ins.Rs2]
+	case vm.OR:
+		r[ins.Rd] = r[ins.Rs1] | r[ins.Rs2]
+	case vm.XOR:
+		r[ins.Rd] = r[ins.Rs1] ^ r[ins.Rs2]
+	case vm.SHL:
+		r[ins.Rd] = r[ins.Rs1] << (uint32(r[ins.Rs2]) & 31)
+	case vm.SHR:
+		r[ins.Rd] = r[ins.Rs1] >> (uint32(r[ins.Rs2]) & 31)
+	case vm.NEG:
+		r[ins.Rd] = -r[ins.Rs1]
+	case vm.NOT:
+		r[ins.Rd] = ^r[ins.Rs1]
+	case vm.BEQ, vm.BNE, vm.BLT, vm.BLE, vm.BGT, vm.BGE:
+		a, b := r[ins.Rs1], r[ins.Rs2]
+		if branchTaken(ins.Op, a, b) {
+			return it.jumpBlock(ins.Target)
+		}
+	case vm.BEQI, vm.BNEI, vm.BLTI, vm.BLEI, vm.BGTI, vm.BGEI:
+		if branchTaken(ins.Op, r[ins.Rs1], ins.Imm) {
+			return it.jumpBlock(ins.Target)
+		}
+	case vm.JMP:
+		return it.jumpBlock(ins.Target)
+	case vm.CALL:
+		r[vm.RegRA] = next
+		return it.jumpBlock(ins.Target)
+	case vm.RJR:
+		it.PC = r[ins.Rs1]
+		it.ctx = 0
+		return true, nil
+	case vm.ENTER:
+		r[vm.RegSP] -= ins.Imm
+	case vm.EXIT:
+		r[vm.RegSP] += ins.Imm
+	case vm.EPI:
+		ra, err := it.load32(r[vm.RegSP] + ins.Imm - 4)
+		if err != nil {
+			return false, err
+		}
+		r[vm.RegSP] += ins.Imm
+		r[vm.RegRA] = ra
+		it.PC = ra
+		it.ctx = 0
+		return true, nil
+	case vm.TRAP:
+		return false, it.trap(ins.Imm)
+	case vm.HALT:
+		it.Halted = true
+		it.ExitCode = r[vm.RegArg0]
+	default:
+		return false, fmt.Errorf("brisc: illegal opcode %d", ins.Op)
+	}
+	return false, nil
+}
+
+func branchTaken(op vm.Opcode, a, b int32) bool {
+	switch op {
+	case vm.BEQ, vm.BEQI:
+		return a == b
+	case vm.BNE, vm.BNEI:
+		return a != b
+	case vm.BLT, vm.BLTI:
+		return a < b
+	case vm.BLE, vm.BLEI:
+		return a <= b
+	case vm.BGT, vm.BGTI:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func (it *Interp) jumpBlock(b int32) (bool, error) {
+	off, err := it.blockTarget(b)
+	if err != nil {
+		return false, err
+	}
+	it.PC = off
+	it.ctx = 0
+	return true, nil
+}
+
+func (it *Interp) load32(addr int32) (int32, error) {
+	if addr < 0 || int(addr)+4 > len(it.Mem) {
+		return 0, fmt.Errorf("%w: load32 at %d", ErrMemFault, addr)
+	}
+	return int32(binary.LittleEndian.Uint32(it.Mem[addr:])), nil
+}
+
+func (it *Interp) store32(addr, v int32) error {
+	if addr < 0 || int(addr)+4 > len(it.Mem) {
+		return fmt.Errorf("%w: store32 at %d", ErrMemFault, addr)
+	}
+	binary.LittleEndian.PutUint32(it.Mem[addr:], uint32(v))
+	return nil
+}
+
+func (it *Interp) trap(id int32) error {
+	arg := it.Regs[vm.RegArg0]
+	switch id {
+	case vm.TrapPutint:
+		it.print(fmt.Sprintf("%d\n", arg))
+	case vm.TrapPutchar:
+		it.print(string(rune(byte(arg))))
+	case vm.TrapPuts:
+		end := arg
+		for int(end) < len(it.Mem) && it.Mem[end] != 0 {
+			end++
+		}
+		if int(end) >= len(it.Mem) {
+			return fmt.Errorf("%w: unterminated string at %d", ErrMemFault, arg)
+		}
+		it.print(string(it.Mem[arg:end]) + "\n")
+	case vm.TrapExit:
+		it.Halted = true
+		it.ExitCode = arg
+	default:
+		return fmt.Errorf("brisc: unknown trap %d", id)
+	}
+	it.Regs[vm.RegArg0] = 0
+	return nil
+}
+
+func (it *Interp) print(s string) {
+	if it.Out != nil {
+		fmt.Fprint(it.Out, s)
+	}
+}

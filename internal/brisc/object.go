@@ -1,0 +1,544 @@
+package brisc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// ObjFunc locates one function in a BRISC object.
+type ObjFunc struct {
+	Name       string
+	EntryBlock int32
+	Frame      int32
+}
+
+// Object is a complete BRISC executable: the learned dictionary, the
+// per-context Markov follower tables, the byte-packed code stream,
+// the block-offset table that keeps the stream randomly addressable,
+// the function table, and the data segment.
+type Object struct {
+	Name     string
+	Dict     []Pattern // [0, vm.NumOpcodes) are the implicit base patterns
+	Contexts [][]int   // follower tables; 0 = block-start context
+	Code     []byte
+	Blocks   []int32 // byte offset of each basic block
+	Funcs    []ObjFunc
+	Globals  []vm.GlobalData
+	DataSize int
+	// Passes records how many compressor passes built the dictionary.
+	Passes int
+}
+
+// ErrCorrupt reports a malformed serialized object.
+var ErrCorrupt = errors.New("brisc: corrupt object")
+
+var objMagic = [4]byte{'B', 'R', 'S', '1'}
+
+// SizeBreakdown itemizes an object's serialized size. CodeBytes is the
+// in-memory interpretable payload; the paper's "code size" comparisons
+// use CodeBytes + DictBytes + TableBytes + BlockBytes (everything a
+// client must hold to run), excluding data and symbol names, which are
+// identical across formats.
+type SizeBreakdown struct {
+	CodeBytes   int
+	DictBytes   int
+	TableBytes  int
+	BlockBytes  int
+	MetaBytes   int // names, globals, function table
+	TotalBytes  int
+	NumPatterns int // learned patterns (excluding the base set)
+	NumBlocks   int
+}
+
+// CodeSize returns the bytes a client needs for executable content:
+// code stream + dictionary + Markov tables + block table.
+func (s SizeBreakdown) CodeSize() int {
+	return s.CodeBytes + s.DictBytes + s.TableBytes + s.BlockBytes
+}
+
+// Size serializes the object and itemizes section sizes.
+func (o *Object) Size() SizeBreakdown {
+	var sb SizeBreakdown
+	sb.NumPatterns = len(o.Dict) - vm.NumOpcodes
+	sb.NumBlocks = len(o.Blocks)
+	sb.CodeBytes = len(o.Code)
+	sb.DictBytes = len(o.dictBytes())
+	sb.TableBytes = len(o.tableBytes())
+	sb.BlockBytes = len(o.blockBytes())
+	sb.MetaBytes = len(o.metaBytes())
+	sb.TotalBytes = len(objMagic) + sb.MetaBytes + sb.DictBytes + sb.TableBytes +
+		sb.BlockBytes + uvarintLen(uint64(len(o.Code))) + sb.CodeBytes
+	return sb
+}
+
+func (o *Object) metaBytes() []byte {
+	var b []byte
+	b = appendString(b, o.Name)
+	b = appendUvarint(b, uint64(o.DataSize))
+	b = appendUvarint(b, uint64(len(o.Globals)))
+	for _, g := range o.Globals {
+		b = appendString(b, g.Name)
+		b = appendUvarint(b, uint64(g.Addr))
+		b = appendUvarint(b, uint64(g.Size))
+		b = appendUvarint(b, uint64(len(g.Init)))
+		b = append(b, g.Init...)
+	}
+	b = appendUvarint(b, uint64(len(o.Funcs)))
+	for _, f := range o.Funcs {
+		b = appendString(b, f.Name)
+		b = appendUvarint(b, uint64(f.EntryBlock))
+		b = appendUvarint(b, uint64(f.Frame))
+	}
+	b = appendUvarint(b, uint64(o.Passes))
+	return b
+}
+
+func appendPattern(b []byte, p Pattern) []byte {
+	b = appendUvarint(b, uint64(len(p.Seq)))
+	for _, pi := range p.Seq {
+		b = append(b, byte(pi.Op))
+		nMask := (len(pi.Fixed) + 7) / 8
+		if nMask == 0 {
+			nMask = 1
+		}
+		masks := make([]byte, nMask)
+		for f, fx := range pi.Fixed {
+			if fx {
+				masks[f/8] |= 1 << (uint(f) % 8)
+			}
+		}
+		b = append(b, masks...)
+		for f, fx := range pi.Fixed {
+			if fx {
+				b = appendUvarint(b, zigzag32(pi.Val[f]))
+			}
+		}
+	}
+	return b
+}
+
+func readPattern(r *byteReader) (Pattern, error) {
+	var p Pattern
+	nSeq, err := r.uv()
+	if err != nil || nSeq == 0 || nSeq > 64 {
+		return p, fmt.Errorf("%w: pattern length", ErrCorrupt)
+	}
+	for j := uint64(0); j < nSeq; j++ {
+		opb, err := r.byte()
+		if err != nil {
+			return p, err
+		}
+		op := vm.Opcode(opb)
+		if !op.Valid() {
+			return p, fmt.Errorf("%w: pattern opcode %d", ErrCorrupt, opb)
+		}
+		nFields := len(op.Fields())
+		pi := PatInstr{Op: op, Fixed: make([]bool, nFields), Val: make([]int32, nFields)}
+		nMaskBytes := (nFields + 7) / 8
+		if nMaskBytes == 0 {
+			nMaskBytes = 1
+		}
+		masks, err := r.bytes(nMaskBytes)
+		if err != nil {
+			return p, err
+		}
+		for f := 0; f < nFields; f++ {
+			if masks[f/8]&(1<<(uint(f)%8)) != 0 {
+				pi.Fixed[f] = true
+			}
+		}
+		for f := 0; f < nFields; f++ {
+			if pi.Fixed[f] {
+				v, err := r.uv()
+				if err != nil {
+					return p, err
+				}
+				pi.Val[f] = unzigzag32(v)
+			}
+		}
+		p.Seq = append(p.Seq, pi)
+	}
+	return p, nil
+}
+
+func (o *Object) dictBytes() []byte {
+	var b []byte
+	b = appendUvarint(b, uint64(len(o.Dict)-vm.NumOpcodes))
+	for _, p := range o.Dict[vm.NumOpcodes:] {
+		b = appendPattern(b, p)
+	}
+	return b
+}
+
+// Dictionary file format for server-side reuse: train once on a large
+// corpus, ship the dictionary, apply it to many small programs with
+// CompressWithDict (the paper's gcc-dictionary-on-salt example).
+
+var dictMagic = [4]byte{'B', 'R', 'D', '1'}
+
+// EncodeDict serializes a trained dictionary (learned patterns only).
+func EncodeDict(dict []Pattern) []byte {
+	b := append([]byte(nil), dictMagic[:]...)
+	b = appendUvarint(b, uint64(len(dict)))
+	for _, p := range dict {
+		b = appendPattern(b, p)
+	}
+	return b
+}
+
+// DecodeDict reverses EncodeDict.
+func DecodeDict(data []byte) ([]Pattern, error) {
+	if len(data) < 4 || !bytes.Equal(data[:4], dictMagic[:]) {
+		return nil, fmt.Errorf("%w: bad dictionary magic", ErrCorrupt)
+	}
+	r := &byteReader{data: data, pos: 4}
+	n, err := r.uv()
+	if err != nil || n > 1<<20 {
+		return nil, fmt.Errorf("%w: dictionary count", ErrCorrupt)
+	}
+	dict := make([]Pattern, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p, err := readPattern(r)
+		if err != nil {
+			return nil, err
+		}
+		dict = append(dict, p)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return dict, nil
+}
+
+func (o *Object) tableBytes() []byte {
+	var b []byte
+	b = appendUvarint(b, uint64(len(o.Contexts)))
+	for _, tbl := range o.Contexts {
+		b = appendUvarint(b, uint64(len(tbl)))
+		for _, pid := range tbl {
+			b = appendUvarint(b, uint64(pid))
+		}
+	}
+	return b
+}
+
+func (o *Object) blockBytes() []byte {
+	var b []byte
+	b = appendUvarint(b, uint64(len(o.Blocks)))
+	prev := int32(0)
+	for _, off := range o.Blocks {
+		b = appendUvarint(b, uint64(off-prev))
+		prev = off
+	}
+	return b
+}
+
+// Bytes serializes the object.
+func (o *Object) Bytes() []byte {
+	var out []byte
+	out = append(out, objMagic[:]...)
+	out = append(out, o.metaBytes()...)
+	out = append(out, o.dictBytes()...)
+	out = append(out, o.tableBytes()...)
+	out = append(out, o.blockBytes()...)
+	out = appendUvarint(out, uint64(len(o.Code)))
+	out = append(out, o.Code...)
+	return out
+}
+
+// Parse deserializes an object produced by Bytes.
+func Parse(data []byte) (*Object, error) {
+	if len(data) < 4 || !bytes.Equal(data[:4], objMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := &byteReader{data: data, pos: 4}
+	o := &Object{}
+	var err error
+	if o.Name, err = r.str(); err != nil {
+		return nil, err
+	}
+	ds, err := r.uv()
+	if err != nil || ds > 1<<31 {
+		return nil, fmt.Errorf("%w: data size", ErrCorrupt)
+	}
+	o.DataSize = int(ds)
+	ng, err := r.uv()
+	if err != nil || ng > 1<<20 {
+		return nil, fmt.Errorf("%w: globals count", ErrCorrupt)
+	}
+	for i := uint64(0); i < ng; i++ {
+		var g vm.GlobalData
+		if g.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		addr, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.uv()
+		if err != nil || size > 1<<28 {
+			return nil, fmt.Errorf("%w: global size", ErrCorrupt)
+		}
+		il, err := r.uv()
+		if err != nil || il > size {
+			return nil, fmt.Errorf("%w: global init", ErrCorrupt)
+		}
+		g.Addr, g.Size = int32(addr), int(size)
+		if g.Init, err = r.bytes(int(il)); err != nil {
+			return nil, err
+		}
+		o.Globals = append(o.Globals, g)
+	}
+	nf, err := r.uv()
+	if err != nil || nf > 1<<20 {
+		return nil, fmt.Errorf("%w: function count", ErrCorrupt)
+	}
+	for i := uint64(0); i < nf; i++ {
+		var f ObjFunc
+		if f.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		eb, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		fr, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		f.EntryBlock, f.Frame = int32(eb), int32(fr)
+		o.Funcs = append(o.Funcs, f)
+	}
+	passes, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	o.Passes = int(passes)
+
+	// Dictionary: implicit base set plus learned entries.
+	for op := 0; op < vm.NumOpcodes; op++ {
+		o.Dict = append(o.Dict, basePattern(vm.Opcode(op)))
+	}
+	nLearned, err := r.uv()
+	if err != nil || nLearned > 1<<20 {
+		return nil, fmt.Errorf("%w: dictionary count", ErrCorrupt)
+	}
+	for i := uint64(0); i < nLearned; i++ {
+		p, err := readPattern(r)
+		if err != nil {
+			return nil, err
+		}
+		o.Dict = append(o.Dict, p)
+	}
+
+	nCtx, err := r.uv()
+	if err != nil || nCtx != uint64(len(o.Dict))+1 {
+		return nil, fmt.Errorf("%w: context count %d (dict %d)", ErrCorrupt, nCtx, len(o.Dict))
+	}
+	o.Contexts = make([][]int, nCtx)
+	for ci := range o.Contexts {
+		n, err := r.uv()
+		if err != nil || n > 255 {
+			return nil, fmt.Errorf("%w: context table size", ErrCorrupt)
+		}
+		tbl := make([]int, n)
+		for j := range tbl {
+			pid, err := r.uv()
+			if err != nil || pid >= uint64(len(o.Dict)) {
+				return nil, fmt.Errorf("%w: follower pattern id", ErrCorrupt)
+			}
+			tbl[j] = int(pid)
+		}
+		o.Contexts[ci] = tbl
+	}
+
+	nBlocks, err := r.uv()
+	if err != nil || nBlocks > 1<<26 {
+		return nil, fmt.Errorf("%w: block count", ErrCorrupt)
+	}
+	prev := int32(0)
+	for i := uint64(0); i < nBlocks; i++ {
+		d, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		prev += int32(d)
+		o.Blocks = append(o.Blocks, prev)
+	}
+	codeLen, err := r.uv()
+	if err != nil || codeLen > 1<<30 {
+		return nil, fmt.Errorf("%w: code length", ErrCorrupt)
+	}
+	if o.Code, err = r.bytes(int(codeLen)); err != nil {
+		return nil, err
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.pos)
+	}
+	return o, nil
+}
+
+// Func looks up a function by name.
+func (o *Object) Func(name string) *ObjFunc {
+	for i := range o.Funcs {
+		if o.Funcs[i].Name == name {
+			return &o.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// ---- unit decoding (shared by the interpreter and the JIT) ----
+
+// decodeUnit decodes one unit at byte offset off with Markov context
+// ctx (0 = block start, pid+1 otherwise). It returns the pattern id,
+// the unfixed operand values, and the offset of the next unit.
+func (o *Object) decodeUnit(off int32, ctx int) (pid int, vals []int32, next int32, err error) {
+	code := o.Code
+	if off < 0 || int(off) >= len(code) {
+		return 0, nil, 0, fmt.Errorf("%w: unit offset %d", ErrCorrupt, off)
+	}
+	i := int(off)
+	b := code[i]
+	i++
+	if b == 255 {
+		v, n := binary.Uvarint(code[i:])
+		if n <= 0 || v >= uint64(len(o.Dict)) {
+			return 0, nil, 0, fmt.Errorf("%w: escape pattern id at %d", ErrCorrupt, off)
+		}
+		pid = int(v)
+		i += n
+	} else {
+		if ctx < 0 || ctx >= len(o.Contexts) || int(b) >= len(o.Contexts[ctx]) {
+			return 0, nil, 0, fmt.Errorf("%w: opcode index %d in context %d at %d", ErrCorrupt, b, ctx, off)
+		}
+		pid = o.Contexts[ctx][b]
+	}
+	p := &o.Dict[pid]
+
+	nr := nibbleReader{code: code, pos: i}
+	for si := range p.Seq {
+		pi := &p.Seq[si]
+		fields := pi.Op.Fields()
+		for f, fx := range pi.Fixed {
+			if fx {
+				continue
+			}
+			if fields[f] == vm.FReg {
+				v, err := nr.get()
+				if err != nil {
+					return 0, nil, 0, err
+				}
+				vals = append(vals, int32(v))
+			} else {
+				n, err := nr.get()
+				if err != nil {
+					return 0, nil, 0, err
+				}
+				if n > 8 {
+					return 0, nil, 0, fmt.Errorf("%w: size nibble %d at %d", ErrCorrupt, n, off)
+				}
+				var v int32
+				for k := 0; k < int(n); k++ {
+					d, err := nr.get()
+					if err != nil {
+						return 0, nil, 0, err
+					}
+					v = v<<4 | int32(d)
+				}
+				// Sign-extend from 4n bits.
+				if n > 0 {
+					bits := uint(4 * n)
+					v = v << (32 - bits) >> (32 - bits)
+				}
+				vals = append(vals, v)
+			}
+		}
+	}
+	return pid, vals, int32(nr.byteEnd()), nil
+}
+
+type nibbleReader struct {
+	code []byte
+	pos  int
+	half bool
+}
+
+func (r *nibbleReader) get() (uint8, error) {
+	if r.pos >= len(r.code) {
+		return 0, fmt.Errorf("%w: nibble stream underflow", ErrCorrupt)
+	}
+	if r.half {
+		r.half = false
+		v := r.code[r.pos] & 0xF
+		r.pos++
+		return v, nil
+	}
+	r.half = true
+	return r.code[r.pos] >> 4, nil
+}
+
+// byteEnd returns the position after the current (possibly half-read)
+// byte.
+func (r *nibbleReader) byteEnd() int {
+	if r.half {
+		return r.pos + 1
+	}
+	return r.pos
+}
+
+// ---- simple byte reader ----
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) byte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("%w: truncated (%d bytes wanted)", ErrCorrupt, n)
+	}
+	b := make([]byte, n)
+	copy(b, r.data[r.pos:])
+	r.pos += n
+	return b, nil
+}
+
+func (r *byteReader) uv() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint at %d", ErrCorrupt, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) str() (string, error) {
+	n, err := r.uv()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("%w: string too long", ErrCorrupt)
+	}
+	b, err := r.bytes(int(n))
+	return string(b), err
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}

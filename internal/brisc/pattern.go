@@ -1,0 +1,356 @@
+// Package brisc implements BRISC ("Byte-coded RISC"), the paper's
+// interpretable compressed code format (§4).
+//
+// BRISC packs OmniVM RISC code into a byte-aligned stream of
+// dictionary-coded instruction patterns. The dictionary starts from the
+// base instruction set and grows by operand specialization (burning a
+// literal field value into an opcode) and opcode combination (fusing
+// two adjacent instruction patterns), selected greedily by benefit
+// B = P − W, K best candidates per pass. Pattern opcodes are encoded
+// through an order-1 semi-static Markov model so every opcode fits in
+// one byte, with a dedicated context at basic-block starts keeping the
+// stream interpretable and randomly addressable at block granularity.
+//
+// The package provides the compressor, the serialized object format,
+// an in-place interpreter, and the fast "JIT" translator back to
+// directly executable VM code.
+package brisc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vm"
+)
+
+// PatInstr is one instruction within a pattern: an opcode plus, for
+// each operand field, either a wildcard or a burned-in value.
+type PatInstr struct {
+	Op    vm.Opcode
+	Fixed []bool  // per field of Op.Fields()
+	Val   []int32 // burned-in value where Fixed
+}
+
+// Pattern is a dictionary entry: one or more instructions (more than
+// one after opcode combination).
+type Pattern struct {
+	Seq []PatInstr
+}
+
+// basePattern returns the all-wildcard pattern for an opcode — the
+// paper's "base instruction set" entries like "ld.iw *,*(*)".
+func basePattern(op vm.Opcode) Pattern {
+	n := len(op.Fields())
+	return Pattern{Seq: []PatInstr{{
+		Op:    op,
+		Fixed: make([]bool, n),
+		Val:   make([]int32, n),
+	}}}
+}
+
+// clonePattern deep-copies p.
+func clonePattern(p Pattern) Pattern {
+	out := Pattern{Seq: make([]PatInstr, len(p.Seq))}
+	for i, pi := range p.Seq {
+		out.Seq[i] = PatInstr{
+			Op:    pi.Op,
+			Fixed: append([]bool(nil), pi.Fixed...),
+			Val:   append([]int32(nil), pi.Val...),
+		}
+	}
+	return out
+}
+
+// specialize returns p with field fi of instruction ii fixed to v.
+func specialize(p Pattern, ii, fi int, v int32) Pattern {
+	out := clonePattern(p)
+	out.Seq[ii].Fixed[fi] = true
+	out.Seq[ii].Val[fi] = v
+	return out
+}
+
+// combine concatenates two patterns (opcode combination).
+func combine(a, b Pattern) Pattern {
+	out := Pattern{Seq: make([]PatInstr, 0, len(a.Seq)+len(b.Seq))}
+	out.Seq = append(out.Seq, clonePattern(a).Seq...)
+	out.Seq = append(out.Seq, clonePattern(b).Seq...)
+	return out
+}
+
+// key returns a canonical map key for the pattern.
+func (p Pattern) key() string {
+	var sb strings.Builder
+	for _, pi := range p.Seq {
+		fmt.Fprintf(&sb, "%d[", pi.Op)
+		for f := range pi.Fixed {
+			if pi.Fixed[f] {
+				fmt.Fprintf(&sb, "%d=%d,", f, pi.Val[f])
+			}
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// String renders the pattern in the paper's bracket syntax, e.g.
+// <[ld.iw n0,*(*)],[mov.i *,*]>.
+func (p Pattern) String() string {
+	var parts []string
+	for _, pi := range p.Seq {
+		var ops []string
+		for f := range pi.Fixed {
+			if pi.Fixed[f] {
+				if pi.Op.Fields()[f] == vm.FReg {
+					ops = append(ops, vm.RegName(uint8(pi.Val[f])))
+				} else {
+					ops = append(ops, fmt.Sprint(pi.Val[f]))
+				}
+			} else {
+				ops = append(ops, "*")
+			}
+		}
+		parts = append(parts, "["+pi.Op.Name()+" "+strings.Join(ops, ",")+"]")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+// NumInstrs reports the total instruction count in the pattern.
+func (p Pattern) NumInstrs() int { return len(p.Seq) }
+
+// numUnfixed counts wildcard fields.
+func (p Pattern) numUnfixed() int {
+	n := 0
+	for _, pi := range p.Seq {
+		for _, fx := range pi.Fixed {
+			if !fx {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// getField extracts operand field fi (in Fields() order) of an
+// instruction. Register slots are mapped per opcode family; FTgt reads
+// Target and FImm reads Imm.
+func getField(ins vm.Instr, fi int) int32 {
+	fields := ins.Op.Fields()
+	if fi < 0 || fi >= len(fields) {
+		panic(fmt.Sprintf("brisc: field %d out of range for %s", fi, ins.Op.Name()))
+	}
+	switch fields[fi] {
+	case vm.FImm:
+		return ins.Imm
+	case vm.FTgt:
+		return ins.Target
+	default:
+		return int32(regField(ins, regSlot(ins.Op, fi)))
+	}
+}
+
+// setField writes operand field fi of an instruction.
+func setField(ins *vm.Instr, fi int, v int32) {
+	fields := ins.Op.Fields()
+	switch fields[fi] {
+	case vm.FImm:
+		ins.Imm = v
+	case vm.FTgt:
+		ins.Target = v
+	default:
+		setRegField(ins, regSlot(ins.Op, fi), uint8(v))
+	}
+}
+
+// regSlot counts which register operand (0-based) field fi is.
+func regSlot(op vm.Opcode, fi int) int {
+	n := 0
+	for j, f := range op.Fields() {
+		if j == fi {
+			return n
+		}
+		if f == vm.FReg {
+			n++
+		}
+	}
+	return n
+}
+
+// regField maps register slot n to the Instr struct field per family
+// (same convention as the assembler syntax order).
+func regField(ins vm.Instr, n int) uint8 {
+	switch ins.Op {
+	case vm.LDW, vm.LDB:
+		return [2]uint8{ins.Rd, ins.Rs1}[n]
+	case vm.STW, vm.STB:
+		return [2]uint8{ins.Rs2, ins.Rs1}[n]
+	case vm.LDI:
+		return ins.Rd
+	case vm.ADDI, vm.MOV, vm.NEG, vm.NOT:
+		return [2]uint8{ins.Rd, ins.Rs1}[n]
+	case vm.RJR:
+		return ins.Rs1
+	default:
+		if ins.Op.IsBranch() {
+			if ins.Op.IsImmBranch() {
+				return ins.Rs1
+			}
+			return [2]uint8{ins.Rs1, ins.Rs2}[n]
+		}
+		return [3]uint8{ins.Rd, ins.Rs1, ins.Rs2}[n]
+	}
+}
+
+func setRegField(ins *vm.Instr, n int, r uint8) {
+	switch ins.Op {
+	case vm.LDW, vm.LDB:
+		if n == 0 {
+			ins.Rd = r
+		} else {
+			ins.Rs1 = r
+		}
+	case vm.STW, vm.STB:
+		if n == 0 {
+			ins.Rs2 = r
+		} else {
+			ins.Rs1 = r
+		}
+	case vm.LDI:
+		ins.Rd = r
+	case vm.ADDI, vm.MOV, vm.NEG, vm.NOT:
+		if n == 0 {
+			ins.Rd = r
+		} else {
+			ins.Rs1 = r
+		}
+	case vm.RJR:
+		ins.Rs1 = r
+	default:
+		if ins.Op.IsBranch() {
+			if ins.Op.IsImmBranch() || n == 0 {
+				ins.Rs1 = r
+			} else {
+				ins.Rs2 = r
+			}
+			return
+		}
+		switch n {
+		case 0:
+			ins.Rd = r
+		case 1:
+			ins.Rs1 = r
+		default:
+			ins.Rs2 = r
+		}
+	}
+}
+
+// matches reports whether the pattern matches the concrete instruction
+// sequence (same opcodes, fixed fields equal).
+func (p Pattern) matches(instrs []vm.Instr) bool {
+	if len(instrs) != len(p.Seq) {
+		return false
+	}
+	for i, pi := range p.Seq {
+		if instrs[i].Op != pi.Op {
+			return false
+		}
+		for f, fx := range pi.Fixed {
+			if fx && getField(instrs[i], f) != pi.Val[f] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// extract returns the unfixed field values of instrs under p, in
+// (instruction, field) order.
+func (p Pattern) extract(instrs []vm.Instr) []int32 {
+	var vals []int32
+	for i, pi := range p.Seq {
+		for f, fx := range pi.Fixed {
+			if !fx {
+				vals = append(vals, getField(instrs[i], f))
+			}
+		}
+	}
+	return vals
+}
+
+// apply reconstructs the concrete instruction sequence from the
+// pattern and its unfixed operand values.
+func (p Pattern) apply(vals []int32) ([]vm.Instr, error) {
+	out := make([]vm.Instr, len(p.Seq))
+	vi := 0
+	for i, pi := range p.Seq {
+		out[i] = vm.Instr{Op: pi.Op}
+		for f, fx := range pi.Fixed {
+			if fx {
+				setField(&out[i], f, pi.Val[f])
+			} else {
+				if vi >= len(vals) {
+					return nil, fmt.Errorf("brisc: operand underflow applying %s", p)
+				}
+				setField(&out[i], f, vals[vi])
+				vi++
+			}
+		}
+	}
+	if vi != len(vals) {
+		return nil, fmt.Errorf("brisc: %d extra operands applying %s", len(vals)-vi, p)
+	}
+	return out, nil
+}
+
+// ---- operand nibble encoding ----
+
+// nibblesForValue returns how many payload nibbles a value needs
+// (0 for value 0; otherwise the smallest n in 1..8 whose signed 4n-bit
+// range holds it).
+func nibblesForValue(v int32) int {
+	if v == 0 {
+		return 0
+	}
+	for n := 1; n < 8; n++ {
+		bits := uint(4 * n)
+		min := -(int32(1) << (bits - 1))
+		max := int32(1)<<(bits-1) - 1
+		if v >= min && v <= max {
+			return n
+		}
+	}
+	return 8
+}
+
+// operandNibbles computes the operand payload size (in nibbles) of
+// encoding vals for the unfixed fields of p: registers cost one nibble;
+// immediates and targets cost one size-code nibble plus their payload.
+func (p Pattern) operandNibbles(vals []int32) int {
+	n := 0
+	vi := 0
+	for _, pi := range p.Seq {
+		fields := pi.Op.Fields()
+		for f, fx := range pi.Fixed {
+			if fx {
+				continue
+			}
+			if fields[f] == vm.FReg {
+				n++
+			} else {
+				n += 1 + nibblesForValue(vals[vi])
+			}
+			vi++
+		}
+	}
+	return n
+}
+
+// encodedSize returns the byte size of one unit encoded with p: one
+// opcode byte plus byte-padded operand nibbles. (Escape bytes for
+// overfull Markov tables are rare and ignored by this estimate.)
+func (p Pattern) encodedSize(vals []int32) int {
+	return 1 + (p.operandNibbles(vals)+1)/2
+}

@@ -1,0 +1,123 @@
+package cc
+
+// AST node definitions. Expressions carry a Type field filled in by the
+// semantic analyzer; statements are plain structure.
+
+// ExprKind classifies expression nodes.
+type ExprKind int
+
+// Expression kinds.
+const (
+	EConst   ExprKind = iota // integer/char constant (Val)
+	EString                  // string literal (Str); typed char[n]
+	EVar                     // identifier reference (Name, resolved to Sym)
+	EUnary                   // Op one of - ~ ! * & ++pre --pre
+	EBinary                  // arithmetic/bitwise/comparison/logical (Op)
+	EAssign                  // lhs Op= rhs; Op "" for plain assignment
+	EPostfix                 // x++ / x-- (Op "++" or "--")
+	EIndex                   // base[index]
+	ECall                    // callee(args...)
+	ECond                    // cond ? then : else (Cond, L, R)
+	EMember                  // L.Name or L->Name (Op "." or "->")
+)
+
+// Expr is an expression node.
+type Expr struct {
+	Kind      ExprKind
+	Op        string
+	Val       int64
+	Str       string
+	Name      string
+	Sym       *Symbol // resolved variable, for EVar
+	L, R      *Expr   // operands (L only for unary/postfix)
+	Cond      *Expr   // ECond condition
+	Args      []*Expr // call arguments; L is the callee
+	Type      *Type   // filled by sema (value type, after decay for EVar use)
+	Line, Col int
+}
+
+// StmtKind classifies statement nodes.
+type StmtKind int
+
+// Statement kinds.
+const (
+	SExpr StmtKind = iota
+	SDecl          // local declaration(s) with optional initializers
+	SIf
+	SWhile
+	SDoWhile
+	SFor
+	SReturn
+	SBreak
+	SContinue
+	SBlock
+	SEmpty
+	SSwitch // switch (Cond) { body in List with SCase/SDefault markers }
+	SCase   // case label; Expr is the (constant) value
+	SDefault
+)
+
+// Decl is one declarator within a declaration statement.
+type Decl struct {
+	Sym  *Symbol
+	Init *Expr // optional
+}
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind      StmtKind
+	Expr      *Expr // SExpr condition-less payload, SReturn value (may be nil)
+	Decls     []*Decl
+	Cond      *Expr // SIf/SWhile/SDoWhile/SFor condition (SFor may be nil)
+	Post      *Expr // SFor post expression (may be nil)
+	Init      *Stmt // SFor init statement (SDecl or SExpr or SEmpty)
+	Then      *Stmt
+	Else      *Stmt   // SIf else branch (may be nil)
+	Body      *Stmt   // loop body
+	List      []*Stmt // SBlock
+	Line, Col int
+}
+
+// SymKind classifies symbols.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymLocal SymKind = iota
+	SymParam
+	SymGlobal
+	SymFunc
+)
+
+// Symbol is a named entity. Locals and params get frame offsets during
+// lowering; globals get module data.
+type Symbol struct {
+	Name    string
+	Kind    SymKind
+	Type    *Type
+	Offset  int  // frame offset (locals & params after copy-in)
+	Builtin bool // predeclared runtime function
+}
+
+// FuncDecl is a parsed function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*Symbol
+	Body   *Stmt
+	Line   int
+}
+
+// GlobalDecl is a parsed global variable.
+type GlobalDecl struct {
+	Sym     *Symbol
+	Init    *Expr  // optional scalar initializer (constant)
+	InitStr string // for char arrays initialized from a string literal
+	HasStr  bool
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

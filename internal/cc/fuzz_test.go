@@ -1,0 +1,18 @@
+package cc
+
+import "testing"
+
+// FuzzCompile: the front end must return errors, never panic, on
+// arbitrary source text.
+func FuzzCompile(f *testing.F) {
+	f.Add(`int main(void) { return 0; }`)
+	f.Add(`struct S { int x; }; int main(void) { struct S s; s.x = 1; return s.x; }`)
+	f.Add(`int f(int a) { return a > 0 ? a : -a; }`)
+	f.Add(`int main(void) { switch (1) { case 1: break; } return 0; }`)
+	f.Add(`"unterminated`)
+	f.Add(`int x = 0x;`)
+	f.Add(`}{[]()`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Compile("fuzz", src)
+	})
+}

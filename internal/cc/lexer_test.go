@@ -1,0 +1,124 @@
+package cc
+
+import "testing"
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, "int x = 42;")
+	want := []struct {
+		kind TokKind
+		str  string
+		num  int64
+	}{
+		{TokKeyword, "int", 0},
+		{TokIdent, "x", 0},
+		{TokPunct, "=", 0},
+		{TokNumber, "", 42},
+		{TokPunct, ";", 0},
+		{TokEOF, "", 0},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || (w.str != "" && toks[i].Str != w.str) || toks[i].Num != w.num {
+			t.Errorf("token %d = %+v, want %+v", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexHex(t *testing.T) {
+	toks := lexKinds(t, "0xFF 0x10")
+	if toks[0].Num != 255 || toks[1].Num != 16 {
+		t.Errorf("hex values = %d, %d", toks[0].Num, toks[1].Num)
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	toks := lexKinds(t, `'a' '\n' '\\' '\0'`)
+	want := []int64{'a', '\n', '\\', 0}
+	for i, w := range want {
+		if toks[i].Kind != TokChar || toks[i].Num != w {
+			t.Errorf("char %d = %+v, want %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexKinds(t, `"hello\nworld" ""`)
+	if toks[0].Str != "hello\nworld" {
+		t.Errorf("string = %q", toks[0].Str)
+	}
+	if toks[1].Str != "" {
+		t.Errorf("empty string = %q", toks[1].Str)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "a // line comment\nb /* block\ncomment */ c")
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			idents = append(idents, tok.Str)
+		}
+	}
+	if len(idents) != 3 || idents[0] != "a" || idents[1] != "b" || idents[2] != "c" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestLexMultiCharPuncts(t *testing.T) {
+	toks := lexKinds(t, "<<= >>= == != <= >= && || << >> += -= ++ --")
+	want := []string{"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "++", "--"}
+	for i, w := range want {
+		if toks[i].Kind != TokPunct || toks[i].Str != w {
+			t.Errorf("punct %d = %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexNonASCIIByteErrors(t *testing.T) {
+	// Regression: a non-ASCII byte whose rune cast happens to satisfy
+	// unicode.IsLetter (e.g. 0xE8 = 'è') once looped forever because
+	// the identifier scanner consumed nothing. It must error instead.
+	if _, err := Lex("\xe8Cunterminae"); err == nil {
+		t.Error("non-ASCII identifier byte accepted")
+	}
+	if _, err := Lex("int \xc3\xa9 = 1;"); err == nil {
+		t.Error("UTF-8 identifier accepted (MiniC is ASCII-only)")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"'",       // unterminated char
+		`"abc`,    // unterminated string
+		"/* nope", // unterminated comment
+		"'\\q'",   // unknown escape
+		"@",       // stray character
+		`"\q"`,    // unknown escape in string
+	}
+	for _, src := range bad {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,805 @@
+package cc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Compile runs the full front end: lex, parse, analyze, lower.
+func Compile(name, src string) (*ir.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(prog); err != nil {
+		return nil, err
+	}
+	return Lower(name, prog)
+}
+
+// Lower translates an analyzed program to lcc-style tree IR. Parameters
+// are copied into the frame at function entry, as lcc does (and as the
+// paper's salt() example shows, where both locals and parameters are
+// addressed with ADDRLP).
+func Lower(name string, prog *Program) (*ir.Module, error) {
+	lw := &lowerer{
+		mod:     &ir.Module{Name: name},
+		strings: map[string]string{},
+	}
+	for _, b := range Builtins {
+		lw.mod.Externs = append(lw.mod.Externs, b.Name)
+	}
+	for _, g := range prog.Globals {
+		lw.mod.Globals = append(lw.mod.Globals, lowerGlobal(g))
+	}
+	for _, fn := range prog.Funcs {
+		f, err := lw.lowerFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		lw.mod.Functions = append(lw.mod.Functions, f)
+	}
+	// String-literal globals, in deterministic order.
+	var strNames []string
+	for _, gname := range lw.strings {
+		strNames = append(strNames, gname)
+	}
+	sort.Strings(strNames)
+	byName := map[string]string{}
+	for s, gname := range lw.strings {
+		byName[gname] = s
+	}
+	for _, gname := range strNames {
+		s := byName[gname]
+		data := append([]byte(s), 0)
+		lw.mod.Globals = append(lw.mod.Globals, ir.Global{Name: gname, Size: len(data), Init: data})
+	}
+	if err := lw.mod.Validate(); err != nil {
+		return nil, fmt.Errorf("cc: lowering produced invalid IR: %w", err)
+	}
+	return lw.mod, nil
+}
+
+func lowerGlobal(g *GlobalDecl) ir.Global {
+	out := ir.Global{Name: g.Sym.Name, Size: g.Sym.Type.Size()}
+	switch {
+	case g.HasStr:
+		out.Init = append([]byte(g.InitStr), 0)
+	case g.Init != nil:
+		switch g.Sym.Type.Kind {
+		case TChar:
+			out.Init = []byte{byte(g.Init.Val)}
+		default:
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(g.Init.Val))
+			out.Init = b[:]
+		}
+	}
+	return out
+}
+
+type lowerer struct {
+	mod     *ir.Module
+	strings map[string]string // literal -> global name
+
+	fn        *FuncDecl
+	out       []*ir.Tree
+	frameSize int
+	nextLabel int64
+	breakLbl  []int64
+	contLbl   []int64
+}
+
+func (lw *lowerer) emit(t *ir.Tree) { lw.out = append(lw.out, t) }
+
+func (lw *lowerer) newLabel() int64 {
+	lw.nextLabel++
+	return lw.nextLabel
+}
+
+func (lw *lowerer) label(l int64) { lw.emit(ir.NewLit(ir.LABELV, l)) }
+
+// alloc reserves frame space with alignment and returns the offset.
+func (lw *lowerer) alloc(size, align int) int {
+	off := (lw.frameSize + align - 1) &^ (align - 1)
+	lw.frameSize = off + size
+	return off
+}
+
+// temp reserves a fresh 4-byte temporary slot.
+func (lw *lowerer) temp() int { return lw.alloc(4, 4) }
+
+func (lw *lowerer) strGlobal(s string) string {
+	if g, ok := lw.strings[s]; ok {
+		return g
+	}
+	g := fmt.Sprintf(".Lstr%d", len(lw.strings))
+	lw.strings[s] = g
+	return g
+}
+
+func (lw *lowerer) lowerFunc(fn *FuncDecl) (*ir.Function, error) {
+	lw.fn = fn
+	lw.out = nil
+	lw.frameSize = 0
+	lw.nextLabel = 0
+	lw.breakLbl = lw.breakLbl[:0]
+	lw.contLbl = lw.contLbl[:0]
+
+	// Copy parameters into the frame. Each parameter occupies one
+	// 4-byte slot in the caller-visible parameter area (ADDRFP).
+	for i, p := range fn.Params {
+		p.Offset = lw.alloc(p.Type.Size(), p.Type.Align())
+		src := ir.New(ir.INDIRI, ir.ParamAddr(int64(i*4)))
+		lw.store(ir.LocalAddr(int64(p.Offset)), src, p.Type)
+	}
+	if err := lw.stmt(fn.Body); err != nil {
+		return nil, err
+	}
+	// Guarantee a terminating return.
+	if n := len(lw.out); n == 0 || lw.out[n-1].Op != ir.RETI && lw.out[n-1].Op != ir.RETV {
+		if fn.Ret.Kind == TVoid {
+			lw.emit(ir.New(ir.RETV))
+		} else {
+			lw.emit(ir.New(ir.RETI, ir.Const(0)))
+		}
+	}
+	return &ir.Function{
+		Name:      fn.Name,
+		NumParams: len(fn.Params),
+		FrameSize: (lw.frameSize + 3) &^ 3,
+		Trees:     lw.out,
+	}, nil
+}
+
+// store emits the correctly-typed store of value through addr.
+func (lw *lowerer) store(addr, value *ir.Tree, t *Type) {
+	if t.Kind == TChar {
+		lw.emit(ir.New(ir.ASGNC, addr, ir.New(ir.CVIC, value)))
+	} else {
+		lw.emit(ir.New(ir.ASGNI, addr, value))
+	}
+}
+
+// load builds the correctly-typed load through addr.
+func load(addr *ir.Tree, t *Type) *ir.Tree {
+	if t.Kind == TChar {
+		return ir.New(ir.CVCI, ir.New(ir.INDIRC, addr))
+	}
+	return ir.New(ir.INDIRI, addr)
+}
+
+func (lw *lowerer) stmt(st *Stmt) error {
+	switch st.Kind {
+	case SBlock:
+		for _, sub := range st.List {
+			if err := lw.stmt(sub); err != nil {
+				return err
+			}
+		}
+	case SDecl:
+		for _, d := range st.Decls {
+			d.Sym.Offset = lw.alloc(d.Sym.Type.Size(), d.Sym.Type.Align())
+			if d.Init != nil {
+				v, err := lw.expr(d.Init)
+				if err != nil {
+					return err
+				}
+				lw.store(ir.LocalAddr(int64(d.Sym.Offset)), v, d.Sym.Type)
+			}
+		}
+	case SExpr:
+		return lw.exprStmt(st.Expr)
+	case SEmpty:
+	case SIf:
+		els := lw.newLabel()
+		if err := lw.cond(st.Cond, els, false); err != nil {
+			return err
+		}
+		if err := lw.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			end := lw.newLabel()
+			lw.emit(ir.NewLit(ir.JUMPV, end))
+			lw.label(els)
+			if err := lw.stmt(st.Else); err != nil {
+				return err
+			}
+			lw.label(end)
+		} else {
+			lw.label(els)
+		}
+	case SWhile:
+		top, end := lw.newLabel(), lw.newLabel()
+		lw.label(top)
+		if err := lw.cond(st.Cond, end, false); err != nil {
+			return err
+		}
+		lw.pushLoop(end, top)
+		if err := lw.stmt(st.Body); err != nil {
+			return err
+		}
+		lw.popLoop()
+		lw.emit(ir.NewLit(ir.JUMPV, top))
+		lw.label(end)
+	case SDoWhile:
+		top, cont, end := lw.newLabel(), lw.newLabel(), lw.newLabel()
+		lw.label(top)
+		lw.pushLoop(end, cont)
+		if err := lw.stmt(st.Body); err != nil {
+			return err
+		}
+		lw.popLoop()
+		lw.label(cont)
+		if err := lw.cond(st.Cond, top, true); err != nil {
+			return err
+		}
+		lw.label(end)
+	case SFor:
+		if err := lw.stmt(st.Init); err != nil {
+			return err
+		}
+		top, cont, end := lw.newLabel(), lw.newLabel(), lw.newLabel()
+		lw.label(top)
+		if st.Cond != nil {
+			if err := lw.cond(st.Cond, end, false); err != nil {
+				return err
+			}
+		}
+		lw.pushLoop(end, cont)
+		if err := lw.stmt(st.Body); err != nil {
+			return err
+		}
+		lw.popLoop()
+		lw.label(cont)
+		if st.Post != nil {
+			if err := lw.exprStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		lw.emit(ir.NewLit(ir.JUMPV, top))
+		lw.label(end)
+	case SSwitch:
+		return lw.switchStmt(st)
+	case SReturn:
+		if st.Expr == nil {
+			lw.emit(ir.New(ir.RETV))
+			return nil
+		}
+		v, err := lw.expr(st.Expr)
+		if err != nil {
+			return err
+		}
+		lw.emit(ir.New(ir.RETI, v))
+	case SBreak:
+		lw.emit(ir.NewLit(ir.JUMPV, lw.breakLbl[len(lw.breakLbl)-1]))
+	case SContinue:
+		lw.emit(ir.NewLit(ir.JUMPV, lw.contLbl[len(lw.contLbl)-1]))
+	}
+	return nil
+}
+
+// switchStmt lowers a C switch: evaluate the scrutinee once into a
+// temp, emit an EQI dispatch chain to per-case labels, then the body
+// with case labels placed inline (so fallthrough works naturally).
+func (lw *lowerer) switchStmt(st *Stmt) error {
+	v, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	tmp := int64(lw.temp())
+	lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), v))
+
+	end := lw.newLabel()
+	defaultLbl := end
+	caseLbl := map[*Stmt]int64{}
+	for _, sub := range st.List {
+		switch sub.Kind {
+		case SCase:
+			l := lw.newLabel()
+			caseLbl[sub] = l
+			lw.emit(ir.NewLit(ir.EQI, l,
+				ir.New(ir.INDIRI, ir.LocalAddr(tmp)), ir.Const(sub.Expr.Val)))
+		case SDefault:
+			defaultLbl = lw.newLabel()
+			caseLbl[sub] = defaultLbl
+		}
+	}
+	lw.emit(ir.NewLit(ir.JUMPV, defaultLbl))
+
+	// Body: break jumps to end; continue stays bound to the enclosing
+	// loop, so only the break stack is pushed.
+	lw.breakLbl = append(lw.breakLbl, end)
+	for _, sub := range st.List {
+		switch sub.Kind {
+		case SCase, SDefault:
+			lw.label(caseLbl[sub])
+		default:
+			if err := lw.stmt(sub); err != nil {
+				lw.breakLbl = lw.breakLbl[:len(lw.breakLbl)-1]
+				return err
+			}
+		}
+	}
+	lw.breakLbl = lw.breakLbl[:len(lw.breakLbl)-1]
+	lw.label(end)
+	return nil
+}
+
+func (lw *lowerer) pushLoop(brk, cont int64) {
+	lw.breakLbl = append(lw.breakLbl, brk)
+	lw.contLbl = append(lw.contLbl, cont)
+}
+
+func (lw *lowerer) popLoop() {
+	lw.breakLbl = lw.breakLbl[:len(lw.breakLbl)-1]
+	lw.contLbl = lw.contLbl[:len(lw.contLbl)-1]
+}
+
+// exprStmt lowers an expression in statement position, avoiding dead
+// value materialization for the common side-effect forms.
+func (lw *lowerer) exprStmt(e *Expr) error {
+	switch e.Kind {
+	case EAssign:
+		_, err := lw.assign(e, false)
+		return err
+	case EPostfix:
+		_, err := lw.incDec(e.L, e.Op, false, false)
+		return err
+	case EUnary:
+		if e.Op == "++" || e.Op == "--" {
+			_, err := lw.incDec(e.L, e.Op, true, false)
+			return err
+		}
+	case ECall:
+		_, err := lw.call(e, false)
+		return err
+	}
+	// General case: evaluate for side effects (calls and assignments are
+	// emitted as statements during lowering) and discard the pure residue.
+	_, err := lw.expr(e)
+	return err
+}
+
+// addr lowers an lvalue (or array/string designator) to an address tree.
+func (lw *lowerer) addr(e *Expr) (*ir.Tree, error) {
+	switch e.Kind {
+	case EVar:
+		switch e.Sym.Kind {
+		case SymGlobal, SymFunc:
+			return ir.NewName(ir.ADDRGP, e.Sym.Name), nil
+		default:
+			return ir.LocalAddr(int64(e.Sym.Offset)), nil
+		}
+	case EString:
+		return ir.NewName(ir.ADDRGP, lw.strGlobal(e.Str)), nil
+	case EIndex:
+		base, err := lw.expr(e.L) // decayed pointer value
+		if err != nil {
+			return nil, err
+		}
+		idx, err := lw.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return ir.New(ir.ADDI, base, scale(idx, e.Type.Size())), nil
+	case EUnary:
+		if e.Op == "*" {
+			return lw.expr(e.L)
+		}
+	case EMember:
+		var base *ir.Tree
+		var st *Type
+		var err error
+		if e.Op == "->" {
+			base, err = lw.expr(e.L)
+			st = e.L.Type.Decay().Elem
+		} else {
+			base, err = lw.addr(e.L)
+			st = e.L.Type
+		}
+		if err != nil {
+			return nil, err
+		}
+		fld := st.Field(e.Name)
+		if fld == nil {
+			return nil, errf(e.Line, e.Col, "internal: missing field %q", e.Name)
+		}
+		if fld.Offset == 0 {
+			return base, nil
+		}
+		// Fold the field offset into frame-relative addresses.
+		if base.Op == ir.ADDRLP || base.Op == ir.ADDRLP8 {
+			return ir.LocalAddr(base.Lit + int64(fld.Offset)), nil
+		}
+		return ir.New(ir.ADDI, base, ir.Const(int64(fld.Offset))), nil
+	}
+	return nil, errf(e.Line, e.Col, "internal: not an lvalue in lowering")
+}
+
+// scale multiplies an index value by an element size, omitting the
+// multiply for size 1 and folding constants.
+func scale(idx *ir.Tree, size int) *ir.Tree {
+	if size == 1 {
+		return idx
+	}
+	if idx.Op == ir.CNSTC || idx.Op == ir.CNSTS || idx.Op == ir.CNSTI {
+		return ir.Const(idx.Lit * int64(size))
+	}
+	return ir.New(ir.MULI, idx, ir.Const(int64(size)))
+}
+
+// isLeafAddr reports whether an address tree can be safely duplicated.
+func isLeafAddr(t *ir.Tree) bool {
+	switch t.Op {
+	case ir.ADDRLP, ir.ADDRLP8, ir.ADDRFP, ir.ADDRFP8, ir.ADDRGP:
+		return true
+	}
+	return false
+}
+
+// stableAddr returns an address tree that may be evaluated twice
+// without repeating side effects, spilling to a temp if needed.
+func (lw *lowerer) stableAddr(a *ir.Tree) *ir.Tree {
+	if isLeafAddr(a) {
+		return a
+	}
+	tmp := int64(lw.temp())
+	lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), a))
+	return ir.New(ir.INDIRI, ir.LocalAddr(tmp))
+}
+
+// assign lowers e.L (op)= e.R; when needValue it returns the stored value.
+func (lw *lowerer) assign(e *Expr, needValue bool) (*ir.Tree, error) {
+	a, err := lw.addr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	if needValue || e.Op != "" {
+		a = lw.stableAddr(a)
+	}
+	var v *ir.Tree
+	if e.Op == "" {
+		v, err = lw.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rhs, err := lw.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		v, err = lw.binary(e.Op, load(a.Clone(), e.L.Type), rhs, e.L, e.R)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lw.store(a, v, e.L.Type)
+	if !needValue {
+		return nil, nil
+	}
+	return load(a.Clone(), e.L.Type), nil
+}
+
+// incDec lowers ++/-- (pre or post); when needValue it returns the
+// expression's value (old for postfix, new for prefix).
+func (lw *lowerer) incDec(lv *Expr, op string, prefix, needValue bool) (*ir.Tree, error) {
+	a, err := lw.addr(lv)
+	if err != nil {
+		return nil, err
+	}
+	a = lw.stableAddr(a)
+	step := int64(1)
+	if lv.Type.Decay().Kind == TPtr {
+		step = int64(lv.Type.Decay().Elem.Size())
+	}
+	old := load(a.Clone(), lv.Type)
+	var saved *ir.Tree
+	if needValue && !prefix {
+		tmp := int64(lw.temp())
+		lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), old))
+		old = ir.New(ir.INDIRI, ir.LocalAddr(tmp))
+		saved = ir.New(ir.INDIRI, ir.LocalAddr(tmp))
+	}
+	bop := ir.ADDI
+	if op == "--" {
+		bop = ir.SUBI
+	}
+	lw.store(a, ir.New(bop, old, ir.Const(step)), lv.Type)
+	if !needValue {
+		return nil, nil
+	}
+	if prefix {
+		return load(a.Clone(), lv.Type), nil
+	}
+	return saved, nil
+}
+
+// call lowers a function call; when needValue the result is spilled to
+// a temp so ARGI/CALL sequences for distinct calls never interleave.
+func (lw *lowerer) call(e *Expr, needValue bool) (*ir.Tree, error) {
+	// Evaluate all argument values first: any nested calls spill
+	// themselves to temps here, keeping this call's ARGI block contiguous.
+	args := make([]*ir.Tree, len(e.Args))
+	for i, aexpr := range e.Args {
+		v, err := lw.expr(aexpr)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	for _, v := range args {
+		lw.emit(ir.New(ir.ARGI, v))
+	}
+	callee := ir.NewName(ir.ADDRGP, e.L.Name)
+	retVoid := e.L.Sym.Type.Elem.Kind == TVoid
+	if !needValue {
+		if retVoid {
+			lw.emit(ir.New(ir.CALLV, callee))
+		} else {
+			lw.emit(ir.New(ir.CALLI, callee))
+		}
+		return nil, nil
+	}
+	if retVoid {
+		return nil, errf(e.Line, e.Col, "void value used")
+	}
+	tmp := int64(lw.temp())
+	lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), ir.New(ir.CALLI, callee)))
+	return ir.New(ir.INDIRI, ir.LocalAddr(tmp)), nil
+}
+
+var binOpMap = map[string]ir.Op{
+	"*": ir.MULI, "/": ir.DIVI, "%": ir.MODI,
+	"&": ir.BANDI, "|": ir.BORI, "^": ir.BXORI,
+	"<<": ir.LSHI, ">>": ir.RSHI,
+}
+
+// binary lowers an arithmetic/bitwise binary operation on already
+// lowered operand values, applying pointer scaling rules.
+func (lw *lowerer) binary(op string, l, r *ir.Tree, le, re *Expr) (*ir.Tree, error) {
+	lt, rt := le.Type.Decay(), re.Type.Decay()
+	switch op {
+	case "+":
+		switch {
+		case lt.Kind == TPtr:
+			return ir.New(ir.ADDI, l, scale(r, lt.Elem.Size())), nil
+		case rt.Kind == TPtr:
+			return ir.New(ir.ADDI, scale(l, rt.Elem.Size()), r), nil
+		default:
+			return ir.New(ir.ADDI, l, r), nil
+		}
+	case "-":
+		switch {
+		case lt.Kind == TPtr && rt.Kind == TPtr:
+			diff := ir.New(ir.SUBI, l, r)
+			if sz := lt.Elem.Size(); sz > 1 {
+				return ir.New(ir.DIVI, diff, ir.Const(int64(sz))), nil
+			}
+			return diff, nil
+		case lt.Kind == TPtr:
+			return ir.New(ir.SUBI, l, scale(r, lt.Elem.Size())), nil
+		default:
+			return ir.New(ir.SUBI, l, r), nil
+		}
+	default:
+		irop, ok := binOpMap[op]
+		if !ok {
+			return nil, errf(le.Line, le.Col, "internal: binary op %q", op)
+		}
+		return ir.New(irop, l, r), nil
+	}
+}
+
+// relBranch maps (relational op, sense) to a compare-and-branch operator.
+func relBranch(op string, jumpIfTrue bool) ir.Op {
+	type key struct {
+		op  string
+		pos bool
+	}
+	m := map[key]ir.Op{
+		{"==", true}: ir.EQI, {"==", false}: ir.NEI,
+		{"!=", true}: ir.NEI, {"!=", false}: ir.EQI,
+		{"<", true}: ir.LTI, {"<", false}: ir.GEI,
+		{"<=", true}: ir.LEI, {"<=", false}: ir.GTI,
+		{">", true}: ir.GTI, {">", false}: ir.LEI,
+		{">=", true}: ir.GEI, {">=", false}: ir.LTI,
+	}
+	return m[key{op, jumpIfTrue}]
+}
+
+func isRelOp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// cond lowers a condition, branching to target when the condition's
+// truth equals jumpIfTrue and falling through otherwise.
+func (lw *lowerer) cond(e *Expr, target int64, jumpIfTrue bool) error {
+	switch {
+	case e.Kind == EUnary && e.Op == "!":
+		return lw.cond(e.L, target, !jumpIfTrue)
+	case e.Kind == EBinary && isRelOp(e.Op):
+		l, err := lw.expr(e.L)
+		if err != nil {
+			return err
+		}
+		r, err := lw.expr(e.R)
+		if err != nil {
+			return err
+		}
+		lw.emit(ir.NewLit(relBranch(e.Op, jumpIfTrue), target, l, r))
+		return nil
+	case e.Kind == EBinary && e.Op == "&&":
+		if jumpIfTrue {
+			skip := lw.newLabel()
+			if err := lw.cond(e.L, skip, false); err != nil {
+				return err
+			}
+			if err := lw.cond(e.R, target, true); err != nil {
+				return err
+			}
+			lw.label(skip)
+			return nil
+		}
+		if err := lw.cond(e.L, target, false); err != nil {
+			return err
+		}
+		return lw.cond(e.R, target, false)
+	case e.Kind == EBinary && e.Op == "||":
+		if jumpIfTrue {
+			if err := lw.cond(e.L, target, true); err != nil {
+				return err
+			}
+			return lw.cond(e.R, target, true)
+		}
+		skip := lw.newLabel()
+		if err := lw.cond(e.L, skip, true); err != nil {
+			return err
+		}
+		if err := lw.cond(e.R, target, false); err != nil {
+			return err
+		}
+		lw.label(skip)
+		return nil
+	case e.Kind == EConst:
+		if (e.Val != 0) == jumpIfTrue {
+			lw.emit(ir.NewLit(ir.JUMPV, target))
+		}
+		return nil
+	default:
+		v, err := lw.expr(e)
+		if err != nil {
+			return err
+		}
+		op := ir.NEI
+		if !jumpIfTrue {
+			op = ir.EQI
+		}
+		lw.emit(ir.NewLit(op, target, v, ir.Const(0)))
+		return nil
+	}
+}
+
+// condValue materializes a boolean expression as 0/1 through a temp.
+func (lw *lowerer) condValue(e *Expr) (*ir.Tree, error) {
+	tmp := int64(lw.temp())
+	end := lw.newLabel()
+	lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), ir.Const(1)))
+	if err := lw.cond(e, end, true); err != nil {
+		return nil, err
+	}
+	lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), ir.Const(0)))
+	lw.label(end)
+	return ir.New(ir.INDIRI, ir.LocalAddr(tmp)), nil
+}
+
+// expr lowers an expression to a value tree, emitting any side-effect
+// statements (calls, assignments, boolean materialization) first.
+func (lw *lowerer) expr(e *Expr) (*ir.Tree, error) {
+	switch e.Kind {
+	case EConst:
+		return ir.Const(int64(int32(e.Val))), nil
+	case EString:
+		return lw.addr(e)
+	case EVar:
+		if e.Type.Kind == TArray {
+			return lw.addr(e) // decay to pointer
+		}
+		a, err := lw.addr(e)
+		if err != nil {
+			return nil, err
+		}
+		return load(a, e.Type), nil
+	case EUnary:
+		switch e.Op {
+		case "-":
+			v, err := lw.expr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			return ir.New(ir.NEGI, v), nil
+		case "~":
+			v, err := lw.expr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			return ir.New(ir.BCOMI, v), nil
+		case "!":
+			return lw.condValue(e)
+		case "*":
+			a, err := lw.expr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			if e.Type.Kind == TArray {
+				return a, nil
+			}
+			return load(a, e.Type), nil
+		case "&":
+			return lw.addr(e.L)
+		case "++", "--":
+			return lw.incDec(e.L, e.Op, true, true)
+		}
+		return nil, errf(e.Line, e.Col, "internal: unary %q", e.Op)
+	case EPostfix:
+		return lw.incDec(e.L, e.Op, false, true)
+	case EBinary:
+		switch {
+		case e.Op == "&&" || e.Op == "||" || isRelOp(e.Op):
+			return lw.condValue(e)
+		default:
+			l, err := lw.expr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lw.expr(e.R)
+			if err != nil {
+				return nil, err
+			}
+			return lw.binary(e.Op, l, r, e.L, e.R)
+		}
+	case EAssign:
+		return lw.assign(e, true)
+	case EIndex, EMember:
+		a, err := lw.addr(e)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type.Kind == TArray {
+			return a, nil
+		}
+		return load(a, e.Type), nil
+	case ECall:
+		return lw.call(e, true)
+	case ECond:
+		// cond ? a : b through a temp, like the boolean materializer.
+		tmp := int64(lw.temp())
+		elseL, endL := lw.newLabel(), lw.newLabel()
+		if err := lw.cond(e.Cond, elseL, false); err != nil {
+			return nil, err
+		}
+		v, err := lw.expr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), v))
+		lw.emit(ir.NewLit(ir.JUMPV, endL))
+		lw.label(elseL)
+		v, err = lw.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		lw.emit(ir.New(ir.ASGNI, ir.LocalAddr(tmp), v))
+		lw.label(endL)
+		return ir.New(ir.INDIRI, ir.LocalAddr(tmp)), nil
+	}
+	return nil, errf(e.Line, e.Col, "internal: expression kind %d", e.Kind)
+}

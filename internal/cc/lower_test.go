@@ -1,0 +1,295 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+// TestLowerSaltShape checks that the paper's salt() function lowers to
+// the tree vocabulary shown in §3: parameters addressed via ADDRLP
+// after copy-in, an LEI-style guard, ARGI/CALLI sequence, and a
+// SUBI-based decrement.
+func TestLowerSaltShape(t *testing.T) {
+	m := compile(t, `
+int pepper(int a, int b) { return a + b; }
+int salt(int j, int i) {
+	if (j > 0) {
+		pepper(i, j);
+		j--;
+	}
+	return j;
+}`)
+	salt := m.Function("salt")
+	if salt == nil {
+		t.Fatal("no salt function")
+	}
+	dump := ""
+	for _, tr := range salt.Trees {
+		dump += tr.String() + "\n"
+	}
+	for _, want := range []string{
+		"LEI[", // j > 0 inverted to branch-if-false LEI, as in the paper
+		"ARGI(INDIRI(ADDRLP8[",
+		"CALLI(ADDRGP[pepper])",
+		"SUBI(INDIRI(ADDRLP8[",
+		"RETI(INDIRI(ADDRLP8[",
+		"LABELV[",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("salt dump missing %q:\n%s", want, dump)
+		}
+	}
+	// Parameter copy-in from ADDRFP, like lcc.
+	if !strings.Contains(dump, "INDIRI(ADDRFP8[0])") || !strings.Contains(dump, "INDIRI(ADDRFP8[4])") {
+		t.Errorf("missing parameter copy-in:\n%s", dump)
+	}
+}
+
+func TestLowerValidates(t *testing.T) {
+	m := compile(t, `
+int g = 3;
+char msg[4] = "abc";
+int main(void) {
+	putint(g);
+	puts(msg);
+	puts("lit");
+	return 0;
+}`)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// String literal became a global.
+	found := false
+	for _, g := range m.Globals {
+		if strings.HasPrefix(g.Name, ".Lstr") && string(g.Init) == "lit\x00" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("string literal global missing")
+	}
+}
+
+func TestLowerGlobalInit(t *testing.T) {
+	m := compile(t, `int x = 258; char c = 'A'; int z;`)
+	byName := map[string]ir.Global{}
+	for _, g := range m.Globals {
+		byName[g.Name] = g
+	}
+	if g := byName["x"]; g.Size != 4 || len(g.Init) != 4 || g.Init[0] != 2 || g.Init[1] != 1 {
+		t.Errorf("x init wrong: %+v", g)
+	}
+	if g := byName["c"]; g.Size != 1 || len(g.Init) != 1 || g.Init[0] != 'A' {
+		t.Errorf("c init wrong: %+v", g)
+	}
+	if g := byName["z"]; g.Size != 4 || len(g.Init) != 0 {
+		t.Errorf("z init wrong: %+v", g)
+	}
+}
+
+func TestLowerCharAccess(t *testing.T) {
+	m := compile(t, `
+char buf[8];
+int f(int i) {
+	buf[i] = 'x';
+	return buf[i];
+}`)
+	dump := ""
+	for _, tr := range m.Function("f").Trees {
+		dump += tr.String() + "\n"
+	}
+	if !strings.Contains(dump, "ASGNC(") || !strings.Contains(dump, "CVIC(") {
+		t.Errorf("char store should use ASGNC/CVIC:\n%s", dump)
+	}
+	if !strings.Contains(dump, "CVCI(INDIRC(") {
+		t.Errorf("char load should use CVCI(INDIRC):\n%s", dump)
+	}
+}
+
+func TestLowerPointerScaling(t *testing.T) {
+	m := compile(t, `
+int f(int* p, char* q) {
+	p = p + 2;
+	q = q + 2;
+	return p[1] + q[1];
+}`)
+	dump := ""
+	for _, tr := range m.Function("f").Trees {
+		dump += tr.String() + "\n"
+	}
+	// int* + 2 scales by 4 (constant-folded to 8); char* + 2 stays 2.
+	if !strings.Contains(dump, "CNSTC[8]") {
+		t.Errorf("int pointer scaling missing:\n%s", dump)
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	m := compile(t, `
+int f(int a, int b) {
+	if (a > 0 && b > 0) return 1;
+	if (a < 0 || b < 0) return 2;
+	return a && b;
+}`)
+	f := m.Function("f")
+	branches := 0
+	for _, tr := range f.Trees {
+		tr.Walk(func(n *ir.Tree) {
+			if n.Op.IsBranch() {
+				branches++
+			}
+		})
+	}
+	// 2 for &&, 2 for ||, 2+ for the value-context && materialization.
+	if branches < 6 {
+		t.Errorf("expected >= 6 branch ops for short-circuit code, got %d", branches)
+	}
+}
+
+func TestLowerCallsAreContiguous(t *testing.T) {
+	// Nested calls must spill so each call's ARGI block immediately
+	// precedes its CALL tree with no interleaving.
+	m := compile(t, `
+int g(int x) { return x + 1; }
+int f(int a) { return g(g(a) + g(2)); }`)
+	f := m.Function("f")
+	pendingArgs := 0
+	for _, tr := range f.Trees {
+		hasCall := false
+		tr.Walk(func(n *ir.Tree) {
+			if n.Op == ir.CALLI || n.Op == ir.CALLV {
+				hasCall = true
+			}
+		})
+		switch {
+		case tr.Op == ir.ARGI:
+			pendingArgs++
+		case hasCall:
+			if pendingArgs == 0 {
+				t.Errorf("call tree %s with no preceding ARGI", tr)
+			}
+			pendingArgs = 0
+		}
+	}
+}
+
+func TestLowerFallOffEndReturns(t *testing.T) {
+	m := compile(t, `int f(int a) { a++; } void v(void) { }`)
+	f := m.Function("f")
+	last := f.Trees[len(f.Trees)-1]
+	if last.Op != ir.RETI {
+		t.Errorf("int function should end with RETI, got %s", last.Op)
+	}
+	v := m.Function("v")
+	last = v.Trees[len(v.Trees)-1]
+	if last.Op != ir.RETV {
+		t.Errorf("void function should end with RETV, got %s", last.Op)
+	}
+}
+
+func TestLowerFrameLayout(t *testing.T) {
+	m := compile(t, `
+int f(int a, int b) {
+	char c;
+	int x;
+	char d;
+	int y;
+	return a + b + c + d + x + y;
+}`)
+	f := m.Function("f")
+	if f.NumParams != 2 {
+		t.Errorf("NumParams = %d", f.NumParams)
+	}
+	// 2 int params + c(1) pad x(4) d(1) pad y(4): frame must hold all,
+	// word-aligned.
+	if f.FrameSize < 20 || f.FrameSize%4 != 0 {
+		t.Errorf("FrameSize = %d", f.FrameSize)
+	}
+}
+
+func TestLowerPostfixValue(t *testing.T) {
+	// x = i++ must yield the old value of i.
+	m := compile(t, `
+int f(int i) {
+	int x;
+	x = i++;
+	return x * 100 + i;
+}`)
+	if m.Function("f") == nil {
+		t.Fatal("no f")
+	}
+	// Semantic check happens in the VM end-to-end tests; here we just
+	// confirm a temp spill appears (an extra ASGNI before the store).
+	dump := ""
+	for _, tr := range m.Function("f").Trees {
+		dump += tr.String() + "\n"
+	}
+	if strings.Count(dump, "ASGNI") < 3 {
+		t.Errorf("postfix lowering missing temp spill:\n%s", dump)
+	}
+}
+
+func TestLowerForLoopShape(t *testing.T) {
+	m := compile(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i;
+	return s;
+}`)
+	f := m.Function("f")
+	var labels, jumps int
+	for _, tr := range f.Trees {
+		switch tr.Op {
+		case ir.LABELV:
+			labels++
+		case ir.JUMPV:
+			jumps++
+		}
+	}
+	if labels < 3 || jumps < 1 {
+		t.Errorf("for loop lowering: %d labels, %d jumps", labels, jumps)
+	}
+}
+
+func TestLowerBreakContinue(t *testing.T) {
+	compile(t, `
+int f(int n) {
+	int s = 0;
+	while (1) {
+		n--;
+		if (n < 0) break;
+		if (n % 2) continue;
+		s += n;
+	}
+	do { s++; if (s > 100) break; } while (s < 50);
+	return s;
+}`)
+}
+
+func TestLowerAddressOf(t *testing.T) {
+	m := compile(t, `
+int f(void) {
+	int x = 5;
+	int* p = &x;
+	*p = 7;
+	return x;
+}`)
+	dump := ""
+	for _, tr := range m.Function("f").Trees {
+		dump += tr.String() + "\n"
+	}
+	// &x is the frame address; *p = 7 stores through a loaded pointer.
+	if !strings.Contains(dump, "ASGNI(INDIRI(ADDRLP8[") {
+		t.Errorf("store-through-pointer missing:\n%s", dump)
+	}
+}

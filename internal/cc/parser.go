@@ -1,0 +1,816 @@
+package cc
+
+// Parse lexes and parses a MiniC translation unit into an AST with
+// unresolved names; run Analyze on the result before lowering.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, structs: map[string]*Type{}}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks    []Token
+	pos     int
+	structs map[string]*Type // struct tag registry
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(kind TokKind, s string) bool {
+	t := p.peek()
+	return t.Kind == kind && t.Str == s
+}
+func (p *parser) accept(kind TokKind, s string) bool {
+	if p.at(kind, s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *parser) expect(kind TokKind, s string) (Token, error) {
+	t := p.peek()
+	if t.Kind == kind && t.Str == s {
+		p.pos++
+		return t, nil
+	}
+	return t, errf(t.Line, t.Col, "expected %q, found %s", s, t)
+}
+
+func (p *parser) errHere(format string, args ...interface{}) error {
+	t := p.peek()
+	return errf(t.Line, t.Col, format, args...)
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	t := p.peek()
+	return t.Kind == TokKeyword &&
+		(t.Str == "int" || t.Str == "char" || t.Str == "void" || t.Str == "struct")
+}
+
+// parseBaseType parses a type keyword or a struct-tag reference.
+func (p *parser) parseBaseType() (*Type, error) {
+	t := p.next()
+	if t.Kind != TokKeyword {
+		return nil, errf(t.Line, t.Col, "expected type, found %s", t)
+	}
+	switch t.Str {
+	case "int":
+		return IntType, nil
+	case "char":
+		return CharType, nil
+	case "void":
+		return VoidType, nil
+	case "struct":
+		tag := p.next()
+		if tag.Kind != TokIdent {
+			return nil, errf(tag.Line, tag.Col, "expected struct tag, found %s", tag)
+		}
+		ty, ok := p.structs[tag.Str]
+		if !ok {
+			return nil, errf(tag.Line, tag.Col, "undefined struct %q", tag.Str)
+		}
+		return ty, nil
+	}
+	return nil, errf(t.Line, t.Col, "expected type, found %s", t)
+}
+
+// parseStructDef parses a top-level struct definition:
+// struct Tag { fields };  The tag is registered (incomplete) before the
+// fields parse, so pointer fields may reference the type itself.
+func (p *parser) parseStructDef() error {
+	p.next() // "struct"
+	tag := p.next()
+	if tag.Kind != TokIdent {
+		return errf(tag.Line, tag.Col, "expected struct tag, found %s", tag)
+	}
+	if _, dup := p.structs[tag.Str]; dup {
+		return errf(tag.Line, tag.Col, "redefinition of struct %q", tag.Str)
+	}
+	ty := &Type{Kind: TStruct, Tag: tag.Str, incomplete: true}
+	p.structs[tag.Str] = ty
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return err
+	}
+	for !p.at(TokPunct, "}") {
+		if p.peek().Kind == TokEOF {
+			return errf(tag.Line, tag.Col, "unterminated struct %q", tag.Str)
+		}
+		base, err := p.parseBaseType()
+		if err != nil {
+			return err
+		}
+		for {
+			fty := base
+			for p.accept(TokPunct, "*") {
+				fty = PtrTo(fty)
+			}
+			nameTok := p.next()
+			if nameTok.Kind != TokIdent {
+				return errf(nameTok.Line, nameTok.Col, "expected field name, found %s", nameTok)
+			}
+			if p.accept(TokPunct, "[") {
+				szTok := p.next()
+				if szTok.Kind != TokNumber || szTok.Num <= 0 {
+					return errf(szTok.Line, szTok.Col, "array size must be a positive integer")
+				}
+				if _, err := p.expect(TokPunct, "]"); err != nil {
+					return err
+				}
+				fty = ArrayOf(fty, int(szTok.Num))
+			}
+			if fty.Kind == TVoid {
+				return errf(nameTok.Line, nameTok.Col, "field %q has void type", nameTok.Str)
+			}
+			if inner := fty; inner.Kind == TStruct && inner.incomplete ||
+				inner.Kind == TArray && inner.Elem.Kind == TStruct && inner.Elem.incomplete {
+				return errf(nameTok.Line, nameTok.Col,
+					"field %q embeds incomplete struct %q (use a pointer)", nameTok.Str, tag.Str)
+			}
+			if ty.Field(nameTok.Str) != nil {
+				return errf(nameTok.Line, nameTok.Col, "duplicate field %q", nameTok.Str)
+			}
+			ty.Fields = append(ty.Fields, Field{Name: nameTok.Str, Type: fty})
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return err
+		}
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return err
+	}
+	ty.closeStruct()
+	return nil
+}
+
+// parseType parses a base type plus pointer stars (used for parameter
+// types, where the stars belong to the single declarator).
+func (p *parser) parseType() (*Type, error) {
+	ty, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokPunct, "*") {
+		ty = PtrTo(ty)
+	}
+	return ty, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.peek().Kind != TokEOF {
+		if !p.isTypeStart() {
+			return nil, p.errHere("expected declaration, found %s", p.peek())
+		}
+		// Top-level struct definition: struct Tag { ... };
+		if p.at(TokKeyword, "struct") &&
+			p.toks[p.pos+1].Kind == TokIdent &&
+			p.toks[p.pos+2].Kind == TokPunct && p.toks[p.pos+2].Str == "{" {
+			if err := p.parseStructDef(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		ty := base
+		for p.accept(TokPunct, "*") {
+			ty = PtrTo(ty)
+		}
+		nameTok := p.next()
+		if nameTok.Kind != TokIdent {
+			return nil, errf(nameTok.Line, nameTok.Col, "expected name, found %s", nameTok)
+		}
+		if p.at(TokPunct, "(") {
+			fn, err := p.parseFunc(ty, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		// Global variable(s); pointer stars bind per declarator.
+		for {
+			g, err := p.parseGlobalDeclarator(ty, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+			if p.accept(TokPunct, ",") {
+				ty = base
+				for p.accept(TokPunct, "*") {
+					ty = PtrTo(ty)
+				}
+				nameTok = p.next()
+				if nameTok.Kind != TokIdent {
+					return nil, errf(nameTok.Line, nameTok.Col, "expected name, found %s", nameTok)
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobalDeclarator(base *Type, nameTok Token) (*GlobalDecl, error) {
+	ty := base
+	if p.accept(TokPunct, "[") {
+		szTok := p.next()
+		if szTok.Kind != TokNumber || szTok.Num <= 0 {
+			return nil, errf(szTok.Line, szTok.Col, "array size must be a positive integer")
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		ty = ArrayOf(base, int(szTok.Num))
+	}
+	if ty.Kind == TVoid {
+		return nil, errf(nameTok.Line, nameTok.Col, "variable %q has void type", nameTok.Str)
+	}
+	g := &GlobalDecl{Sym: &Symbol{Name: nameTok.Str, Kind: SymGlobal, Type: ty}}
+	if p.accept(TokPunct, "=") {
+		if p.peek().Kind == TokString {
+			s := p.next()
+			g.InitStr = s.Str
+			g.HasStr = true
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = e
+		}
+	}
+	return g, nil
+}
+
+func (p *parser) parseFunc(ret *Type, nameTok Token) (*FuncDecl, error) {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: nameTok.Str, Ret: ret, Line: nameTok.Line}
+	if !p.at(TokPunct, ")") {
+		if p.at(TokKeyword, "void") && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Str == ")" {
+			p.next() // f(void)
+		} else {
+			for {
+				ty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				pTok := p.next()
+				if pTok.Kind != TokIdent {
+					return nil, errf(pTok.Line, pTok.Col, "expected parameter name, found %s", pTok)
+				}
+				if p.accept(TokPunct, "[") { // T x[] decays to T*
+					if _, err := p.expect(TokPunct, "]"); err != nil {
+						return nil, err
+					}
+					ty = PtrTo(ty)
+				}
+				if !ty.IsScalar() {
+					return nil, errf(pTok.Line, pTok.Col, "parameter %q must be scalar", pTok.Str)
+				}
+				fn.Params = append(fn.Params, &Symbol{Name: pTok.Str, Kind: SymParam, Type: ty})
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*Stmt, error) {
+	open, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	blk := &Stmt{Kind: SBlock, Line: open.Line, Col: open.Col}
+	for !p.at(TokPunct, "}") {
+		if p.peek().Kind == TokEOF {
+			return nil, errf(open.Line, open.Col, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	p.next() // '}'
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	t := p.peek()
+	switch {
+	case p.at(TokPunct, "{"):
+		return p.parseBlock()
+	case p.at(TokPunct, ";"):
+		p.next()
+		return &Stmt{Kind: SEmpty, Line: t.Line, Col: t.Col}, nil
+	case p.isTypeStart():
+		return p.parseDeclStmt()
+	case p.at(TokKeyword, "if"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SIf, Cond: cond, Then: then, Line: t.Line, Col: t.Col}
+		if p.accept(TokKeyword, "else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+	case p.at(TokKeyword, "while"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SWhile, Cond: cond, Body: body, Line: t.Line, Col: t.Col}, nil
+	case p.at(TokKeyword, "do"):
+		p.next()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SDoWhile, Cond: cond, Body: body, Line: t.Line, Col: t.Col}, nil
+	case p.at(TokKeyword, "for"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SFor, Line: t.Line, Col: t.Col}
+		if p.at(TokPunct, ";") {
+			p.next()
+			s.Init = &Stmt{Kind: SEmpty}
+		} else if p.isTypeStart() {
+			init, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			s.Init = &Stmt{Kind: SExpr, Expr: e}
+		}
+		if !p.at(TokPunct, ";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Cond = cond
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(TokPunct, ")") {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+	case p.at(TokKeyword, "switch"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		open, err := p.expect(TokPunct, "{")
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SSwitch, Cond: cond, Line: t.Line, Col: t.Col}
+		for !p.at(TokPunct, "}") {
+			if p.peek().Kind == TokEOF {
+				return nil, errf(open.Line, open.Col, "unterminated switch")
+			}
+			switch {
+			case p.at(TokKeyword, "case"):
+				ct := p.next()
+				val, err := p.parseConditional()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokPunct, ":"); err != nil {
+					return nil, err
+				}
+				s.List = append(s.List, &Stmt{Kind: SCase, Expr: val, Line: ct.Line, Col: ct.Col})
+			case p.at(TokKeyword, "default"):
+				dt := p.next()
+				if _, err := p.expect(TokPunct, ":"); err != nil {
+					return nil, err
+				}
+				s.List = append(s.List, &Stmt{Kind: SDefault, Line: dt.Line, Col: dt.Col})
+			default:
+				sub, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.List = append(s.List, sub)
+			}
+		}
+		p.next() // '}'
+		return s, nil
+	case p.at(TokKeyword, "return"):
+		p.next()
+		s := &Stmt{Kind: SReturn, Line: t.Line, Col: t.Col}
+		if !p.at(TokPunct, ";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.at(TokKeyword, "break"):
+		p.next()
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SBreak, Line: t.Line, Col: t.Col}, nil
+	case p.at(TokKeyword, "continue"):
+		p.next()
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SContinue, Line: t.Line, Col: t.Col}, nil
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SExpr, Expr: e, Line: t.Line, Col: t.Col}, nil
+	}
+}
+
+// parseDeclStmt parses "type declarator (= init)? (, declarator...)? ;".
+func (p *parser) parseDeclStmt() (*Stmt, error) {
+	start := p.peek()
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: SDecl, Line: start.Line, Col: start.Col}
+	for {
+		// Extra stars bind per-declarator, as in C: int *a, b;
+		ty := base
+		for p.accept(TokPunct, "*") {
+			ty = PtrTo(ty)
+		}
+		nameTok := p.next()
+		if nameTok.Kind != TokIdent {
+			return nil, errf(nameTok.Line, nameTok.Col, "expected name, found %s", nameTok)
+		}
+		if p.accept(TokPunct, "[") {
+			szTok := p.next()
+			if szTok.Kind != TokNumber || szTok.Num <= 0 {
+				return nil, errf(szTok.Line, szTok.Col, "array size must be a positive integer")
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			ty = ArrayOf(ty, int(szTok.Num))
+		}
+		if ty.Kind == TVoid {
+			return nil, errf(nameTok.Line, nameTok.Col, "variable %q has void type", nameTok.Str)
+		}
+		d := &Decl{Sym: &Symbol{Name: nameTok.Str, Kind: SymLocal, Type: ty}}
+		if p.accept(TokPunct, "=") {
+			e, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		s.Decls = append(s.Decls, d)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() (*Expr, error) { return p.parseAssign() }
+
+var assignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) parseAssign() (*Expr, error) {
+	lhs, err := p.parseConditional()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokPunct {
+		if op, ok := assignOps[t.Str]; ok {
+			p.next()
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: EAssign, Op: op, L: lhs, R: rhs, Line: t.Line, Col: t.Col}, nil
+		}
+	}
+	return lhs, nil
+}
+
+// parseConditional parses the ternary operator: cond ? then : else.
+func (p *parser) parseConditional() (*Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if !p.accept(TokPunct, "?") {
+		return cond, nil
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseConditional()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Kind: ECond, Cond: cond, L: then, R: els, Line: t.Line, Col: t.Col}, nil
+}
+
+// binary operator precedence levels, lowest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (*Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokPunct || !contains(binLevels[level], t.Str) {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: EBinary, Op: t.Str, L: lhs, R: rhs, Line: t.Line, Col: t.Col}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Str == "sizeof" {
+		// sizeof(type-name); the size is a compile-time constant, so
+		// the parser folds it immediately.
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokPunct, "[") {
+			szTok := p.next()
+			if szTok.Kind != TokNumber || szTok.Num <= 0 {
+				return nil, errf(szTok.Line, szTok.Col, "array size must be a positive integer")
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			ty = ArrayOf(ty, int(szTok.Num))
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if ty.Kind == TVoid {
+			return nil, errf(t.Line, t.Col, "sizeof(void) is invalid")
+		}
+		return &Expr{Kind: EConst, Val: int64(ty.Size()), Line: t.Line, Col: t.Col}, nil
+	}
+	if t.Kind == TokPunct {
+		switch t.Str {
+		case "-", "~", "!", "*", "&":
+			p.next()
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: EUnary, Op: t.Str, L: e, Line: t.Line, Col: t.Col}, nil
+		case "++", "--":
+			p.next()
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: EUnary, Op: t.Str, L: e, Line: t.Line, Col: t.Col}, nil
+		case "+":
+			p.next()
+			return p.parseUnary()
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case p.at(TokPunct, "["):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: EIndex, L: e, R: idx, Line: t.Line, Col: t.Col}
+		case p.at(TokPunct, "("):
+			p.next()
+			call := &Expr{Kind: ECall, L: e, Line: t.Line, Col: t.Col}
+			if !p.at(TokPunct, ")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			e = call
+		case p.at(TokPunct, "."), p.at(TokPunct, "->"):
+			p.next()
+			nameTok := p.next()
+			if nameTok.Kind != TokIdent {
+				return nil, errf(nameTok.Line, nameTok.Col, "expected field name, found %s", nameTok)
+			}
+			e = &Expr{Kind: EMember, Op: t.Str, L: e, Name: nameTok.Str, Line: t.Line, Col: t.Col}
+		case p.at(TokPunct, "++"), p.at(TokPunct, "--"):
+			p.next()
+			e = &Expr{Kind: EPostfix, Op: t.Str, L: e, Line: t.Line, Col: t.Col}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokNumber:
+		return &Expr{Kind: EConst, Val: t.Num, Line: t.Line, Col: t.Col}, nil
+	case TokChar:
+		return &Expr{Kind: EConst, Val: t.Num, Line: t.Line, Col: t.Col}, nil
+	case TokString:
+		return &Expr{Kind: EString, Str: t.Str, Line: t.Line, Col: t.Col}, nil
+	case TokIdent:
+		return &Expr{Kind: EVar, Name: t.Str, Line: t.Line, Col: t.Col}, nil
+	case TokPunct:
+		if t.Str == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+}

@@ -1,0 +1,195 @@
+package cc
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func TestParseSaltExample(t *testing.T) {
+	// The paper's running example.
+	src := `
+int pepper(int a, int b) { return a + b; }
+int salt(int j, int i) {
+	if (j > 0) {
+		pepper(i, j);
+		j--;
+	}
+	return j;
+}`
+	prog := mustParse(t, src)
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("got %d functions", len(prog.Funcs))
+	}
+	salt := prog.Funcs[1]
+	if salt.Name != "salt" || len(salt.Params) != 2 {
+		t.Errorf("salt = %+v", salt)
+	}
+	if salt.Body.Kind != SBlock || len(salt.Body.List) != 2 {
+		t.Errorf("salt body shape wrong: %+v", salt.Body)
+	}
+	if salt.Body.List[0].Kind != SIf {
+		t.Errorf("first stmt should be if")
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := mustParse(t, `
+int counter = 10;
+char buf[64];
+char msg[6] = "hello";
+int table[100];
+int a, b = 2, c;
+`)
+	if len(prog.Globals) != 7 {
+		t.Fatalf("got %d globals", len(prog.Globals))
+	}
+	if prog.Globals[0].Sym.Name != "counter" || prog.Globals[0].Init == nil {
+		t.Error("counter wrong")
+	}
+	if prog.Globals[1].Sym.Type.Kind != TArray || prog.Globals[1].Sym.Type.Size() != 64 {
+		t.Error("buf wrong")
+	}
+	if !prog.Globals[2].HasStr || prog.Globals[2].InitStr != "hello" {
+		t.Error("msg wrong")
+	}
+	if prog.Globals[5].Sym.Name != "b" || prog.Globals[5].Init == nil {
+		t.Error("b wrong")
+	}
+}
+
+func TestParsePointerDeclarators(t *testing.T) {
+	prog := mustParse(t, `int f(int* p, char *q, int a[]) { int *x, y; return 0; }`)
+	fn := prog.Funcs[0]
+	if fn.Params[0].Type.Kind != TPtr || fn.Params[1].Type.Kind != TPtr {
+		t.Error("pointer params wrong")
+	}
+	if fn.Params[2].Type.Kind != TPtr || fn.Params[2].Type.Elem.Kind != TInt {
+		t.Error("array param should decay to int*")
+	}
+	decl := fn.Body.List[0]
+	if decl.Decls[0].Sym.Type.Kind != TPtr {
+		t.Error("x should be int*")
+	}
+	if decl.Decls[1].Sym.Type.Kind != TInt {
+		t.Error("y should be plain int (star binds per declarator)")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+void f(void) {
+	int i;
+	for (i = 0; i < 10; i++) { if (i == 5) break; else continue; }
+	for (int j = 0; j < 3; j++) ;
+	while (i > 0) i--;
+	do { i++; } while (i < 4);
+	for (;;) { break; }
+	;
+	return;
+}`
+	prog := mustParse(t, src)
+	body := prog.Funcs[0].Body
+	kinds := []StmtKind{SDecl, SFor, SFor, SWhile, SDoWhile, SFor, SEmpty, SReturn}
+	if len(body.List) != len(kinds) {
+		t.Fatalf("got %d statements, want %d", len(body.List), len(kinds))
+	}
+	for i, k := range kinds {
+		if body.List[i].Kind != k {
+			t.Errorf("stmt %d kind = %d, want %d", i, body.List[i].Kind, k)
+		}
+	}
+	if body.List[5].Cond != nil {
+		t.Error("for(;;) should have nil condition")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := mustParse(t, `int f(int a, int b, int c) { return a + b * c; }`)
+	ret := prog.Funcs[0].Body.List[0]
+	e := ret.Expr
+	if e.Kind != EBinary || e.Op != "+" {
+		t.Fatalf("root op = %q", e.Op)
+	}
+	if e.R.Kind != EBinary || e.R.Op != "*" {
+		t.Errorf("* should bind tighter than +")
+	}
+
+	prog = mustParse(t, `int f(int a, int b) { return a == b | a & b; }`)
+	e = prog.Funcs[0].Body.List[0].Expr
+	if e.Op != "|" {
+		t.Errorf("| should be root, got %q", e.Op)
+	}
+	if e.L.Op != "==" || e.R.Op != "&" {
+		t.Errorf("operand ops = %q, %q", e.L.Op, e.R.Op)
+	}
+}
+
+func TestParseAssocRightAssign(t *testing.T) {
+	prog := mustParse(t, `int f(int a, int b) { a = b = 1; return a; }`)
+	e := prog.Funcs[0].Body.List[0].Expr
+	if e.Kind != EAssign || e.R.Kind != EAssign {
+		t.Error("assignment should be right-associative")
+	}
+}
+
+func TestParseCallsAndIndex(t *testing.T) {
+	prog := mustParse(t, `int g(int x) { return x; } int f(int* a) { return g(a[2]) + g(1); }`)
+	e := prog.Funcs[1].Body.List[0].Expr
+	if e.Op != "+" || e.L.Kind != ECall || e.R.Kind != ECall {
+		t.Errorf("call parse wrong: %+v", e)
+	}
+	if e.L.Args[0].Kind != EIndex {
+		t.Error("a[2] should be an index expression")
+	}
+}
+
+func TestParseUnaryChains(t *testing.T) {
+	prog := mustParse(t, `int f(int* p) { return -*p + !*p - ~*p; }`)
+	_ = prog
+	prog = mustParse(t, `int f(int x) { return - -x; }`)
+	e := prog.Funcs[0].Body.List[0].Expr
+	if e.Kind != EUnary || e.L.Kind != EUnary {
+		t.Error("nested unary minus wrong")
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	prog := mustParse(t, `int f(int a) { a += 2; a <<= 1; a %= 3; return a; }`)
+	ops := []string{"+", "<<", "%"}
+	for i, want := range ops {
+		e := prog.Funcs[0].Body.List[i].Expr
+		if e.Kind != EAssign || e.Op != want {
+			t.Errorf("stmt %d: op = %q, want %q", i, e.Op, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int f( { return 0; }`,
+		`int f() { return 0 }`,
+		`int f() { if x { } return 0; }`,
+		`int 3x;`,
+		`void v; `,
+		`int f() { int x[0]; return 0; }`,
+		`int a[-1];`,
+		`x y z;`,
+		`int f() { return (1 + ; }`,
+		`int f() { for (int i = 0 i < 3; i++); }`,
+		`int f() {`,
+		`int f(void x) { }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,644 @@
+package cc
+
+// Builtins are the runtime functions every MiniC program may call; the
+// VM implements them as traps. Signatures: putint(int), putchar(int),
+// puts(char*), exit(int); all return int (value 0) so they can appear
+// in expressions.
+var Builtins = []*Symbol{
+	{Name: "putint", Kind: SymFunc, Builtin: true,
+		Type: &Type{Kind: TFunc, Elem: IntType, Params: []*Type{IntType}}},
+	{Name: "putchar", Kind: SymFunc, Builtin: true,
+		Type: &Type{Kind: TFunc, Elem: IntType, Params: []*Type{IntType}}},
+	{Name: "puts", Kind: SymFunc, Builtin: true,
+		Type: &Type{Kind: TFunc, Elem: IntType, Params: []*Type{PtrTo(CharType)}}},
+	{Name: "exit", Kind: SymFunc, Builtin: true,
+		Type: &Type{Kind: TFunc, Elem: IntType, Params: []*Type{IntType}}},
+}
+
+// Analyze resolves names and types the whole program in place. It
+// returns the first semantic error found.
+func Analyze(prog *Program) error {
+	s := &sema{globals: map[string]*Symbol{}}
+	for _, b := range Builtins {
+		s.globals[b.Name] = b
+	}
+	// Register globals and function signatures first so definitions may
+	// appear in any order.
+	for _, g := range prog.Globals {
+		if _, dup := s.globals[g.Sym.Name]; dup {
+			return errf(0, 0, "duplicate global %q", g.Sym.Name)
+		}
+		s.globals[g.Sym.Name] = g.Sym
+	}
+	for _, fn := range prog.Funcs {
+		if _, dup := s.globals[fn.Name]; dup {
+			return errf(fn.Line, 0, "duplicate symbol %q", fn.Name)
+		}
+		if fn.Ret.Kind == TStruct || fn.Ret.Kind == TArray {
+			return errf(fn.Line, 0, "%s: functions cannot return %s (return a pointer)",
+				fn.Name, fn.Ret)
+		}
+		ft := &Type{Kind: TFunc, Elem: fn.Ret}
+		for _, p := range fn.Params {
+			ft.Params = append(ft.Params, p.Type)
+		}
+		s.globals[fn.Name] = &Symbol{Name: fn.Name, Kind: SymFunc, Type: ft}
+	}
+	for _, g := range prog.Globals {
+		if err := s.checkGlobalInit(g); err != nil {
+			return err
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if err := s.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type sema struct {
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	fn      *FuncDecl
+	loops   int // continue targets
+	breaks  int // break targets (loops and switches)
+}
+
+func (s *sema) push() { s.scopes = append(s.scopes, map[string]*Symbol{}) }
+func (s *sema) pop()  { s.scopes = s.scopes[:len(s.scopes)-1] }
+
+func (s *sema) declare(sym *Symbol, line, col int) error {
+	top := s.scopes[len(s.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return errf(line, col, "redeclaration of %q", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (s *sema) lookup(name string) *Symbol {
+	for i := len(s.scopes) - 1; i >= 0; i-- {
+		if sym, ok := s.scopes[i][name]; ok {
+			return sym
+		}
+	}
+	return s.globals[name]
+}
+
+func (s *sema) checkGlobalInit(g *GlobalDecl) error {
+	if g.HasStr {
+		if g.Sym.Type.Kind != TArray || g.Sym.Type.Elem.Kind != TChar {
+			return errf(0, 0, "global %q: string initializer requires char array", g.Sym.Name)
+		}
+		if len(g.InitStr)+1 > g.Sym.Type.Size() {
+			return errf(0, 0, "global %q: string initializer too long", g.Sym.Name)
+		}
+		return nil
+	}
+	if g.Init != nil {
+		v, ok := ConstFold(g.Init)
+		if !ok {
+			return errf(g.Init.Line, g.Init.Col, "global %q: initializer must be constant", g.Sym.Name)
+		}
+		if !g.Sym.Type.IsScalar() {
+			return errf(g.Init.Line, g.Init.Col, "global %q: scalar initializer for non-scalar", g.Sym.Name)
+		}
+		g.Init = &Expr{Kind: EConst, Val: v, Type: IntType}
+	}
+	return nil
+}
+
+// ConstFold evaluates a constant integer expression; ok is false if the
+// expression is not compile-time constant.
+func ConstFold(e *Expr) (int64, bool) {
+	switch e.Kind {
+	case EConst:
+		return e.Val, true
+	case EUnary:
+		v, ok := ConstFold(e.L)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return int64(int32(-v)), true
+		case "~":
+			return int64(^int32(v)), true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case EBinary:
+		a, ok := ConstFold(e.L)
+		if !ok {
+			return 0, false
+		}
+		b, ok := ConstFold(e.R)
+		if !ok {
+			return 0, false
+		}
+		x, y := int32(a), int32(b)
+		switch e.Op {
+		case "+":
+			return int64(x + y), true
+		case "-":
+			return int64(x - y), true
+		case "*":
+			return int64(x * y), true
+		case "/":
+			if y == 0 {
+				return 0, false
+			}
+			return int64(x / y), true
+		case "%":
+			if y == 0 {
+				return 0, false
+			}
+			return int64(x % y), true
+		case "&":
+			return int64(x & y), true
+		case "|":
+			return int64(x | y), true
+		case "^":
+			return int64(x ^ y), true
+		case "<<":
+			return int64(x << (uint32(y) & 31)), true
+		case ">>":
+			return int64(x >> (uint32(y) & 31)), true
+		case "==", "!=", "<", "<=", ">", ">=":
+			var r bool
+			switch e.Op {
+			case "==":
+				r = x == y
+			case "!=":
+				r = x != y
+			case "<":
+				r = x < y
+			case "<=":
+				r = x <= y
+			case ">":
+				r = x > y
+			case ">=":
+				r = x >= y
+			}
+			if r {
+				return 1, true
+			}
+			return 0, true
+		case "&&":
+			if x != 0 && y != 0 {
+				return 1, true
+			}
+			return 0, true
+		case "||":
+			if x != 0 || y != 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case ECond:
+		c, ok := ConstFold(e.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return ConstFold(e.L)
+		}
+		return ConstFold(e.R)
+	}
+	return 0, false
+}
+
+func (s *sema) checkFunc(fn *FuncDecl) error {
+	s.fn = fn
+	s.push()
+	defer s.pop()
+	for _, p := range fn.Params {
+		if err := s.declare(p, fn.Line, 0); err != nil {
+			return err
+		}
+	}
+	return s.checkStmt(fn.Body)
+}
+
+func (s *sema) checkStmt(st *Stmt) error {
+	switch st.Kind {
+	case SBlock:
+		s.push()
+		defer s.pop()
+		for _, sub := range st.List {
+			if err := s.checkStmt(sub); err != nil {
+				return err
+			}
+		}
+	case SDecl:
+		for _, d := range st.Decls {
+			if err := s.declare(d.Sym, st.Line, st.Col); err != nil {
+				return err
+			}
+			if d.Init != nil {
+				if err := s.checkExpr(d.Init); err != nil {
+					return err
+				}
+				if !d.Sym.Type.IsScalar() {
+					return errf(st.Line, st.Col, "cannot initialize non-scalar %q", d.Sym.Name)
+				}
+				if err := s.assignable(d.Sym.Type, d.Init, st.Line, st.Col); err != nil {
+					return err
+				}
+			}
+		}
+	case SExpr:
+		return s.checkExpr(st.Expr)
+	case SIf:
+		if err := s.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := s.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return s.checkStmt(st.Else)
+		}
+	case SWhile, SDoWhile:
+		if err := s.checkCond(st.Cond); err != nil {
+			return err
+		}
+		s.loops++
+		s.breaks++
+		defer func() { s.loops--; s.breaks-- }()
+		return s.checkStmt(st.Body)
+	case SSwitch:
+		if err := s.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if !st.Cond.Type.Decay().IsInteger() {
+			return errf(st.Line, st.Col, "switch expression must be integer, got %s", st.Cond.Type)
+		}
+		s.breaks++
+		s.push()
+		defer func() { s.breaks--; s.pop() }()
+		seen := map[int64]bool{}
+		hasDefault := false
+		for _, sub := range st.List {
+			switch sub.Kind {
+			case SCase:
+				if err := s.checkExpr(sub.Expr); err != nil {
+					return err
+				}
+				v, ok := ConstFold(sub.Expr)
+				if !ok {
+					return errf(sub.Line, sub.Col, "case value must be a constant expression")
+				}
+				if seen[v] {
+					return errf(sub.Line, sub.Col, "duplicate case value %d", v)
+				}
+				seen[v] = true
+				sub.Expr = &Expr{Kind: EConst, Val: v, Type: IntType, Line: sub.Line, Col: sub.Col}
+			case SDefault:
+				if hasDefault {
+					return errf(sub.Line, sub.Col, "multiple default labels")
+				}
+				hasDefault = true
+			default:
+				if err := s.checkStmt(sub); err != nil {
+					return err
+				}
+			}
+		}
+	case SFor:
+		s.push()
+		defer s.pop()
+		if err := s.checkStmt(st.Init); err != nil {
+			return err
+		}
+		if st.Cond != nil {
+			if err := s.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := s.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		s.loops++
+		s.breaks++
+		defer func() { s.loops--; s.breaks-- }()
+		return s.checkStmt(st.Body)
+	case SReturn:
+		if st.Expr == nil {
+			if s.fn.Ret.Kind != TVoid {
+				return errf(st.Line, st.Col, "%s: return without value", s.fn.Name)
+			}
+			return nil
+		}
+		if s.fn.Ret.Kind == TVoid {
+			return errf(st.Line, st.Col, "%s: returning a value from void function", s.fn.Name)
+		}
+		if err := s.checkExpr(st.Expr); err != nil {
+			return err
+		}
+		return s.assignable(s.fn.Ret, st.Expr, st.Line, st.Col)
+	case SBreak:
+		if s.breaks == 0 {
+			return errf(st.Line, st.Col, "break outside loop or switch")
+		}
+	case SContinue:
+		if s.loops == 0 {
+			return errf(st.Line, st.Col, "continue outside loop")
+		}
+	case SCase, SDefault:
+		return errf(st.Line, st.Col, "case label outside switch")
+	case SEmpty:
+	}
+	return nil
+}
+
+func (s *sema) checkCond(e *Expr) error {
+	if err := s.checkExpr(e); err != nil {
+		return err
+	}
+	t := e.Type.Decay()
+	if !t.IsScalar() {
+		return errf(e.Line, e.Col, "condition has non-scalar type %s", e.Type)
+	}
+	return nil
+}
+
+// assignable verifies that src can be assigned to a destination of type
+// dst under MiniC's rules (integers interconvert; pointers require the
+// same pointee or a literal 0).
+func (s *sema) assignable(dst *Type, src *Expr, line, col int) error {
+	st := src.Type.Decay()
+	switch {
+	case dst.IsInteger() && st.IsInteger():
+		return nil
+	case dst.Kind == TPtr && st.Kind == TPtr:
+		if dst.Elem.Same(st.Elem) {
+			return nil
+		}
+		return errf(line, col, "incompatible pointer types %s and %s", dst, src.Type)
+	case dst.Kind == TPtr && src.Kind == EConst && src.Val == 0:
+		return nil
+	default:
+		return errf(line, col, "cannot assign %s to %s", src.Type, dst)
+	}
+}
+
+func isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case EVar:
+		return e.Sym != nil && e.Sym.Kind != SymFunc && e.Type.Kind != TArray
+	case EIndex:
+		return true
+	case EUnary:
+		return e.Op == "*"
+	case EMember:
+		return e.Type.Kind != TArray
+	}
+	return false
+}
+
+// hasAddress reports whether an expression designates storage (even if
+// it is not assignable, like a whole struct or array).
+func hasAddress(e *Expr) bool {
+	switch e.Kind {
+	case EVar:
+		return e.Sym != nil && e.Sym.Kind != SymFunc
+	case EIndex, EMember:
+		return true
+	case EUnary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+func (s *sema) checkExpr(e *Expr) error {
+	switch e.Kind {
+	case EConst:
+		e.Type = IntType
+	case EString:
+		e.Type = ArrayOf(CharType, len(e.Str)+1)
+	case EVar:
+		sym := s.lookup(e.Name)
+		if sym == nil {
+			return errf(e.Line, e.Col, "undeclared identifier %q", e.Name)
+		}
+		e.Sym = sym
+		e.Type = sym.Type
+	case EUnary:
+		if err := s.checkExpr(e.L); err != nil {
+			return err
+		}
+		lt := e.L.Type.Decay()
+		switch e.Op {
+		case "-", "~":
+			if !lt.IsInteger() {
+				return errf(e.Line, e.Col, "unary %s requires integer, got %s", e.Op, e.L.Type)
+			}
+			e.Type = IntType
+		case "!":
+			if !lt.IsScalar() {
+				return errf(e.Line, e.Col, "! requires scalar, got %s", e.L.Type)
+			}
+			e.Type = IntType
+		case "*":
+			if lt.Kind != TPtr || lt.Elem.Kind == TVoid {
+				return errf(e.Line, e.Col, "cannot dereference %s", e.L.Type)
+			}
+			e.Type = lt.Elem
+		case "&":
+			if !hasAddress(e.L) {
+				return errf(e.Line, e.Col, "cannot take address of this expression")
+			}
+			if e.L.Type.Kind == TArray {
+				e.Type = PtrTo(e.L.Type.Elem)
+			} else {
+				e.Type = PtrTo(e.L.Type)
+			}
+		case "++", "--":
+			if !isLvalue(e.L) || !e.L.Type.Decay().IsScalar() {
+				return errf(e.Line, e.Col, "%s requires scalar lvalue", e.Op)
+			}
+			e.Type = e.L.Type.Decay()
+		default:
+			return errf(e.Line, e.Col, "unknown unary operator %q", e.Op)
+		}
+	case EPostfix:
+		if err := s.checkExpr(e.L); err != nil {
+			return err
+		}
+		if !isLvalue(e.L) || !e.L.Type.Decay().IsScalar() {
+			return errf(e.Line, e.Col, "%s requires scalar lvalue", e.Op)
+		}
+		e.Type = e.L.Type.Decay()
+	case EBinary:
+		if err := s.checkExpr(e.L); err != nil {
+			return err
+		}
+		if err := s.checkExpr(e.R); err != nil {
+			return err
+		}
+		lt, rt := e.L.Type.Decay(), e.R.Type.Decay()
+		switch e.Op {
+		case "&&", "||":
+			if !lt.IsScalar() || !rt.IsScalar() {
+				return errf(e.Line, e.Col, "%s requires scalar operands", e.Op)
+			}
+			e.Type = IntType
+		case "==", "!=", "<", "<=", ">", ">=":
+			ok := lt.IsInteger() && rt.IsInteger() ||
+				lt.Kind == TPtr && rt.Kind == TPtr ||
+				lt.Kind == TPtr && e.R.Kind == EConst && e.R.Val == 0 ||
+				rt.Kind == TPtr && e.L.Kind == EConst && e.L.Val == 0
+			if !ok {
+				return errf(e.Line, e.Col, "cannot compare %s and %s", e.L.Type, e.R.Type)
+			}
+			e.Type = IntType
+		case "+":
+			switch {
+			case lt.IsInteger() && rt.IsInteger():
+				e.Type = IntType
+			case lt.Kind == TPtr && rt.IsInteger():
+				e.Type = lt
+			case lt.IsInteger() && rt.Kind == TPtr:
+				e.Type = rt
+			default:
+				return errf(e.Line, e.Col, "cannot add %s and %s", e.L.Type, e.R.Type)
+			}
+		case "-":
+			switch {
+			case lt.IsInteger() && rt.IsInteger():
+				e.Type = IntType
+			case lt.Kind == TPtr && rt.IsInteger():
+				e.Type = lt
+			case lt.Kind == TPtr && rt.Kind == TPtr && lt.Elem.Same(rt.Elem):
+				e.Type = IntType
+			default:
+				return errf(e.Line, e.Col, "cannot subtract %s from %s", e.R.Type, e.L.Type)
+			}
+		default: // * / % & | ^ << >>
+			if !lt.IsInteger() || !rt.IsInteger() {
+				return errf(e.Line, e.Col, "%s requires integer operands, got %s and %s", e.Op, e.L.Type, e.R.Type)
+			}
+			e.Type = IntType
+		}
+	case EAssign:
+		if err := s.checkExpr(e.L); err != nil {
+			return err
+		}
+		if err := s.checkExpr(e.R); err != nil {
+			return err
+		}
+		if !isLvalue(e.L) {
+			return errf(e.Line, e.Col, "assignment target is not an lvalue")
+		}
+		if e.Op != "" {
+			// Compound assignment: validate as the corresponding binary op.
+			tmp := &Expr{Kind: EBinary, Op: e.Op, L: e.L, R: e.R, Line: e.Line, Col: e.Col}
+			if err := s.checkExpr(tmp); err != nil {
+				return err
+			}
+		} else if err := s.assignable(e.L.Type, e.R, e.Line, e.Col); err != nil {
+			return err
+		}
+		e.Type = e.L.Type
+	case ECond:
+		if err := s.checkExpr(e.Cond); err != nil {
+			return err
+		}
+		if !e.Cond.Type.Decay().IsScalar() {
+			return errf(e.Line, e.Col, "?: condition must be scalar")
+		}
+		if err := s.checkExpr(e.L); err != nil {
+			return err
+		}
+		if err := s.checkExpr(e.R); err != nil {
+			return err
+		}
+		lt, rt := e.L.Type.Decay(), e.R.Type.Decay()
+		switch {
+		case lt.IsInteger() && rt.IsInteger():
+			e.Type = IntType
+		case lt.Kind == TPtr && rt.Kind == TPtr && lt.Elem.Same(rt.Elem):
+			e.Type = lt
+		default:
+			return errf(e.Line, e.Col, "?: branches have incompatible types %s and %s",
+				e.L.Type, e.R.Type)
+		}
+	case EMember:
+		if err := s.checkExpr(e.L); err != nil {
+			return err
+		}
+		var st *Type
+		if e.Op == "->" {
+			lt := e.L.Type.Decay()
+			if lt.Kind != TPtr || lt.Elem.Kind != TStruct {
+				return errf(e.Line, e.Col, "-> requires a struct pointer, got %s", e.L.Type)
+			}
+			st = lt.Elem
+		} else {
+			if e.L.Type.Kind != TStruct {
+				return errf(e.Line, e.Col, ". requires a struct, got %s", e.L.Type)
+			}
+			if !hasAddress(e.L) {
+				return errf(e.Line, e.Col, "member access on a value with no storage")
+			}
+			st = e.L.Type
+		}
+		fld := st.Field(e.Name)
+		if fld == nil {
+			return errf(e.Line, e.Col, "struct %s has no field %q", st.Tag, e.Name)
+		}
+		e.Type = fld.Type
+	case EIndex:
+		if err := s.checkExpr(e.L); err != nil {
+			return err
+		}
+		if err := s.checkExpr(e.R); err != nil {
+			return err
+		}
+		lt := e.L.Type.Decay()
+		if lt.Kind != TPtr {
+			return errf(e.Line, e.Col, "cannot index %s", e.L.Type)
+		}
+		if !e.R.Type.Decay().IsInteger() {
+			return errf(e.Line, e.Col, "array index must be integer")
+		}
+		e.Type = lt.Elem
+	case ECall:
+		if e.L.Kind != EVar {
+			return errf(e.Line, e.Col, "called object is not a function name")
+		}
+		sym := s.lookup(e.L.Name)
+		if sym == nil {
+			return errf(e.Line, e.Col, "undeclared function %q", e.L.Name)
+		}
+		if sym.Type.Kind != TFunc {
+			return errf(e.Line, e.Col, "%q is not a function", e.L.Name)
+		}
+		e.L.Sym = sym
+		e.L.Type = sym.Type
+		if len(e.Args) != len(sym.Type.Params) {
+			return errf(e.Line, e.Col, "%q expects %d argument(s), got %d",
+				e.L.Name, len(sym.Type.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			if err := s.checkExpr(a); err != nil {
+				return err
+			}
+			if err := s.assignable(sym.Type.Params[i], a, a.Line, a.Col); err != nil {
+				return err
+			}
+		}
+		e.Type = sym.Type.Elem
+	default:
+		return errf(e.Line, e.Col, "unknown expression kind %d", e.Kind)
+	}
+	return nil
+}

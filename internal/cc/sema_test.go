@@ -1,0 +1,171 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog, Analyze(prog)
+}
+
+func mustAnalyze(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := analyze(t, src)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return prog
+}
+
+func TestSemaResolvesSymbols(t *testing.T) {
+	prog := mustAnalyze(t, `
+int g;
+int f(int p) {
+	int l;
+	l = p + g;
+	return l;
+}`)
+	assign := prog.Funcs[0].Body.List[1].Expr
+	if assign.L.Sym == nil || assign.L.Sym.Kind != SymLocal {
+		t.Error("l not resolved to local")
+	}
+	add := assign.R
+	if add.L.Sym.Kind != SymParam || add.R.Sym.Kind != SymGlobal {
+		t.Errorf("p/g resolution wrong: %v %v", add.L.Sym.Kind, add.R.Sym.Kind)
+	}
+}
+
+func TestSemaShadowing(t *testing.T) {
+	prog := mustAnalyze(t, `
+int x;
+int f(void) {
+	int x;
+	x = 1;
+	{
+		int x;
+		x = 2;
+	}
+	return x;
+}`)
+	outer := prog.Funcs[0].Body.List[0].Decls[0].Sym
+	inner := prog.Funcs[0].Body.List[2].List[0].Decls[0].Sym
+	a1 := prog.Funcs[0].Body.List[1].Expr.L.Sym
+	a2 := prog.Funcs[0].Body.List[2].List[1].Expr.L.Sym
+	if a1 != outer || a2 != inner {
+		t.Error("shadowing resolution wrong")
+	}
+}
+
+func TestSemaTypes(t *testing.T) {
+	prog := mustAnalyze(t, `
+int f(int* p, char c) {
+	int x;
+	x = *p;        // deref: int
+	x = c;         // char widens
+	x = p[3];      // index: int
+	p = p + 1;     // ptr arith
+	x = p - p;     // ptr diff: int
+	return x && 1; // logical: int
+}`)
+	body := prog.Funcs[0].Body.List
+	if body[1].Expr.R.Type.Kind != TInt {
+		t.Error("*p should be int")
+	}
+	if body[4].Expr.R.Type.Kind != TPtr {
+		t.Error("p+1 should be pointer")
+	}
+	if body[5].Expr.R.Type.Kind != TInt {
+		t.Error("p-p should be int")
+	}
+}
+
+func TestSemaArrayDecay(t *testing.T) {
+	mustAnalyze(t, `
+int sum(int* a, int n) {
+	int s, i;
+	s = 0;
+	for (i = 0; i < n; i++) s += a[i];
+	return s;
+}
+int main(void) {
+	int v[8];
+	return sum(v, 8);
+}`)
+}
+
+func TestSemaStringLiteral(t *testing.T) {
+	mustAnalyze(t, `int main(void) { puts("hi"); return 0; }`)
+}
+
+func TestSemaBuiltins(t *testing.T) {
+	mustAnalyze(t, `int main(void) { putint(1); putchar('x'); exit(0); return 0; }`)
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undeclared", `int f(void) { return x; }`, "undeclared"},
+		{"undeclared-fn", `int f(void) { return nope(); }`, "undeclared"},
+		{"redecl-local", `int f(void) { int a; int a; return 0; }`, "redeclaration"},
+		{"dup-global", `int a; int a;`, "duplicate"},
+		{"dup-func", `int f(void){return 0;} int f(void){return 0;}`, "duplicate"},
+		{"arity", `int g(int a){return a;} int f(void){ return g(1,2); }`, "argument"},
+		{"void-return-value", `void f(void) { return 1; }`, "void"},
+		{"missing-return-value", `int f(void) { return; }`, "without value"},
+		{"break-outside", `int f(void) { break; return 0; }`, "break"},
+		{"continue-outside", `int f(void) { continue; return 0; }`, "continue"},
+		{"assign-to-rvalue", `int f(int a) { a + 1 = 2; return a; }`, "lvalue"},
+		{"deref-int", `int f(int a) { return *a; }`, "dereference"},
+		{"bad-ptr-types", `int f(int* p, char* q) { p = q; return 0; }`, "incompatible"},
+		{"nonconst-global", `int g(void){return 1;} int x = g();`, "constant"},
+		{"call-nonfunc", `int x; int f(void) { return x(); }`, "not a function"},
+		{"index-nonptr", `int f(int a) { return a[0]; }`, "index"},
+		{"mod-ptr", `int f(int* p) { return p % 2; }`, "integer"},
+		{"string-into-int-array", `int a[4] = "abc";`, "char array"},
+		{"string-too-long", `char a[2] = "abc";`, "too long"},
+		{"inc-nonlvalue", `int f(int a) { (a+1)++; return a; }`, "lvalue"},
+		{"addr-of-rvalue", `int f(int a) { return *&(a+1); }`, "address"},
+		{"void-value-used", `void g(void){} int f(void) { return g(); }`, "void"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := analyze(t, c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"int x = 1 + 2 * 3;", 7},
+		{"int x = (1 << 4) - 1;", 15},
+		{"int x = -5;", -5},
+		{"int x = ~0;", -1},
+		{"int x = !3;", 0},
+		{"int x = 10 / 3;", 3},
+		{"int x = 10 % 3;", 1},
+		{"int x = 1 < 2;", 1},
+		{"int x = 'A';", 65},
+	}
+	for _, c := range cases {
+		prog := mustAnalyze(t, c.src)
+		if got := prog.Globals[0].Init.Val; got != c.want {
+			t.Errorf("%s => %d, want %d", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package cc implements the MiniC compiler front end: a lexer, a
+// recursive-descent parser, a semantic analyzer, and a lowering pass
+// that emits lcc-style tree IR (package ir).
+//
+// MiniC is the C subset this reproduction uses in place of lcc's C
+// front end: int/char scalars, pointers, one-dimensional arrays,
+// functions, globals, string literals, and the full C expression and
+// statement core (if/else, while, for, do, break, continue, return,
+// logical and bitwise operators, assignment and compound assignment,
+// ++/--). That is enough to express the paper's running example and the
+// synthetic benchmark programs the workload generator produces.
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokChar   // character literal, value in Num
+	TokString // string literal, text in Str
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Str  string // identifier text, keyword, punctuator, or string body
+	Num  int64  // numeric value for TokNumber and TokChar
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokNumber:
+		return fmt.Sprintf("%d", t.Num)
+	case TokChar:
+		return fmt.Sprintf("%q", rune(t.Num))
+	case TokString:
+		return fmt.Sprintf("%q", t.Str)
+	default:
+		return t.Str
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true,
+	"switch": true, "case": true, "default": true, "sizeof": true,
+	"struct": true,
+}
+
+// Error is a front-end diagnostic with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes MiniC source. It returns all tokens including a final
+// TokEOF, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i+1 < len(src) {
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, errf(startLine, startCol, "unterminated block comment")
+			}
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			start := i
+			startLine, startCol := line, col
+			for i < len(src) && (isIdentByte(src[i])) {
+				advance(1)
+			}
+			word := src[start:i]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Str: word, Line: startLine, Col: startCol})
+		case c >= '0' && c <= '9':
+			start := i
+			startLine, startCol := line, col
+			base := int64(10)
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				advance(2)
+			}
+			for i < len(src) && isDigitInBase(src[i], base) {
+				advance(1)
+			}
+			text := src[start:i]
+			var v int64
+			var err error
+			if base == 16 {
+				v, err = parseInt(text[2:], 16)
+			} else {
+				v, err = parseInt(text, 10)
+			}
+			if err != nil {
+				return nil, errf(startLine, startCol, "bad number %q", text)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Num: v, Line: startLine, Col: startCol})
+		case c == '\'':
+			startLine, startCol := line, col
+			advance(1)
+			if i >= len(src) {
+				return nil, errf(startLine, startCol, "unterminated character literal")
+			}
+			var v int64
+			if src[i] == '\\' {
+				advance(1)
+				if i >= len(src) {
+					return nil, errf(startLine, startCol, "unterminated escape")
+				}
+				e, ok := unescape(src[i])
+				if !ok {
+					return nil, errf(line, col, "unknown escape '\\%c'", src[i])
+				}
+				v = int64(e)
+				advance(1)
+			} else {
+				v = int64(src[i])
+				advance(1)
+			}
+			if i >= len(src) || src[i] != '\'' {
+				return nil, errf(startLine, startCol, "unterminated character literal")
+			}
+			advance(1)
+			toks = append(toks, Token{Kind: TokChar, Num: v, Line: startLine, Col: startCol})
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, errf(startLine, startCol, "unterminated string literal")
+				}
+				if src[i] == '"' {
+					advance(1)
+					break
+				}
+				if src[i] == '\\' {
+					advance(1)
+					if i >= len(src) {
+						return nil, errf(startLine, startCol, "unterminated escape")
+					}
+					e, ok := unescape(src[i])
+					if !ok {
+						return nil, errf(line, col, "unknown escape '\\%c'", src[i])
+					}
+					sb.WriteByte(e)
+					advance(1)
+					continue
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokString, Str: sb.String(), Line: startLine, Col: startCol})
+		default:
+			startLine, startCol := line, col
+			p := longestPunct(src[i:])
+			if p == "" {
+				return nil, errf(line, col, "unexpected character %q", c)
+			}
+			advance(len(p))
+			toks = append(toks, Token{Kind: TokPunct, Str: p, Line: startLine, Col: startCol})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isDigitInBase(c byte, base int64) bool {
+	if base == 16 {
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	}
+	return c >= '0' && c <= '9'
+}
+
+func parseInt(s string, base int64) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	var v int64
+	for _, c := range []byte(s) {
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit")
+		}
+		if d >= base {
+			return 0, fmt.Errorf("bad digit")
+		}
+		v = v*base + d
+		if v > 1<<40 {
+			return 0, fmt.Errorf("overflow")
+		}
+	}
+	return v, nil
+}
+
+func unescape(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	return 0, false
+}
+
+// punctuators, longest first within each leading byte.
+var puncts = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ",", ";", "?", ":", ".",
+}
+
+func longestPunct(s string) string {
+	for _, p := range puncts {
+		if strings.HasPrefix(s, p) {
+			return p
+		}
+	}
+	return ""
+}

@@ -1,0 +1,192 @@
+package cc
+
+import "fmt"
+
+// TypeKind classifies MiniC types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TInt           // 32-bit signed
+	TChar          // 8-bit signed
+	TPtr
+	TArray
+	TFunc
+	TStruct
+)
+
+// Field is one struct member with its computed layout.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int
+}
+
+// Type describes a MiniC type. Scalar/pointer/array types are
+// structural; struct types are nominal (compared by identity), as in C.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type   // Ptr/Array element, Func result
+	Len    int     // Array length
+	Params []*Type // Func parameters
+
+	// Struct types.
+	Tag         string
+	Fields      []Field
+	structSize  int
+	structAlign int
+	// incomplete marks a struct tag that is being defined; only
+	// pointers to it are legal until the definition closes.
+	incomplete bool
+}
+
+// Prebuilt scalar types.
+var (
+	VoidType = &Type{Kind: TVoid}
+	IntType  = &Type{Kind: TInt}
+	CharType = &Type{Kind: TChar}
+)
+
+// PtrTo returns a pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TPtr, Elem: elem} }
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: TArray, Elem: elem, Len: n} }
+
+// Size reports the byte size (the target is ILP32: pointers and ints
+// are 4 bytes).
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 4
+	case TChar:
+		return 1
+	case TArray:
+		return t.Elem.Size() * t.Len
+	case TStruct:
+		return t.structSize
+	default:
+		return 0
+	}
+}
+
+// Align reports the required alignment.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 4
+	case TChar:
+		return 1
+	case TArray:
+		return t.Elem.Align()
+	case TStruct:
+		if t.structAlign == 0 {
+			return 1
+		}
+		return t.structAlign
+	default:
+		return 1
+	}
+}
+
+// Field looks up a struct member by name.
+func (t *Type) Field(name string) *Field {
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i]
+		}
+	}
+	return nil
+}
+
+// closeStruct computes field offsets and the struct's size/alignment,
+// completing the type.
+func (t *Type) closeStruct() {
+	off, align := 0, 1
+	for i := range t.Fields {
+		fa := t.Fields[i].Type.Align()
+		if fa > align {
+			align = fa
+		}
+		off = (off + fa - 1) &^ (fa - 1)
+		t.Fields[i].Offset = off
+		off += t.Fields[i].Type.Size()
+	}
+	t.structAlign = align
+	t.structSize = (off + align - 1) &^ (align - 1)
+	if t.structSize == 0 {
+		t.structSize = align // empty structs still occupy storage
+	}
+	t.incomplete = false
+}
+
+// IsScalar reports whether values of the type fit in a machine word.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TInt || t.Kind == TChar || t.Kind == TPtr
+}
+
+// IsInteger reports whether the type is an integer scalar.
+func (t *Type) IsInteger() bool { return t.Kind == TInt || t.Kind == TChar }
+
+// Decay converts arrays to element pointers (C's array-to-pointer
+// conversion in value contexts).
+func (t *Type) Decay() *Type {
+	if t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// Same reports type equality: structural for scalars, pointers, and
+// arrays; nominal (identity) for structs.
+func (t *Type) Same(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind == TStruct || o.Kind == TStruct {
+		return t == o
+	}
+	if t.Kind != o.Kind || t.Len != o.Len || len(t.Params) != len(o.Params) {
+		return false
+	}
+	if (t.Elem == nil) != (o.Elem == nil) {
+		return false
+	}
+	if t.Elem != nil && !t.Elem.Same(o.Elem) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].Same(o.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TFunc:
+		s := t.Elem.String() + "("
+		for i, p := range t.Params {
+			if i > 0 {
+				s += ","
+			}
+			s += p.String()
+		}
+		return s + ")"
+	case TStruct:
+		return "struct " + t.Tag
+	}
+	return "?"
+}

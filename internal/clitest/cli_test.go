@@ -1,0 +1,216 @@
+// Package clitest builds the command-line tools and exercises them end
+// to end, the way a user would.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// tools builds all cmd binaries once into a shared temp dir.
+func tools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "codecomp-tools")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator),
+			"repro/cmd/mcc", "repro/cmd/wirec", "repro/cmd/briscc",
+			"repro/cmd/briscrun", "repro/cmd/experiments")
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			_ = out
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func repoRoot() string {
+	dir, _ := os.Getwd()
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}
+
+const sample = `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { putint(fib(10)); return 0; }
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "app.mc")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// run executes a built tool and returns combined output.
+func run(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(tools(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, out)
+	}
+	return string(out), code
+}
+
+func TestMccCompileAndRun(t *testing.T) {
+	src := writeSample(t)
+	out, code := run(t, "mcc", "-run", "-stats", src)
+	if code != 0 {
+		t.Fatalf("mcc exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "55\n") {
+		t.Errorf("fib(10) output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "instructions:") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	out, code = run(t, "mcc", "-dump-ir", "-dump-asm", src)
+	if code != 0 {
+		t.Fatalf("dump exited %d", code)
+	}
+	if !strings.Contains(out, "ADDRLP") || !strings.Contains(out, "enter sp,sp,") {
+		t.Errorf("dumps missing expected content:\n%s", out)
+	}
+}
+
+func TestMccRejectsBadSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.mc")
+	if err := os.WriteFile(path, []byte("int main(void) { return x; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "mcc", path)
+	if code == 0 {
+		t.Errorf("bad source accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "undeclared") {
+		t.Errorf("diagnostic missing:\n%s", out)
+	}
+}
+
+func TestWireRoundTripViaCLI(t *testing.T) {
+	src := writeSample(t)
+	obj := filepath.Join(t.TempDir(), "app.wire")
+	out, code := run(t, "wirec", "-c", src, "-o", obj, "-stats")
+	if code != 0 {
+		t.Fatalf("wirec -c exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "final object:") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	out, code = run(t, "wirec", "-d", obj, "-dump-ir")
+	if code != 0 {
+		t.Fatalf("wirec -d exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "CALLI(ADDRGP[fib])") {
+		t.Errorf("reconstructed IR missing call:\n%s", out)
+	}
+}
+
+func TestWireIndexedViaCLI(t *testing.T) {
+	src := writeSample(t)
+	obj := filepath.Join(t.TempDir(), "app.wirx")
+	if out, code := run(t, "wirec", "-c", src, "-indexed", "-o", obj); code != 0 {
+		t.Fatalf("indexed compress failed:\n%s", out)
+	}
+	out, code := run(t, "wirec", "-d", obj, "-indexed", "-func", "fib")
+	if code != 0 {
+		t.Fatalf("indexed load failed:\n%s", out)
+	}
+	if !strings.Contains(out, "loaded fib") || !strings.Contains(out, "touched") {
+		t.Errorf("partial-load report missing:\n%s", out)
+	}
+}
+
+func TestBriscPipelineViaCLI(t *testing.T) {
+	src := writeSample(t)
+	dir := t.TempDir()
+	obj := filepath.Join(dir, "app.brisc")
+	dict := filepath.Join(dir, "app.dict")
+	out, code := run(t, "briscc", "-stats", "-o", obj, "-dict-out", dict, src)
+	if code != 0 {
+		t.Fatalf("briscc exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "BRISC total code:") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	for _, args := range [][]string{
+		{obj},
+		{"-jit", obj},
+		{"-cache", "-time", obj},
+	} {
+		out, code := run(t, "briscrun", args...)
+		if code != 0 {
+			t.Fatalf("briscrun %v exited %d:\n%s", args, code, out)
+		}
+		if !strings.Contains(out, "55\n") {
+			t.Errorf("briscrun %v output missing fib(10):\n%s", args, out)
+		}
+	}
+	// Recompress with the saved dictionary.
+	out, code = run(t, "briscc", "-dict-in", dict, "-stats", src)
+	if code != 0 {
+		t.Fatalf("briscc -dict-in exited %d:\n%s", code, out)
+	}
+}
+
+func TestExperimentsQuickTable(t *testing.T) {
+	out, code := run(t, "experiments", "-table", "variants", "-quick")
+	if code != 0 {
+		t.Fatalf("experiments exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"RISC", "minus both", "compressed/native"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("variants table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cmd := exec.Command("go", "run", "./examples/quickstart")
+	cmd.Dir = repoRoot()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart: %v\n%s", err, out)
+	}
+	for _, want := range []string{"wire format:", "BRISC object:", "BRISC JIT-compiled"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("quickstart output missing %q", want)
+		}
+	}
+}

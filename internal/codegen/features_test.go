@@ -1,0 +1,196 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// End-to-end tests for the ternary operator, switch statements, and
+// sizeof — the front-end features added beyond the MiniC core.
+
+func TestTernary(t *testing.T) {
+	allVariants(t, `
+int max(int a, int b) { return a > b ? a : b; }
+int main(void) {
+	putint(max(3, 7));
+	putint(max(9, 2));
+	putint(1 ? 10 : 20);
+	putint(0 ? 10 : 20);
+	int x = 5;
+	putint(x > 0 ? x > 3 ? 2 : 1 : 0); // nested
+	return 0;
+}`, 0, "7\n9\n10\n20\n2\n")
+}
+
+func TestTernarySideEffects(t *testing.T) {
+	// Only the selected branch may evaluate.
+	allVariants(t, `
+int hits;
+int bump(int v) { hits++; return v; }
+int main(void) {
+	hits = 0;
+	putint(1 ? 5 : bump(6));
+	putint(hits);
+	putint(0 ? bump(7) : 8);
+	putint(hits);
+	return 0;
+}`, 0, "5\n0\n8\n0\n")
+}
+
+func TestTernaryPointers(t *testing.T) {
+	allVariants(t, `
+int a = 1, b = 2;
+int main(void) {
+	int* p = 1 ? &a : &b;
+	putint(*p);
+	p = 0 ? &a : &b;
+	putint(*p);
+	return 0;
+}`, 0, "1\n2\n")
+}
+
+func TestSwitchBasics(t *testing.T) {
+	allVariants(t, `
+int classify(int c) {
+	switch (c) {
+	case 0: return 100;
+	case 1:
+	case 2: return 200;
+	default: return 300;
+	}
+}
+int main(void) {
+	putint(classify(0));
+	putint(classify(1));
+	putint(classify(2));
+	putint(classify(9));
+	return 0;
+}`, 0, "100\n200\n200\n300\n")
+}
+
+func TestSwitchFallthroughAndBreak(t *testing.T) {
+	allVariants(t, `
+int main(void) {
+	int i, s;
+	for (i = 0; i < 4; i++) {
+		s = 0;
+		switch (i) {
+		case 0:
+			s += 1; // falls through
+		case 1:
+			s += 10;
+			break;
+		case 2:
+			s += 100;
+			break;
+		default:
+			s += 1000;
+		}
+		putint(s);
+	}
+	return 0;
+}`, 0, "11\n10\n100\n1000\n")
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	allVariants(t, `
+int main(void) {
+	int s = 7;
+	switch (42) {
+	case 1: s = 1; break;
+	case 2: s = 2; break;
+	}
+	putint(s);
+	return 0;
+}`, 0, "7\n")
+}
+
+func TestSwitchInsideLoopContinue(t *testing.T) {
+	// continue inside a switch must bind to the loop, break to the switch.
+	allVariants(t, `
+int main(void) {
+	int i, s = 0;
+	for (i = 0; i < 6; i++) {
+		switch (i % 3) {
+		case 0:
+			continue;
+		case 1:
+			s += 10;
+			break;
+		default:
+			s += 1;
+		}
+		s += 100;
+	}
+	putint(s);
+	return 0;
+}`, 0, "422\n")
+}
+
+func TestSwitchConstExprCases(t *testing.T) {
+	allVariants(t, `
+int main(void) {
+	switch (12) {
+	case 4 + 8: putint(1); break;
+	case 1 << 5: putint(2); break;
+	default: putint(3);
+	}
+	return 0;
+}`, 0, "1\n")
+}
+
+func TestSizeof(t *testing.T) {
+	allVariants(t, `
+int main(void) {
+	putint(sizeof(int));
+	putint(sizeof(char));
+	putint(sizeof(int*));
+	putint(sizeof(char*));
+	putint(sizeof(int[10]));
+	putint(sizeof(char[10]));
+	return 0;
+}`, 0, "4\n1\n4\n4\n40\n10\n")
+}
+
+func TestSizeofInExpressions(t *testing.T) {
+	allVariants(t, `
+int buf[32];
+int main(void) {
+	int n = sizeof(int[32]) / sizeof(int);
+	putint(n);
+	buf[n - 1] = 5;
+	putint(buf[31]);
+	return 0;
+}`, 0, "32\n5\n")
+}
+
+func TestFeatureSemaErrors(t *testing.T) {
+	bad := []string{
+		`int main(void) { switch (1) { case 1: break; case 1: break; } return 0; }`,   // dup case
+		`int main(void) { switch (1) { default: break; default: break; } return 0; }`, // dup default
+		`int f(int x) { switch (1) { case x: break; } return 0; }`,                    // non-const case
+		`int main(void) { case 1: return 0; }`,                                        // case outside switch
+		`int g; int* p; int main(void) { return 1 ? g : p; }`,                         // mixed ?: types
+		`int main(void) { return sizeof(void); }`,                                     // sizeof(void)
+	}
+	for _, src := range bad {
+		if _, err := run2(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// run2 compiles without executing, returning the first error.
+func run2(src string) (interface{}, error) {
+	mod, err := compileOnly(src)
+	return mod, err
+}
+
+func compileOnly(src string) (interface{}, error) {
+	m, err := cc.Compile("t", src)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(m, Options{})
+}

@@ -1,0 +1,374 @@
+package codegen
+
+import "repro/internal/vm"
+
+// Peephole applies local optimizations to a linked program, returning
+// a new program with identical behaviour. The paper's OmniVM input was
+// "highly optimized using a commercial compiler back end"; this pass
+// closes the most egregious gaps the straightforward tree translation
+// leaves, so the native baseline (and therefore every compression
+// ratio) is measured against credible code:
+//
+//   - store-to-load forwarding: a load from a frame slot just stored
+//     becomes a register move (or disappears when registers match),
+//   - self-move elimination (mov.i rX,rX),
+//   - jump-to-next elimination.
+//
+// Rewrites never cross basic-block boundaries, and instruction removal
+// remaps all code targets and function extents.
+func Peephole(p *vm.Program) *vm.Program {
+	p2 := *p
+	p2.ComputeBlockStarts()
+	isBlockStart := make(map[int]bool, len(p2.BlockStarts))
+	for _, b := range p2.BlockStarts {
+		isBlockStart[b] = true
+	}
+
+	const drop = vm.BAD // marker for deleted instructions
+	code := append([]vm.Instr(nil), p.Code...)
+
+	// Block-local store-to-load forwarding: track which register holds
+	// the value last stored to each word slot, invalidating on
+	// register writes, aliasing stores, stack-pointer motion, and
+	// anything that can touch memory or registers wholesale.
+	type slot struct {
+		base uint8
+		off  int32
+	}
+	// What a slot currently holds: the register last stored to it
+	// (until that register is clobbered) and/or a known constant.
+	type held struct {
+		reg      uint8
+		hasReg   bool
+		con      int32
+		hasConst bool
+	}
+	avail := map[slot]held{}
+	// regConst tracks registers with known constant values (from LDI).
+	regConst := map[uint8]int32{}
+
+	clear := func() {
+		for k := range avail {
+			delete(avail, k)
+		}
+	}
+	clearConsts := func() {
+		for k := range regConst {
+			delete(regConst, k)
+		}
+	}
+	invalidateReg := func(r uint8) {
+		for k, v := range avail {
+			if v.hasReg && v.reg == r {
+				v.hasReg = false
+				if v.hasConst {
+					avail[k] = v
+				} else {
+					delete(avail, k)
+				}
+				continue
+			}
+			if k.base == r {
+				delete(avail, k)
+			}
+		}
+		delete(regConst, r)
+	}
+
+	for i := 0; i < len(code); i++ {
+		if isBlockStart[i] {
+			clear()
+			clearConsts()
+		}
+		ins := code[i]
+		// mov.i rX,rX
+		if ins.Op == vm.MOV && ins.Rd == ins.Rs1 {
+			code[i].Op = drop
+			continue
+		}
+		// jmp to the textually next instruction.
+		if ins.Op == vm.JMP && int(ins.Target) == i+1 {
+			code[i].Op = drop
+			continue
+		}
+
+		switch ins.Op {
+		case vm.LDW:
+			if h, ok := avail[slot{ins.Rs1, ins.Imm}]; ok {
+				switch {
+				case h.hasReg && h.reg == ins.Rd:
+					code[i].Op = drop
+					continue
+				case h.hasReg:
+					code[i] = vm.Instr{Op: vm.MOV, Rd: ins.Rd, Rs1: h.reg}
+					ins = code[i]
+				case h.hasConst:
+					code[i] = vm.Instr{Op: vm.LDI, Rd: ins.Rd, Imm: h.con}
+					ins = code[i]
+				}
+			}
+			invalidateReg(ins.Rd)
+			if ins.Op == vm.LDI {
+				regConst[ins.Rd] = ins.Imm
+			}
+			if ins.Op == vm.MOV {
+				if c, ok := regConst[ins.Rs1]; ok {
+					regConst[ins.Rd] = c
+				}
+			}
+		case vm.STW:
+			if ins.Rs1 == vm.RegSP {
+				// sp-relative word stores alias only overlapping
+				// sp-relative slots.
+				for k := range avail {
+					if k.base == vm.RegSP && k.off > ins.Imm-4 && k.off < ins.Imm+4 {
+						delete(avail, k)
+					}
+				}
+				h := held{reg: ins.Rs2, hasReg: true}
+				if c, ok := regConst[ins.Rs2]; ok {
+					h.con, h.hasConst = c, true
+				}
+				avail[slot{ins.Rs1, ins.Imm}] = h
+			} else {
+				// A store through an arbitrary pointer may alias any
+				// frame slot (&local escapes).
+				clear()
+			}
+		case vm.STB:
+			clear() // byte stores can overlap any word slot
+		case vm.CALL, vm.TRAP, vm.RJR, vm.EPI, vm.ENTER, vm.EXIT, vm.HALT:
+			clear()
+			clearConsts()
+		case vm.LDI:
+			invalidateReg(ins.Rd)
+			regConst[ins.Rd] = ins.Imm
+		case vm.MOV:
+			invalidateReg(ins.Rd)
+			if c, ok := regConst[ins.Rs1]; ok {
+				regConst[ins.Rd] = c
+			}
+		case vm.LDB, vm.ADDI, vm.NEG, vm.NOT,
+			vm.ADD, vm.SUB, vm.MUL, vm.DIV, vm.REM,
+			vm.AND, vm.OR, vm.XOR, vm.SHL, vm.SHR:
+			invalidateReg(ins.Rd)
+		}
+	}
+
+	combineDefMov(code, isBlockStart)
+	deadScratchElim(code, isBlockStart, drop)
+
+	// Compact, building the index map.
+	newIdx := make([]int32, len(code)+1)
+	var out []vm.Instr
+	for i, ins := range code {
+		newIdx[i] = int32(len(out))
+		if ins.Op != drop {
+			out = append(out, ins)
+		}
+	}
+	newIdx[len(code)] = int32(len(out))
+
+	for j := range out {
+		ins := &out[j]
+		for fi, f := range ins.Op.Fields() {
+			if f == vm.FTgt {
+				setTargetField(ins, fi, newIdx[targetField(*ins, fi)])
+			}
+		}
+	}
+	np := &vm.Program{
+		Name:     p.Name,
+		Code:     out,
+		Globals:  p.Globals,
+		DataSize: p.DataSize,
+	}
+	for _, f := range p.Funcs {
+		np.Funcs = append(np.Funcs, vm.FuncInfo{
+			Name:  f.Name,
+			Entry: int(newIdx[f.Entry]),
+			End:   int(newIdx[f.End]),
+			Frame: f.Frame,
+		})
+	}
+	np.ComputeBlockStarts()
+	return np
+}
+
+// targetField reads a code-target operand (branches and jumps store it
+// in Target).
+func targetField(ins vm.Instr, fi int) int32 {
+	_ = fi
+	return ins.Target
+}
+
+func setTargetField(ins *vm.Instr, fi int, v int32) {
+	_ = fi
+	ins.Target = v
+}
+
+// pureDef reports whether the instruction's only effect is writing its
+// destination register (so it may be retargeted or removed when that
+// register is dead). Loads count: on valid programs a skipped load is
+// unobservable. DIV/REM are excluded because they can fault.
+func pureDef(op vm.Opcode) bool {
+	switch op {
+	case vm.LDW, vm.LDB, vm.LDI, vm.ADDI, vm.MOV, vm.NEG, vm.NOT,
+		vm.ADD, vm.SUB, vm.MUL, vm.AND, vm.OR, vm.XOR, vm.SHL, vm.SHR:
+		return true
+	}
+	return false
+}
+
+// regReads returns the registers an instruction reads, as a bitmask.
+func regReads(ins vm.Instr) uint16 {
+	bit := func(r uint8) uint16 { return 1 << r }
+	switch ins.Op {
+	case vm.LDW, vm.LDB:
+		return bit(ins.Rs1)
+	case vm.STW, vm.STB:
+		return bit(ins.Rs1) | bit(ins.Rs2)
+	case vm.LDI, vm.JMP:
+		return 0
+	case vm.ADDI, vm.MOV, vm.NEG, vm.NOT, vm.RJR:
+		return bit(ins.Rs1)
+	case vm.ADD, vm.SUB, vm.MUL, vm.DIV, vm.REM,
+		vm.AND, vm.OR, vm.XOR, vm.SHL, vm.SHR,
+		vm.BEQ, vm.BNE, vm.BLT, vm.BLE, vm.BGT, vm.BGE:
+		return bit(ins.Rs1) | bit(ins.Rs2)
+	case vm.BEQI, vm.BNEI, vm.BLTI, vm.BLEI, vm.BGTI, vm.BGEI:
+		return bit(ins.Rs1)
+	case vm.CALL:
+		// Arguments in r0..r3 plus stack arguments through sp.
+		return bit(0) | bit(1) | bit(2) | bit(3) | bit(vm.RegSP)
+	case vm.TRAP, vm.HALT:
+		return bit(0) | bit(1) | bit(2) | bit(3)
+	case vm.ENTER, vm.EXIT, vm.EPI:
+		return bit(vm.RegSP)
+	}
+	return 0xFFFF // unknown: assume everything
+}
+
+// regWrites returns the registers an instruction defines, as a bitmask.
+func regWrites(ins vm.Instr) uint16 {
+	bit := func(r uint8) uint16 { return 1 << r }
+	switch ins.Op {
+	case vm.LDW, vm.LDB, vm.LDI, vm.ADDI, vm.MOV, vm.NEG, vm.NOT,
+		vm.ADD, vm.SUB, vm.MUL, vm.DIV, vm.REM,
+		vm.AND, vm.OR, vm.XOR, vm.SHL, vm.SHR:
+		return bit(ins.Rd)
+	case vm.CALL:
+		// The callee clobbers the return register, the argument and
+		// scratch registers, the assembler temp, and ra.
+		var m uint16
+		for r := uint8(0); r <= 12; r++ {
+			m |= bit(r)
+		}
+		return m | bit(vm.RegRA)
+	case vm.TRAP:
+		return bit(0)
+	case vm.ENTER, vm.EXIT:
+		return bit(vm.RegSP)
+	case vm.EPI:
+		return bit(vm.RegSP) | bit(vm.RegRA)
+	}
+	return 0
+}
+
+// nonScratchMask marks registers that may be live across basic-block
+// boundaries in code produced by Generate: the argument/return
+// registers, the assembler temp, the zero register, sp, and ra.
+// Scratch registers r4..r11 never carry values between blocks (the
+// translator frees all scratch at every statement boundary, and block
+// boundaries fall between statements).
+const nonScratchMask uint16 = 1<<0 | 1<<1 | 1<<2 | 1<<3 |
+	1<<vm.RegTmp | 1<<13 | 1<<vm.RegSP | 1<<vm.RegRA
+
+// combineDefMov rewrites "def rX; mov.i rY,rX" into "def rY" when rX
+// is a scratch register that dies immediately.
+func combineDefMov(code []vm.Instr, isBlockStart map[int]bool) {
+	next := func(i int) int {
+		j := i + 1
+		for j < len(code) && code[j].Op == vm.BAD {
+			j++
+		}
+		return j
+	}
+	for i := 0; i < len(code); i++ {
+		ins := code[i]
+		if !pureDef(ins.Op) || ins.Rd < 4 || ins.Rd > 11 {
+			continue
+		}
+		j := next(i)
+		if j >= len(code) || isBlockStart[j] {
+			continue
+		}
+		// No dropped instruction may separate them across a block start.
+		crossed := false
+		for k := i + 1; k < j; k++ {
+			if isBlockStart[k] {
+				crossed = true
+				break
+			}
+		}
+		if crossed {
+			continue
+		}
+		mv := code[j]
+		if mv.Op != vm.MOV || mv.Rs1 != ins.Rd || mv.Rd == ins.Rd {
+			continue
+		}
+		if !scratchDeadAfter(code, isBlockStart, j+1, ins.Rd) {
+			continue
+		}
+		code[i].Rd = mv.Rd
+		code[j].Op = vm.BAD
+	}
+}
+
+// scratchDeadAfter reports whether scratch register r is dead from
+// position i to the end of its basic block.
+func scratchDeadAfter(code []vm.Instr, isBlockStart map[int]bool, i int, r uint8) bool {
+	for ; i < len(code); i++ {
+		if isBlockStart[i] {
+			return true // scratch never crosses block boundaries
+		}
+		ins := code[i]
+		if ins.Op == vm.BAD {
+			continue
+		}
+		if regReads(ins)&(1<<r) != 0 {
+			return false
+		}
+		if regWrites(ins)&(1<<r) != 0 {
+			return true
+		}
+	}
+	return true
+}
+
+// deadScratchElim removes pure definitions of scratch registers whose
+// values are never read (backward liveness per block).
+func deadScratchElim(code []vm.Instr, isBlockStart map[int]bool, drop vm.Opcode) {
+	end := len(code)
+	for end > 0 {
+		start := end - 1
+		for start > 0 && !isBlockStart[start] {
+			start--
+		}
+		live := nonScratchMask
+		for i := end - 1; i >= start; i-- {
+			ins := code[i]
+			if ins.Op == drop {
+				continue
+			}
+			w := regWrites(ins)
+			if pureDef(ins.Op) && ins.Rd >= 4 && ins.Rd <= 11 && live&(1<<ins.Rd) == 0 {
+				code[i].Op = drop
+				continue
+			}
+			live = (live &^ w) | regReads(ins)
+		}
+		end = start
+	}
+}

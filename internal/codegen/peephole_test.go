@@ -1,0 +1,149 @@
+package codegen
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func genProg(t testing.TB, src string) *vm.Program {
+	t.Helper()
+	mod, err := cc.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Generate(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runProg(t testing.TB, p *vm.Program) (int32, string) {
+	t.Helper()
+	var out bytes.Buffer
+	m := vm.NewMachine(p, 1<<20, &out)
+	code, err := m.Run(100_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return code, out.String()
+}
+
+func TestPeepholePreservesBehaviour(t *testing.T) {
+	srcs := []string{
+		`int main(void) { int a = 1, b = 2; putint(a + b); return 0; }`,
+		`
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { putint(fib(14)); return 0; }`,
+		workload.Kernels()["sieve"],
+		workload.Kernels()["qsortk"],
+		workload.Generate(workload.Quick),
+	}
+	for i, src := range srcs {
+		plain := genProg(t, src)
+		opt := Peephole(plain)
+		wc, wo := runProg(t, plain)
+		gc, g := runProg(t, opt)
+		if wc != gc || wo != g {
+			t.Errorf("case %d: behaviour changed: (%d,%q) vs (%d,%q)", i, wc, wo, gc, g)
+		}
+		if len(opt.Code) >= len(plain.Code) {
+			t.Errorf("case %d: no shrink: %d -> %d", i, len(plain.Code), len(opt.Code))
+		}
+	}
+}
+
+func TestPeepholeStoreLoadForwarding(t *testing.T) {
+	// x = ...; y = x; generates a store immediately followed by a load
+	// of the same slot — the forwarding target.
+	plain := genProg(t, `
+int main(void) {
+	int x = 42;
+	int y = x;
+	return y;
+}`)
+	opt := Peephole(plain)
+	countLoads := func(p *vm.Program) int {
+		n := 0
+		for _, ins := range p.Code {
+			if ins.Op == vm.LDW {
+				n++
+			}
+		}
+		return n
+	}
+	if countLoads(opt) >= countLoads(plain) {
+		t.Errorf("loads not forwarded: %d -> %d", countLoads(plain), countLoads(opt))
+	}
+	if c, _ := runProg(t, opt); c != 42 {
+		t.Errorf("exit = %d", c)
+	}
+}
+
+func TestPeepholeDoesNotCrossBlocks(t *testing.T) {
+	// A load at a branch target must survive even if the fallthrough
+	// predecessor stores the same slot.
+	prog := &vm.Program{Code: []vm.Instr{
+		{Op: vm.LDI, Rd: 4, Imm: 7},
+		{Op: vm.STW, Rs1: vm.RegSP, Rs2: 4, Imm: -4},
+		{Op: vm.LDW, Rd: 5, Rs1: vm.RegSP, Imm: -4}, // branch target: keep
+		{Op: vm.BEQI, Rs1: 5, Imm: 7, Target: 2},    // (loops once at most)
+		{Op: vm.MOV, Rd: vm.RegArg0, Rs1: 5},
+		{Op: vm.HALT},
+	}}
+	prog.ComputeBlockStarts()
+	opt := Peephole(prog)
+	// Instruction 2 is a block start (target of the branch): it must
+	// not have been rewritten into a MOV.
+	found := false
+	for _, ins := range opt.Code {
+		if ins.Op == vm.LDW {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("block-start load was rewritten")
+	}
+}
+
+func TestPeepholeQuickDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		prof := workload.Profile{
+			Name: "rand", Seed: seed,
+			LeafFuncs: 5, MidFuncs: 2, GlobalInts: 3, GlobalArrs: 2,
+			Strings: 1, MeanStmts: 6, StructVars: 2,
+		}
+		mod, err := cc.Compile("rand", workload.Generate(prof))
+		if err != nil {
+			return false
+		}
+		plain, err := Generate(mod, Options{})
+		if err != nil {
+			return false
+		}
+		opt := Peephole(plain)
+		var o1, o2 bytes.Buffer
+		c1, err := vm.NewMachine(plain, 1<<20, &o1).Run(50_000_000)
+		if err != nil {
+			return false
+		}
+		c2, err := vm.NewMachine(opt, 1<<20, &o2).Run(50_000_000)
+		if err != nil {
+			t.Logf("seed %d: optimized run failed: %v", seed, err)
+			return false
+		}
+		return c1 == c2 && o1.String() == o2.String()
+	}
+	n := 20
+	if testing.Short() {
+		n = 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end struct tests, through all four abstract-machine variants
+// and the VM.
+
+func TestStructBasics(t *testing.T) {
+	allVariants(t, `
+struct Point { int x; int y; };
+struct Point origin;
+int main(void) {
+	struct Point p;
+	p.x = 3;
+	p.y = 4;
+	putint(p.x * p.x + p.y * p.y);
+	origin.x = 10;
+	putint(origin.x + origin.y);
+	putint(sizeof(struct Point));
+	return 0;
+}`, 0, "25\n10\n8\n")
+}
+
+func TestStructPointers(t *testing.T) {
+	allVariants(t, `
+struct Point { int x; int y; };
+void move(struct Point* p, int dx, int dy) {
+	p->x += dx;
+	p->y += dy;
+}
+int main(void) {
+	struct Point p;
+	p.x = 1; p.y = 2;
+	move(&p, 10, 20);
+	putint(p.x);
+	putint(p.y);
+	struct Point* q = &p;
+	putint((*q).x + q->y);
+	return 0;
+}`, 0, "11\n22\n33\n")
+}
+
+func TestStructLayoutAndPadding(t *testing.T) {
+	allVariants(t, `
+struct Mixed { char c; int i; char d; };
+int main(void) {
+	struct Mixed m;
+	m.c = 'A';
+	m.i = 1000;
+	m.d = 'B';
+	putint(sizeof(struct Mixed)); // 1 + pad3 + 4 + 1 + pad3 = 12
+	putint(m.c);
+	putint(m.i);
+	putint(m.d);
+	return 0;
+}`, 0, "12\n65\n1000\n66\n")
+}
+
+func TestStructArraysAndNesting(t *testing.T) {
+	allVariants(t, `
+struct Item { int id; char tag[4]; };
+struct Item items[5];
+int main(void) {
+	int i;
+	for (i = 0; i < 5; i++) {
+		items[i].id = i * 100;
+		items[i].tag[0] = 'a' + i;
+		items[i].tag[1] = 0;
+	}
+	putint(items[3].id);
+	putchar(items[2].tag[0]);
+	putchar('\n');
+	putint(sizeof(struct Item));
+	return 0;
+}`, 0, "300\nc\n8\n")
+}
+
+func TestLinkedListViaSelfPointer(t *testing.T) {
+	allVariants(t, `
+struct Node { int value; struct Node* next; };
+struct Node pool[8];
+int main(void) {
+	int i;
+	struct Node* head = 0;
+	for (i = 0; i < 8; i++) {
+		pool[i].value = i * i;
+		pool[i].next = head;
+		head = &pool[i];
+	}
+	int sum = 0;
+	struct Node* p = head;
+	while (p != 0) {
+		sum += p->value;
+		p = p->next;
+	}
+	putint(sum);
+	putint(head->value);
+	putint(head->next->value);
+	return 0;
+}`, 0, "140\n49\n36\n")
+}
+
+func TestStructFieldAddress(t *testing.T) {
+	allVariants(t, `
+struct Pair { int a; int b; };
+int main(void) {
+	struct Pair p;
+	int* pa = &p.a;
+	int* pb = &p.b;
+	*pa = 7;
+	*pb = 9;
+	putint(p.a + p.b);
+	putint(pb - pa);
+	return 0;
+}`, 0, "16\n1\n")
+}
+
+func TestStructErrors(t *testing.T) {
+	bad := []struct{ name, src, want string }{
+		{"undefined", `struct Nope x;`, "undefined struct"},
+		{"redef", `struct A { int x; }; struct A { int y; };`, "redefinition"},
+		{"no-field", `struct A { int x; }; int main(void) { struct A a; return a.y; }`, "no field"},
+		{"dup-field", `struct A { int x; int x; };`, "duplicate field"},
+		{"self-embed", `struct A { int x; struct A inner; };`, "incomplete"},
+		{"dot-on-int", `int main(void) { int x; return x.y; }`, "requires a struct"},
+		{"arrow-on-struct", `struct A { int x; }; int main(void) { struct A a; return a->x; }`, "struct pointer"},
+		{"struct-return", `struct A { int x; }; struct A f(void) { } int main(void) { return 0; }`, "return a pointer"},
+		{"struct-param", `struct A { int x; }; int f(struct A a) { return 0; } int main(void) { return 0; }`, "scalar"},
+		{"struct-assign", `struct A { int x; }; int main(void) { struct A a, b; a = b; return 0; }`, "assign"},
+		{"struct-cond", `struct A { int x; }; int main(void) { struct A a; if (a) return 1; return 0; }`, "scalar"},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := compileOnly(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestStructMixedWithControlFlow(t *testing.T) {
+	allVariants(t, `
+struct Counter { int n; int step; };
+int tick(struct Counter* c) {
+	c->n += c->step;
+	return c->n;
+}
+int main(void) {
+	struct Counter a, b;
+	a.n = 0; a.step = 1;
+	b.n = 100; b.step = 10;
+	int i;
+	for (i = 0; i < 5; i++) {
+		tick(&a);
+		if (i % 2 == 0) tick(&b);
+	}
+	putint(a.n);
+	putint(b.n);
+	putint(a.step > 0 ? tick(&a) : 0);
+	return 0;
+}`, 0, "5\n130\n6\n")
+}

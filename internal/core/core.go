@@ -1,0 +1,114 @@
+// Package core is the top-level façade of the code-compression
+// library: one import that ties together the MiniC front end, the
+// OmniVM code generator, the wire-format compressor, and BRISC.
+//
+// The typical pipelines, mirroring the paper's two scenarios:
+//
+//	// Transmission bottleneck (wire code):
+//	prog, _ := core.CompileC("app", src)
+//	wireBytes, _ := prog.Wire()          // ship these
+//	back, _ := core.FromWire(wireBytes)  // receive
+//	exe, _ := back.Native()              // compile and run at full speed
+//
+//	// Memory bottleneck (BRISC):
+//	obj, _ := prog.BRISC(brisc.Options{})
+//	core.RunBRISC(obj, os.Stdout)        // interpret in place, or
+//	core.RunJIT(obj, os.Stdout)          // JIT to native and run
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Program is a compiled MiniC translation unit, held as tree IR (the
+// wire format's substrate). Native code is generated on demand.
+type Program struct {
+	Module *ir.Module
+	// CodegenOptions selects the abstract-machine variant used by
+	// Native and BRISC (zero value = full RISC).
+	CodegenOptions codegen.Options
+}
+
+// CompileC compiles MiniC source into a Program.
+func CompileC(name, src string) (*Program, error) {
+	m, err := cc.Compile(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Program{Module: m}, nil
+}
+
+// FromModule wraps an existing IR module.
+func FromModule(m *ir.Module) *Program { return &Program{Module: m} }
+
+// Native generates the linked VM executable.
+func (p *Program) Native() (*vm.Program, error) {
+	return codegen.Generate(p.Module, p.CodegenOptions)
+}
+
+// Wire compresses the program with the paper's wire format.
+func (p *Program) Wire() ([]byte, error) {
+	return wire.Compress(p.Module)
+}
+
+// WireOpts compresses with an explicit pipeline configuration.
+func (p *Program) WireOpts(opt wire.Options) ([]byte, error) {
+	return wire.CompressOpts(p.Module, opt)
+}
+
+// FromWire decompresses a wire object back into a Program.
+func FromWire(data []byte) (*Program, error) {
+	m, err := wire.Decompress(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Module: m}, nil
+}
+
+// BRISC compiles to native and compresses into an interpretable BRISC
+// object.
+func (p *Program) BRISC(opt brisc.Options) (*brisc.Object, error) {
+	np, err := p.Native()
+	if err != nil {
+		return nil, err
+	}
+	return brisc.Compress(np, opt)
+}
+
+// RunNative executes a VM program, returning its exit code and output.
+func RunNative(prog *vm.Program, out io.Writer, maxSteps int64) (int32, error) {
+	m := vm.NewMachine(prog, 0, out)
+	return m.Run(maxSteps)
+}
+
+// Run compiles and executes the program natively.
+func (p *Program) Run(out io.Writer, maxSteps int64) (int32, error) {
+	np, err := p.Native()
+	if err != nil {
+		return 0, err
+	}
+	return RunNative(np, out, maxSteps)
+}
+
+// RunBRISC interprets a BRISC object in place.
+func RunBRISC(obj *brisc.Object, out io.Writer, maxSteps int64) (int32, error) {
+	it := brisc.NewInterp(obj, 0, out)
+	return it.Run(maxSteps)
+}
+
+// RunJIT translates a BRISC object to native code and executes it.
+func RunJIT(obj *brisc.Object, out io.Writer, maxSteps int64) (int32, error) {
+	np, err := brisc.JIT(obj)
+	if err != nil {
+		return 0, err
+	}
+	return RunNative(np, out, maxSteps)
+}

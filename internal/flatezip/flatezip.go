@@ -1,0 +1,313 @@
+// Package flatezip is a from-scratch LZ77 + canonical-Huffman block
+// compressor, standing in for gzip in the paper's pipelines (wire-format
+// step 5 and the "gzipped x86/SPARC" baselines).
+//
+// The design mirrors DEFLATE: a 32 KiB sliding window, hash-chain match
+// finding, greedy parsing with one-token lazy matching, and a combined
+// literal/length alphabet plus a distance alphabet, each coded with a
+// canonical Huffman code whose length table is shipped in the header.
+// The container is this repository's own (magic "FZ1\n", uvarint raw
+// size, two code-length tables, token stream), so both ends of every
+// experiment run the same code path.
+package flatezip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+)
+
+const (
+	windowSize  = 32 * 1024
+	minMatch    = 3
+	maxMatch    = 258
+	hashBits    = 15
+	hashSize    = 1 << hashBits
+	maxChainLen = 128 // match-finder effort; tuned for gzip-like ratios
+	// Literal/length alphabet: 0..255 literals, 256 end-of-block,
+	// 257..284 length codes (DEFLATE layout, 285 omitted by clamping).
+	symEOB      = 256
+	numLitLen   = 286
+	numDistSyms = 30
+)
+
+var magic = [4]byte{'F', 'Z', '1', '\n'}
+
+// ErrCorrupt is returned when the input is not a valid flatezip stream.
+var ErrCorrupt = errors.New("flatezip: corrupt input")
+
+// DEFLATE length code table: code -> (base length, extra bits).
+var lengthBase = [29]int{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+	35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258}
+var lengthExtra = [29]uint{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+	3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0}
+
+// DEFLATE distance code table: code -> (base distance, extra bits).
+var distBase = [30]int{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+	257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577}
+var distExtra = [30]uint{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+	7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+
+func lengthCode(l int) int {
+	for c := len(lengthBase) - 1; c >= 0; c-- {
+		if l >= lengthBase[c] {
+			return c
+		}
+	}
+	return 0
+}
+
+func distCode(d int) int {
+	for c := len(distBase) - 1; c >= 0; c-- {
+		if d >= distBase[c] {
+			return c
+		}
+	}
+	return 0
+}
+
+type token struct {
+	lit    byte
+	length int // 0 = literal token
+	dist   int
+}
+
+func hash4(p []byte) uint32 {
+	// Multiplicative hash over 4 bytes; only valid when len(p) >= 4.
+	v := binary.LittleEndian.Uint32(p)
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+// tokenize performs greedy LZ77 parsing with one-step lazy matching.
+func tokenize(src []byte) []token {
+	var toks []token
+	head := make([]int32, hashSize)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+	insert := func(pos int) {
+		if pos+4 > len(src) {
+			return
+		}
+		h := hash4(src[pos:])
+		prev[pos] = head[h]
+		head[h] = int32(pos)
+	}
+	findMatch := func(pos int) (length, dist int) {
+		if pos+minMatch > len(src) || pos+4 > len(src) {
+			return 0, 0
+		}
+		limit := pos - windowSize
+		if limit < 0 {
+			limit = 0
+		}
+		best := minMatch - 1
+		bestDist := 0
+		cand := head[hash4(src[pos:])]
+		maxLen := len(src) - pos
+		if maxLen > maxMatch {
+			maxLen = maxMatch
+		}
+		for chain := 0; cand >= int32(limit) && cand >= 0 && chain < maxChainLen; chain++ {
+			c := int(cand)
+			if c < pos && src[c+best] == src[pos+best] {
+				l := 0
+				for l < maxLen && src[c+l] == src[pos+l] {
+					l++
+				}
+				if l > best {
+					best = l
+					bestDist = pos - c
+					if l == maxLen {
+						break
+					}
+				}
+			}
+			cand = prev[c]
+		}
+		if best >= minMatch {
+			return best, bestDist
+		}
+		return 0, 0
+	}
+
+	i := 0
+	for i < len(src) {
+		l, d := findMatch(i)
+		if l > 0 {
+			// Lazy matching: prefer a longer match starting one byte later.
+			if i+1 < len(src) {
+				insert(i)
+				l2, d2 := findMatch(i + 1)
+				if l2 > l+1 {
+					toks = append(toks, token{lit: src[i]})
+					i++
+					l, d = l2, d2
+				}
+			}
+			toks = append(toks, token{length: l, dist: d})
+			end := i + l
+			for ; i < end; i++ {
+				insert(i)
+			}
+		} else {
+			toks = append(toks, token{lit: src[i]})
+			insert(i)
+			i++
+		}
+	}
+	return toks
+}
+
+// Compress returns the flatezip encoding of src. Compressing an empty
+// input yields a valid minimal container.
+func Compress(src []byte) []byte {
+	toks := tokenize(src)
+
+	litLenFreq := make([]int64, numLitLen)
+	distFreq := make([]int64, numDistSyms)
+	litLenFreq[symEOB] = 1
+	for _, t := range toks {
+		if t.length == 0 {
+			litLenFreq[t.lit]++
+		} else {
+			litLenFreq[257+lengthCode(t.length)]++
+			distFreq[distCode(t.dist)]++
+		}
+	}
+	llCode, err := huffman.Build(litLenFreq, 15)
+	if err != nil {
+		panic("flatezip: internal: " + err.Error()) // EOB guarantees a symbol
+	}
+	var dCode *huffman.Code
+	hasDist := false
+	for _, f := range distFreq {
+		if f > 0 {
+			hasDist = true
+			break
+		}
+	}
+	if hasDist {
+		dCode, err = huffman.Build(distFreq, 15)
+		if err != nil {
+			panic("flatezip: internal: " + err.Error())
+		}
+	} else {
+		// Dummy single-entry table so the header stays uniform.
+		dCode, _ = huffman.Build([]int64{1}, 15)
+	}
+
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var szb [binary.MaxVarintLen64]byte
+	buf.Write(szb[:binary.PutUvarint(szb[:], uint64(len(src)))])
+
+	bw := bitio.NewWriter(&buf)
+	mustW(llCode.WriteLengths(bw))
+	mustW(dCode.WriteLengths(bw))
+	for _, t := range toks {
+		if t.length == 0 {
+			mustW(llCode.Encode(bw, int(t.lit)))
+			continue
+		}
+		lc := lengthCode(t.length)
+		mustW(llCode.Encode(bw, 257+lc))
+		mustW(bw.WriteBits(uint64(t.length-lengthBase[lc]), lengthExtra[lc]))
+		dc := distCode(t.dist)
+		mustW(dCode.Encode(bw, dc))
+		mustW(bw.WriteBits(uint64(t.dist-distBase[dc]), distExtra[dc]))
+	}
+	mustW(llCode.Encode(bw, symEOB))
+	mustW(bw.Flush())
+	return buf.Bytes()
+}
+
+func mustW(err error) {
+	if err != nil {
+		panic("flatezip: write to bytes.Buffer failed: " + err.Error())
+	}
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := bytes.NewReader(data[len(magic):])
+	rawSize, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: size header", ErrCorrupt)
+	}
+	if rawSize > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible size %d", ErrCorrupt, rawSize)
+	}
+	br := bitio.NewReader(r)
+	llCode, err := huffman.ReadLengths(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: literal/length table: %v", ErrCorrupt, err)
+	}
+	dCode, err := huffman.ReadLengths(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: distance table: %v", ErrCorrupt, err)
+	}
+	out := make([]byte, 0, rawSize)
+	for {
+		s, err := llCode.Decode(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: token stream: %v", ErrCorrupt, err)
+		}
+		switch {
+		case s < 256:
+			out = append(out, byte(s))
+		case s == symEOB:
+			if uint64(len(out)) != rawSize {
+				return nil, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), rawSize)
+			}
+			return out, nil
+		default:
+			lc := s - 257
+			if lc >= len(lengthBase) {
+				return nil, fmt.Errorf("%w: length code %d", ErrCorrupt, s)
+			}
+			extra, err := br.ReadBits(lengthExtra[lc])
+			if err != nil {
+				return nil, fmt.Errorf("%w: length extra: %v", ErrCorrupt, err)
+			}
+			length := lengthBase[lc] + int(extra)
+			dc, err := dCode.Decode(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: distance: %v", ErrCorrupt, err)
+			}
+			if dc >= len(distBase) {
+				return nil, fmt.Errorf("%w: distance code %d", ErrCorrupt, dc)
+			}
+			dextra, err := br.ReadBits(distExtra[dc])
+			if err != nil {
+				return nil, fmt.Errorf("%w: distance extra: %v", ErrCorrupt, err)
+			}
+			dist := distBase[dc] + int(dextra)
+			if dist > len(out) {
+				return nil, fmt.Errorf("%w: distance %d beyond output %d", ErrCorrupt, dist, len(out))
+			}
+			for k := 0; k < length; k++ {
+				out = append(out, out[len(out)-dist])
+			}
+		}
+		if uint64(len(out)) > rawSize {
+			return nil, fmt.Errorf("%w: overlong output", ErrCorrupt)
+		}
+	}
+}
+
+// Ratio reports compressed/original size; 0 for empty input.
+func Ratio(src []byte) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	return float64(len(Compress(src))) / float64(len(src))
+}

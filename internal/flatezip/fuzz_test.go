@@ -1,0 +1,27 @@
+package flatezip
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: compression must be lossless for any input, and the
+// decompressor must never panic on any input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Add(Compress([]byte("seed object")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := Decompress(Compress(data))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("round trip mismatch")
+		}
+		// Arbitrary bytes through the decompressor: error or success,
+		// never a panic.
+		_, _ = Decompress(data)
+	})
+}

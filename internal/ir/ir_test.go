@@ -1,0 +1,328 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// saltTree builds the first tree of the paper's salt() example:
+// ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTC[1])).
+func saltTree() *Tree {
+	return New(ASGNI,
+		NewLit(ADDRLP8, 72),
+		New(SUBI,
+			New(INDIRI, NewLit(ADDRLP8, 72)),
+			NewLit(CNSTC, 1)))
+}
+
+func TestStringMatchesPaperForm(t *testing.T) {
+	got := saltTree().String()
+	want := "ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))"
+	if got != want {
+		t.Errorf("String = %s, want %s", got, want)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	got := saltTree().PatternString()
+	want := "ASGNI(ADDRLP8[*],SUBI(INDIRI(ADDRLP8[*]),CNSTC[*]))"
+	if got != want {
+		t.Errorf("PatternString = %s, want %s", got, want)
+	}
+}
+
+func TestConstSelectsWidth(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want Op
+	}{
+		{0, CNSTC}, {127, CNSTC}, {-128, CNSTC},
+		{128, CNSTS}, {-129, CNSTS}, {32767, CNSTS},
+		{32768, CNSTI}, {-40000, CNSTI}, {1 << 30, CNSTI},
+	}
+	for _, c := range cases {
+		if got := Const(c.v).Op; got != c.want {
+			t.Errorf("Const(%d).Op = %s, want %s", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLocalAddrSelectsWidth(t *testing.T) {
+	if LocalAddr(72).Op != ADDRLP8 {
+		t.Error("LocalAddr(72) should be ADDRLP8")
+	}
+	if LocalAddr(300).Op != ADDRLP {
+		t.Error("LocalAddr(300) should be ADDRLP")
+	}
+	if ParamAddr(4).Op != ADDRFP8 {
+		t.Error("ParamAddr(4) should be ADDRFP8")
+	}
+}
+
+func TestArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with wrong arity should panic")
+		}
+	}()
+	New(ASGNI, NewLit(CNSTC, 1)) // ASGNI needs 2 kids
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	a := saltTree()
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Kids[1].Kids[1].Lit = 2
+	if a.Equal(b) {
+		t.Error("mutated clone still equal")
+	}
+	if a.Equal(nil) {
+		t.Error("tree equal to nil")
+	}
+}
+
+func TestShapeAndLiterals(t *testing.T) {
+	tr := saltTree()
+	shape := tr.Shape()
+	wantShape := []Op{ASGNI, ADDRLP8, SUBI, INDIRI, ADDRLP8, CNSTC}
+	if len(shape) != len(wantShape) {
+		t.Fatalf("shape length %d, want %d", len(shape), len(wantShape))
+	}
+	for i := range shape {
+		if shape[i] != wantShape[i] {
+			t.Errorf("shape[%d] = %s, want %s", i, shape[i], wantShape[i])
+		}
+	}
+	lits := tr.CollectLiterals()
+	if len(lits) != 3 || lits[0].Int != 72 || lits[1].Int != 72 || lits[2].Int != 1 {
+		t.Errorf("literals = %+v", lits)
+	}
+}
+
+func TestTreeFromShape(t *testing.T) {
+	tr := saltTree()
+	back, nops, nlits, err := TreeFromShape(tr.Shape(), tr.CollectLiterals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nops != tr.Size() || nlits != 3 {
+		t.Errorf("consumed %d ops, %d lits", nops, nlits)
+	}
+	if !back.Equal(tr) {
+		t.Errorf("rebuilt tree %s != original %s", back, tr)
+	}
+}
+
+func TestTreeFromShapeMalformed(t *testing.T) {
+	if _, _, _, err := TreeFromShape([]Op{ASGNI}, nil); err == nil {
+		t.Error("truncated shape accepted")
+	}
+	if _, _, _, err := TreeFromShape([]Op{CNSTC}, nil); err == nil {
+		t.Error("missing literal accepted")
+	}
+	if _, _, _, err := TreeFromShape([]Op{Op(200)}, nil); err == nil {
+		t.Error("invalid op accepted")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))",
+		"LEI[1](INDIRI(ADDRLP8[68]),CNSTC[0])",
+		"ARGI(INDIRI(ADDRLP8[72]))",
+		"CALLI(ADDRGP[pepper])",
+		"LABELV[1]",
+		"RETI(INDIRI(ADDRLP8[68]))",
+		"JUMPV[7]",
+		"RETV",
+	}
+	for _, in := range inputs {
+		tr, err := ParseTree(in)
+		if err != nil {
+			t.Fatalf("ParseTree(%q): %v", in, err)
+		}
+		if got := tr.String(); got != in {
+			t.Errorf("round trip: %q -> %q", in, got)
+		}
+	}
+}
+
+func TestParseWithSpaces(t *testing.T) {
+	tr, err := ParseTree("ASGNI( ADDRLP8[72] , CNSTC[1] )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != "ASGNI(ADDRLP8[72],CNSTC[1])" {
+		t.Errorf("got %s", tr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "FOO[1]", "ASGNI(CNSTC[1])", "CNSTC", "CNSTC[x]",
+		"ADDRGP[]", "ASGNI(CNSTC[1],CNSTC[2]", "CNSTC[1]extra",
+		"ASGNI(CNSTC[1];CNSTC[2])", "LABELV[9",
+	}
+	for _, in := range bad {
+		if _, err := ParseTree(in); err == nil {
+			t.Errorf("ParseTree(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%s) = %v, %v", op, got, ok)
+		}
+	}
+	if _, ok := OpByName("NOPE"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if ASGNI.Arity() != 2 || INDIRI.Arity() != 1 || CNSTC.Arity() != 0 {
+		t.Error("arity table wrong")
+	}
+	if CNSTC.Lit() != LitInt || ADDRGP.Lit() != LitName || ASGNI.Lit() != LitNone {
+		t.Error("literal-kind table wrong")
+	}
+	if CNSTC.LitBits() != 8 || CNSTS.LitBits() != 16 || CNSTI.LitBits() != 32 {
+		t.Error("literal width table wrong")
+	}
+	if !LEI.IsBranch() || ASGNI.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	for _, op := range []Op{LEI, JUMPV, LABELV, RETI, RETV} {
+		if !op.IsBlockBoundary() {
+			t.Errorf("%s should be a block boundary", op)
+		}
+	}
+	if ADDI.IsBlockBoundary() {
+		t.Error("ADDI is not a block boundary")
+	}
+	if Op(250).Valid() || OpInvalid.Valid() {
+		t.Error("Valid wrong")
+	}
+}
+
+func sampleModule() *Module {
+	f := &Function{
+		Name:      "salt",
+		NumParams: 2,
+		FrameSize: 80,
+		Trees: []*Tree{
+			New(ASGNI, NewLit(ADDRLP8, 72), New(INDIRI, NewLit(ADDRFP8, 0))),
+			NewLit(LEI, 1, New(INDIRI, NewLit(ADDRLP8, 68)), NewLit(CNSTC, 0)),
+			New(ARGI, New(INDIRI, NewLit(ADDRLP8, 72))),
+			New(CALLV, NewName(ADDRGP, "pepper")),
+			NewLit(LABELV, 1),
+			New(RETI, New(INDIRI, NewLit(ADDRLP8, 68))),
+		},
+	}
+	p := &Function{Name: "pepper", NumParams: 2, FrameSize: 0, Trees: []*Tree{New(RETV)}}
+	return &Module{Name: "m", Functions: []*Function{f, p}}
+}
+
+func TestModuleValidate(t *testing.T) {
+	m := sampleModule()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Function("salt") == nil || m.Function("nope") != nil {
+		t.Error("Function lookup wrong")
+	}
+	if m.NumTrees() != 7 {
+		t.Errorf("NumTrees = %d, want 7", m.NumTrees())
+	}
+	if m.NumNodes() == 0 {
+		t.Error("NumNodes = 0")
+	}
+}
+
+func TestModuleValidateCatchesBadLabels(t *testing.T) {
+	m := sampleModule()
+	// Branch to an undefined label.
+	m.Functions[0].Trees = append(m.Functions[0].Trees, NewLit(JUMPV, 99))
+	if err := m.Validate(); err == nil {
+		t.Error("undefined label not caught")
+	}
+
+	m = sampleModule()
+	m.Functions[0].Trees = append(m.Functions[0].Trees, NewLit(LABELV, 1))
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate label not caught")
+	}
+
+	m = sampleModule()
+	m.Functions[0].Trees = append(m.Functions[0].Trees, New(CALLV, NewName(ADDRGP, "ghost")))
+	if err := m.Validate(); err == nil {
+		t.Error("unknown symbol not caught")
+	}
+
+	m = sampleModule()
+	m.Functions = append(m.Functions, &Function{Name: "salt"})
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate function not caught")
+	}
+}
+
+func TestModuleString(t *testing.T) {
+	s := sampleModule().String()
+	for _, want := range []string{"func salt params 2 frame 80", "CALLV(ADDRGP[pepper])", "LABELV[1]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// randomTree builds a random well-formed tree for property tests.
+func randomTree(rng *rand.Rand, depth int) *Tree {
+	if depth <= 0 {
+		leaves := []Op{CNSTC, CNSTS, CNSTI, ADDRLP8, ADDRFP8}
+		op := leaves[rng.Intn(len(leaves))]
+		return NewLit(op, int64(rng.Intn(100)))
+	}
+	ops := []Op{ADDI, SUBI, MULI, BANDI, INDIRI, NEGI, CVCI}
+	op := ops[rng.Intn(len(ops))]
+	kids := make([]*Tree, op.Arity())
+	for i := range kids {
+		kids[i] = randomTree(rng, depth-1)
+	}
+	return New(op, kids...)
+}
+
+// TestQuickShapeLiteralRoundTrip: decomposing any tree into
+// (shape, literals) and rebuilding yields an equal tree — the invariant
+// the wire format relies on.
+func TestQuickShapeLiteralRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, rng.Intn(6))
+		back, _, _, err := TreeFromShape(tr.Shape(), tr.CollectLiterals())
+		return err == nil && back.Equal(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParsePrintRoundTrip: printing and reparsing any tree is the
+// identity.
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, rng.Intn(6))
+		back, err := ParseTree(tr.String())
+		return err == nil && back.Equal(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

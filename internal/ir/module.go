@@ -1,0 +1,154 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Function is one compiled function: an ordered forest of statement
+// trees plus frame layout metadata.
+type Function struct {
+	Name      string
+	NumParams int
+	// FrameSize is the byte size of the local-variable area; ADDRLP
+	// offsets index into it. Parameter offsets index a separate area
+	// addressed by ADDRFP.
+	FrameSize int
+	Trees     []*Tree
+}
+
+// Global is a module-level datum.
+type Global struct {
+	Name string
+	Size int
+	// Init holds initial bytes (len <= Size); the remainder is zero.
+	Init []byte
+}
+
+// Module is a compilation unit: globals plus functions. Execution
+// starts at the function named "main".
+type Module struct {
+	Name      string
+	Globals   []Global
+	Functions []*Function
+	// Externs lists symbols supplied by the runtime (builtin functions
+	// such as putint); ADDRGP references to them are valid.
+	Externs []string
+}
+
+// Function looks up a function by name.
+func (m *Module) Function(name string) *Function {
+	for _, f := range m.Functions {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalNames returns all global and function names, sorted; this is
+// the symbol table the wire format transmits for ADDRGP literals.
+func (m *Module) GlobalNames() []string {
+	var names []string
+	for _, g := range m.Globals {
+		names = append(names, g.Name)
+	}
+	for _, f := range m.Functions {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the whole module in the paper's textual tree form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s %d\n", g.Name, g.Size)
+	}
+	for _, f := range m.Functions {
+		fmt.Fprintf(&sb, "func %s params %d frame %d\n", f.Name, f.NumParams, f.FrameSize)
+		for _, t := range f.Trees {
+			sb.WriteString(t.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks structural invariants: operator arities and literal
+// kinds are enforced by construction, so this checks label consistency
+// (every branch/jump target is defined exactly once in its function)
+// and that call targets resolve to a known name when static.
+func (m *Module) Validate() error {
+	known := map[string]bool{}
+	for _, e := range m.Externs {
+		known[e] = true
+	}
+	for _, g := range m.Globals {
+		if known[g.Name] {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		known[g.Name] = true
+	}
+	for _, f := range m.Functions {
+		if known[f.Name] {
+			return fmt.Errorf("ir: duplicate symbol %q", f.Name)
+		}
+		known[f.Name] = true
+	}
+	for _, f := range m.Functions {
+		defined := map[int64]int{}
+		used := map[int64]bool{}
+		for _, t := range f.Trees {
+			var walkErr error
+			t.Walk(func(n *Tree) {
+				switch {
+				case n.Op == LABELV:
+					defined[n.Lit]++
+				case n.Op.IsBranch() || n.Op == JUMPV:
+					used[n.Lit] = true
+				case n.Op == ADDRGP:
+					if !known[n.Name] {
+						walkErr = fmt.Errorf("ir: %s references unknown symbol %q", f.Name, n.Name)
+					}
+				}
+			})
+			if walkErr != nil {
+				return walkErr
+			}
+		}
+		for l, n := range defined {
+			if n > 1 {
+				return fmt.Errorf("ir: %s defines label %d %d times", f.Name, l, n)
+			}
+		}
+		for l := range used {
+			if defined[l] == 0 {
+				return fmt.Errorf("ir: %s branches to undefined label %d", f.Name, l)
+			}
+		}
+	}
+	return nil
+}
+
+// NumTrees reports the total statement-tree count across functions.
+func (m *Module) NumTrees() int {
+	n := 0
+	for _, f := range m.Functions {
+		n += len(f.Trees)
+	}
+	return n
+}
+
+// NumNodes reports the total IR node count across functions.
+func (m *Module) NumNodes() int {
+	n := 0
+	for _, f := range m.Functions {
+		for _, t := range f.Trees {
+			n += t.Size()
+		}
+	}
+	return n
+}

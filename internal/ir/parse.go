@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTree parses the paper-style textual tree form produced by
+// Tree.String, e.g. "ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))".
+// Whitespace between tokens is ignored.
+func ParseTree(s string) (*Tree, error) {
+	p := &treeParser{src: s}
+	t, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("ir: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return t, nil
+}
+
+type treeParser struct {
+	src string
+	pos int
+}
+
+func (p *treeParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *treeParser) parse() (*Tree, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && (isIdentChar(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("ir: expected operator at %d", start)
+	}
+	opName := p.src[start:p.pos]
+	op, ok := OpByName(opName)
+	if !ok {
+		return nil, fmt.Errorf("ir: unknown operator %q", opName)
+	}
+	t := &Tree{Op: op}
+	p.skipSpace()
+	if op.Lit() != LitNone {
+		if p.pos >= len(p.src) || p.src[p.pos] != '[' {
+			return nil, fmt.Errorf("ir: %s requires [literal] at %d", op, p.pos)
+		}
+		p.pos++
+		litStart := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != ']' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("ir: unterminated literal for %s", op)
+		}
+		lit := p.src[litStart:p.pos]
+		p.pos++ // ']'
+		switch op.Lit() {
+		case LitInt:
+			v, err := strconv.ParseInt(strings.TrimSpace(lit), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ir: bad integer literal %q for %s", lit, op)
+			}
+			t.Lit = v
+		case LitName:
+			if lit == "" {
+				return nil, fmt.Errorf("ir: empty name literal for %s", op)
+			}
+			t.Name = lit
+		}
+	}
+	p.skipSpace()
+	if op.Arity() > 0 {
+		if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+			return nil, fmt.Errorf("ir: %s requires %d operand(s) at %d", op, op.Arity(), p.pos)
+		}
+		p.pos++
+		for i := 0; i < op.Arity(); i++ {
+			if i > 0 {
+				p.skipSpace()
+				if p.pos >= len(p.src) || p.src[p.pos] != ',' {
+					return nil, fmt.Errorf("ir: expected ',' in %s operands at %d", op, p.pos)
+				}
+				p.pos++
+			}
+			k, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			t.Kids = append(t.Kids, k)
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("ir: expected ')' closing %s at %d", op, p.pos)
+		}
+		p.pos++
+	}
+	return t, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_'
+}

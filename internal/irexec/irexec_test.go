@@ -1,0 +1,267 @@
+package irexec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// runIR interprets MiniC through the tree interpreter.
+func runIR(t *testing.T, src string) (int32, string) {
+	t.Helper()
+	mod, err := cc.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var out bytes.Buffer
+	m, err := NewMachine(mod, 1<<20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := m.Run(0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return code, out.String()
+}
+
+// runVM runs the same source through codegen and the VM.
+func runVM(t *testing.T, src string) (int32, string) {
+	t.Helper()
+	mod, err := cc.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	mach := vm.NewMachine(prog, 1<<20, &out)
+	code, err := mach.Run(100_000_000)
+	if err != nil {
+		t.Fatalf("vm run: %v", err)
+	}
+	return code, out.String()
+}
+
+// agree asserts the two implementations behave identically.
+func agree(t *testing.T, src string) {
+	t.Helper()
+	ic, io_ := runIR(t, src)
+	vc, vo := runVM(t, src)
+	if ic != vc || io_ != vo {
+		t.Errorf("divergence:\n irexec: code=%d out=%q\n vm:     code=%d out=%q\nsource:\n%s",
+			ic, io_, vc, vo, src)
+	}
+}
+
+func TestBasics(t *testing.T) {
+	agree(t, `int main(void) { putint(6 * 7); return 1; }`)
+}
+
+func TestControlFlow(t *testing.T) {
+	agree(t, `
+int main(void) {
+	int i, s = 0;
+	for (i = 0; i < 10; i++) {
+		if (i % 2) continue;
+		if (i == 8) break;
+		s += i;
+	}
+	putint(s);
+	while (s > 0) s -= 3;
+	putint(s);
+	return 0;
+}`)
+}
+
+func TestRecursionAndGlobals(t *testing.T) {
+	agree(t, `
+int depth;
+int fib(int n) {
+	depth++;
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main(void) { putint(fib(13)); putint(depth); return 0; }`)
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	agree(t, `
+int a[16];
+char s[8] = "hiya";
+int main(void) {
+	int i;
+	int* p = a;
+	for (i = 0; i < 16; i++) p[i] = i * 3;
+	putint(a[7]);
+	putint(*(p + 9));
+	puts(s);
+	putint(s[2]);
+	return 0;
+}`)
+}
+
+func TestCharTruncation(t *testing.T) {
+	agree(t, `
+char c;
+int main(void) {
+	c = 300;
+	putint(c);
+	c = 127; c++;
+	putint(c);
+	return 0;
+}`)
+}
+
+func TestTernarySwitchSizeof(t *testing.T) {
+	agree(t, `
+int main(void) {
+	int x = 4;
+	putint(x > 2 ? 10 : 20);
+	switch (x) {
+	case 3: putint(3); break;
+	case 4: putint(4); // fallthrough
+	case 5: putint(5); break;
+	default: putint(9);
+	}
+	putint(sizeof(int[8]));
+	return 0;
+}`)
+}
+
+func TestStructs(t *testing.T) {
+	agree(t, `
+struct Node { int v; struct Node* next; };
+struct Node pool[6];
+int main(void) {
+	int i;
+	struct Node* head = 0;
+	for (i = 0; i < 6; i++) {
+		pool[i].v = i + 1;
+		pool[i].next = head;
+		head = &pool[i];
+	}
+	int product = 1;
+	while (head != 0) {
+		product *= head->v;
+		head = head->next;
+	}
+	putint(product);
+	return 0;
+}`)
+}
+
+func TestExitTrap(t *testing.T) {
+	agree(t, `int main(void) { putint(1); exit(42); putint(2); return 0; }`)
+}
+
+func TestManyArgs(t *testing.T) {
+	agree(t, `
+int f(int a, int b, int c, int d, int e, int g) {
+	return a + b*2 + c*3 + d*4 + e*5 + g*6;
+}
+int main(void) { putint(f(1,2,3,4,5,6)); return 0; }`)
+}
+
+func TestDivByZeroFaults(t *testing.T) {
+	mod, err := cc.Compile("t", `int main(void) { int z = 0; return 4 / z; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(mod, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Error("division by zero not detected")
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	mod, err := cc.Compile("t", `
+int f(int n) { return f(n + 1); }
+int main(void) { return f(0); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(mod, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10_000_000); err == nil {
+		t.Error("runaway recursion not detected")
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	mod, err := cc.Compile("t", `int f(void) { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(mod, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Error("missing main not reported")
+	}
+}
+
+// TestQuickDifferentialVsVM: for random generated programs, the tree
+// interpreter and the compiled pipeline agree — an independent check
+// of the code generator's semantics.
+func TestQuickDifferentialVsVM(t *testing.T) {
+	f := func(seed int64) bool {
+		prof := workload.Profile{
+			Name: "rand", Seed: seed,
+			LeafFuncs: 6, MidFuncs: 2, GlobalInts: 3, GlobalArrs: 2,
+			Strings: 1, MeanStmts: 7,
+		}
+		src := workload.Generate(prof)
+		mod, err := cc.Compile("rand", src)
+		if err != nil {
+			return false
+		}
+		var irOut bytes.Buffer
+		m, err := NewMachine(mod, 1<<20, &irOut)
+		if err != nil {
+			return false
+		}
+		irCode, err := m.Run(0)
+		if err != nil {
+			t.Logf("seed %d: irexec: %v", seed, err)
+			return false
+		}
+		prog, err := codegen.Generate(mod, codegen.Options{})
+		if err != nil {
+			return false
+		}
+		var vmOut bytes.Buffer
+		mach := vm.NewMachine(prog, 1<<20, &vmOut)
+		vmCode, err := mach.Run(100_000_000)
+		if err != nil {
+			t.Logf("seed %d: vm: %v", seed, err)
+			return false
+		}
+		if irCode != vmCode || irOut.String() != vmOut.String() {
+			t.Logf("seed %d: divergence ir(%d,%q) vm(%d,%q)",
+				seed, irCode, irOut.String(), vmCode, vmOut.String())
+			return false
+		}
+		return true
+	}
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package mtf implements move-to-front coding over arbitrary integer
+// symbol alphabets, as used in step 3 of the paper's wire format
+// ("Apply move-to-front coding to each stream in isolation").
+//
+// Following the paper's convention, index 0 is reserved to mean "a
+// symbol not seen previously"; the first occurrence of a symbol is
+// coded as 0 and its identity is carried in a side list of
+// first-occurrence values, exactly reproducing the paper's example
+// where the ADDRLP8 literal stream [72 72 68 72 68 68 68 68] codes to
+// [0 1 0 2 2 1 1 1] with table {72, 68}.
+package mtf
+
+// Encoder maintains the dynamic recency table for one stream.
+type Encoder struct {
+	table []int32
+}
+
+// NewEncoder returns an encoder with an empty recency table.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Encode codes one symbol: 0 if never seen, else 1-based recency rank.
+// The symbol is moved to (or inserted at) the front of the table.
+func (e *Encoder) Encode(sym int32) int {
+	for i, s := range e.table {
+		if s == sym {
+			copy(e.table[1:i+1], e.table[:i])
+			e.table[0] = sym
+			return i + 1
+		}
+	}
+	e.table = append(e.table, 0)
+	copy(e.table[1:], e.table[:len(e.table)-1])
+	e.table[0] = sym
+	return 0
+}
+
+// TableLen reports the number of distinct symbols seen so far.
+func (e *Encoder) TableLen() int { return len(e.table) }
+
+// Decoder mirrors Encoder.
+type Decoder struct {
+	table []int32
+}
+
+// NewDecoder returns a decoder with an empty recency table.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Decode reverses Encode. index 0 introduces sym `fresh` (the next value
+// from the first-occurrence side stream); fresh is ignored otherwise.
+// ok is false if index is out of range for the current table.
+func (d *Decoder) Decode(index int, fresh int32) (sym int32, usedFresh, ok bool) {
+	if index == 0 {
+		d.table = append(d.table, 0)
+		copy(d.table[1:], d.table[:len(d.table)-1])
+		d.table[0] = fresh
+		return fresh, true, true
+	}
+	i := index - 1
+	if i < 0 || i >= len(d.table) {
+		return 0, false, false
+	}
+	sym = d.table[i]
+	copy(d.table[1:i+1], d.table[:i])
+	d.table[0] = sym
+	return sym, false, true
+}
+
+// EncodeStream codes a whole stream at once, returning the MTF index
+// sequence and the first-occurrence value list (the paper's "table",
+// in first-seen order).
+func EncodeStream(syms []int32) (indices []int, firsts []int32) {
+	e := NewEncoder()
+	indices = make([]int, len(syms))
+	for i, s := range syms {
+		idx := e.Encode(s)
+		indices[i] = idx
+		if idx == 0 {
+			firsts = append(firsts, s)
+		}
+	}
+	return indices, firsts
+}
+
+// DecodeStream reverses EncodeStream. It reports ok=false on a malformed
+// input (index out of range or too few first-occurrence values).
+func DecodeStream(indices []int, firsts []int32) (syms []int32, ok bool) {
+	d := NewDecoder()
+	syms = make([]int32, len(indices))
+	fi := 0
+	for i, idx := range indices {
+		var fresh int32
+		if idx == 0 {
+			if fi >= len(firsts) {
+				return nil, false
+			}
+			fresh = firsts[fi]
+		}
+		s, used, ok := d.Decode(idx, fresh)
+		if !ok {
+			return nil, false
+		}
+		if used {
+			fi++
+		}
+		syms[i] = s
+	}
+	return syms, true
+}

@@ -1,0 +1,413 @@
+// Package native provides the two "conventional code" baselines the
+// paper measures against, as byte-exact encodings of VM programs:
+//
+//   - EncodeFixed: a SPARC-like fixed 32-bit word encoding (the wire
+//     experiment's "conventional code" column). Instructions whose
+//     immediate does not fit the word's 14-bit field take a second
+//     word, mirroring SPARC's sethi/or pairs.
+//
+//   - EncodeVariable: an x86-like variable-length encoding (the BRISC
+//     experiment's native baseline): one opcode byte, packed register
+//     bytes, and 8- or 32-bit immediates selected per instruction.
+//
+// Both encodings decode back to the identical instruction sequence, so
+// the baselines are real codes rather than size formulas; "native
+// execution speed" in the experiments is the VM interpreter running
+// the decoded program directly.
+package native
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// ErrCorrupt reports a malformed encoded stream.
+var ErrCorrupt = errors.New("native: corrupt encoding")
+
+const (
+	// immBits is the in-word immediate width: bits [12:0], below the
+	// rs2 field at [16:13] (SPARC's simm13, coincidentally).
+	immBits  = 13
+	immMax   = 1<<(immBits-1) - 1
+	immMin   = -(1 << (immBits - 1))
+	wideFlag = 1 << 25 // fixed-word bit marking a following imm32 word
+)
+
+// payloadKinds returns the immediate-like payloads an opcode carries,
+// in encoding order: FImm first, then FTgt. Compare-immediate branches
+// carry both.
+func payloadKinds(op vm.Opcode) []vm.FieldKind {
+	var ks []vm.FieldKind
+	for _, f := range op.Fields() {
+		if f == vm.FImm {
+			ks = append(ks, f)
+		}
+	}
+	for _, f := range op.Fields() {
+		if f == vm.FTgt {
+			ks = append(ks, f)
+		}
+	}
+	return ks
+}
+
+func payloadVal(ins vm.Instr, k vm.FieldKind) int32 {
+	if k == vm.FTgt {
+		return ins.Target
+	}
+	return ins.Imm
+}
+
+func setPayloadVal(ins *vm.Instr, k vm.FieldKind, v int32) {
+	if k == vm.FTgt {
+		ins.Target = v
+	} else {
+		ins.Imm = v
+	}
+}
+
+// EncodeFixed serializes code as SPARC-like 32-bit words.
+// Word layout: [31:26]=op, [25]=wide, [24:21]=rd, [20:17]=rs1,
+// [16:13]=rs2, [12:0]=imm14 (when !wide). The first payload lives in
+// the word (or a following word when wide); any second payload (the
+// target of a compare-immediate branch) always takes its own word —
+// on a real RISC that instruction is a compare/branch pair anyway.
+// Targets are absolute instruction indices, as in relocated text.
+func EncodeFixed(code []vm.Instr) []byte {
+	var out []byte
+	for _, ins := range code {
+		ks := payloadKinds(ins.Op)
+		w := uint32(ins.Op)<<26 | uint32(ins.Rd)<<21 | uint32(ins.Rs1)<<17 | uint32(ins.Rs2)<<13
+		var extra []int32
+		if len(ks) > 0 {
+			p0 := payloadVal(ins, ks[0])
+			if p0 >= immMin && p0 <= immMax {
+				w |= uint32(p0) & ((1 << immBits) - 1)
+			} else {
+				w |= wideFlag
+				extra = append(extra, p0)
+			}
+			for _, k := range ks[1:] {
+				extra = append(extra, payloadVal(ins, k))
+			}
+		}
+		out = binary.BigEndian.AppendUint32(out, w)
+		for _, v := range extra {
+			out = binary.BigEndian.AppendUint32(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// DecodeFixed reverses EncodeFixed.
+func DecodeFixed(data []byte) ([]vm.Instr, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("%w: length %d not word-aligned", ErrCorrupt, len(data))
+	}
+	var code []vm.Instr
+	for i := 0; i < len(data); i += 4 {
+		w := binary.BigEndian.Uint32(data[i:])
+		op := vm.Opcode(w >> 26)
+		if !op.Valid() {
+			return nil, fmt.Errorf("%w: opcode %d at word %d", ErrCorrupt, op, i/4)
+		}
+		ins := vm.Instr{
+			Op:  op,
+			Rd:  uint8(w >> 21 & 0xF),
+			Rs1: uint8(w >> 17 & 0xF),
+			Rs2: uint8(w >> 13 & 0xF),
+		}
+		ks := payloadKinds(op)
+		if len(ks) > 0 {
+			if w&wideFlag != 0 {
+				i += 4
+				if i+4 > len(data) {
+					return nil, fmt.Errorf("%w: truncated wide immediate", ErrCorrupt)
+				}
+				setPayloadVal(&ins, ks[0], int32(binary.BigEndian.Uint32(data[i:])))
+			} else {
+				v := int32(w&((1<<immBits)-1)) << (32 - immBits) >> (32 - immBits)
+				setPayloadVal(&ins, ks[0], v)
+			}
+			for _, k := range ks[1:] {
+				i += 4
+				if i+4 > len(data) {
+					return nil, fmt.Errorf("%w: truncated payload word", ErrCorrupt)
+				}
+				setPayloadVal(&ins, k, int32(binary.BigEndian.Uint32(data[i:])))
+			}
+		}
+		code = append(code, ins)
+	}
+	return code, nil
+}
+
+func regCount(op vm.Opcode) int {
+	n := 0
+	for _, f := range op.Fields() {
+		if f == vm.FReg {
+			n++
+		}
+	}
+	return n
+}
+
+// Variable-encoding opcode byte flags: bit 7 widens the first payload,
+// bit 6 widens the second (opcodes fit in the low 6 bits).
+const (
+	wideOpFlag  = 0x80
+	wideOpFlag2 = 0x40
+	opMask      = 0x3F
+)
+
+func fitsByte(v int32) bool { return v >= -128 && v <= 127 }
+
+// Wide payloads use 2 bytes when the value fits int16 (x86's 16-bit
+// immediate forms), escaping to 4 bytes via the 0x8000 sentinel —
+// which is itself re-encoded through the escape.
+const wideSentinel = 0x8000
+
+func appendWide(out []byte, v int32) []byte {
+	if v >= -32768 && v <= 32767 && uint16(v) != wideSentinel {
+		return binary.LittleEndian.AppendUint16(out, uint16(v))
+	}
+	out = binary.LittleEndian.AppendUint16(out, wideSentinel)
+	return binary.LittleEndian.AppendUint32(out, uint32(v))
+}
+
+func wideSize(v int32) int {
+	if v >= -32768 && v <= 32767 && uint16(v) != wideSentinel {
+		return 2
+	}
+	return 6
+}
+
+// EncodeVariable serializes code in the x86-like variable-length form:
+// opcode byte (bits 7/6 flag wide payloads), zero to two register bytes
+// (two registers pack into one byte), then each payload as 1 byte, or
+// — when flagged wide — 2 bytes (int16) or an escaped 6 bytes.
+func EncodeVariable(code []vm.Instr) []byte {
+	var out []byte
+	for _, ins := range code {
+		ks := payloadKinds(ins.Op)
+		op := byte(ins.Op)
+		if len(ks) > 0 && !fitsByte(payloadVal(ins, ks[0])) {
+			op |= wideOpFlag
+		}
+		if len(ks) > 1 && !fitsByte(payloadVal(ins, ks[1])) {
+			op |= wideOpFlag2
+		}
+		out = append(out, op)
+		regs := encRegs(ins)
+		switch len(regs) {
+		case 0:
+		case 1:
+			out = append(out, regs[0])
+		case 2:
+			out = append(out, regs[0]<<4|regs[1])
+		case 3:
+			out = append(out, regs[0]<<4|regs[1], regs[2])
+		}
+		for pi, k := range ks {
+			v := payloadVal(ins, k)
+			wide := (pi == 0 && op&wideOpFlag != 0) || (pi == 1 && op&wideOpFlag2 != 0)
+			if wide {
+				out = appendWide(out, v)
+			} else {
+				out = append(out, byte(int8(v)))
+			}
+		}
+	}
+	return out
+}
+
+// encRegs returns the register operands in canonical order.
+func encRegs(ins vm.Instr) []uint8 {
+	var regs []uint8
+	for _, f := range ins.Op.Fields() {
+		if f == vm.FReg {
+			regs = append(regs, nthReg(ins, len(regs)))
+		}
+	}
+	return regs
+}
+
+// nthReg maps operand slots onto the Instr fields per opcode family.
+func nthReg(ins vm.Instr, n int) uint8 {
+	switch ins.Op {
+	case vm.LDW, vm.LDB:
+		return [2]uint8{ins.Rd, ins.Rs1}[n]
+	case vm.STW, vm.STB:
+		return [2]uint8{ins.Rs2, ins.Rs1}[n]
+	case vm.LDI:
+		return ins.Rd
+	case vm.ADDI:
+		return [2]uint8{ins.Rd, ins.Rs1}[n]
+	case vm.MOV, vm.NEG, vm.NOT:
+		return [2]uint8{ins.Rd, ins.Rs1}[n]
+	case vm.RJR:
+		return ins.Rs1
+	default:
+		if ins.Op.IsBranch() {
+			if ins.Op.IsImmBranch() {
+				return ins.Rs1
+			}
+			return [2]uint8{ins.Rs1, ins.Rs2}[n]
+		}
+		return [3]uint8{ins.Rd, ins.Rs1, ins.Rs2}[n]
+	}
+}
+
+func setNthReg(ins *vm.Instr, n int, r uint8) {
+	switch ins.Op {
+	case vm.LDW, vm.LDB:
+		if n == 0 {
+			ins.Rd = r
+		} else {
+			ins.Rs1 = r
+		}
+	case vm.STW, vm.STB:
+		if n == 0 {
+			ins.Rs2 = r
+		} else {
+			ins.Rs1 = r
+		}
+	case vm.LDI:
+		ins.Rd = r
+	case vm.ADDI, vm.MOV, vm.NEG, vm.NOT:
+		if n == 0 {
+			ins.Rd = r
+		} else {
+			ins.Rs1 = r
+		}
+	case vm.RJR:
+		ins.Rs1 = r
+	default:
+		if ins.Op.IsBranch() {
+			if ins.Op.IsImmBranch() {
+				ins.Rs1 = r
+			} else if n == 0 {
+				ins.Rs1 = r
+			} else {
+				ins.Rs2 = r
+			}
+			return
+		}
+		switch n {
+		case 0:
+			ins.Rd = r
+		case 1:
+			ins.Rs1 = r
+		default:
+			ins.Rs2 = r
+		}
+	}
+}
+
+// DecodeVariable reverses EncodeVariable.
+func DecodeVariable(data []byte) ([]vm.Instr, error) {
+	var code []vm.Instr
+	i := 0
+	for i < len(data) {
+		opb := data[i]
+		i++
+		op := vm.Opcode(opb & opMask)
+		if !op.Valid() {
+			return nil, fmt.Errorf("%w: opcode byte %#x at %d", ErrCorrupt, opb, i-1)
+		}
+		ins := vm.Instr{Op: op}
+		nr := regCount(op)
+		switch nr {
+		case 0:
+		case 1:
+			if i >= len(data) {
+				return nil, fmt.Errorf("%w: truncated registers", ErrCorrupt)
+			}
+			setNthReg(&ins, 0, data[i]&0xF)
+			i++
+		case 2:
+			if i >= len(data) {
+				return nil, fmt.Errorf("%w: truncated registers", ErrCorrupt)
+			}
+			setNthReg(&ins, 0, data[i]>>4)
+			setNthReg(&ins, 1, data[i]&0xF)
+			i++
+		case 3:
+			if i+1 >= len(data) {
+				return nil, fmt.Errorf("%w: truncated registers", ErrCorrupt)
+			}
+			setNthReg(&ins, 0, data[i]>>4)
+			setNthReg(&ins, 1, data[i]&0xF)
+			setNthReg(&ins, 2, data[i+1]&0xF)
+			i += 2
+		}
+		for pi, k := range payloadKinds(op) {
+			wide := (pi == 0 && opb&wideOpFlag != 0) || (pi == 1 && opb&wideOpFlag2 != 0)
+			if wide {
+				if i+2 > len(data) {
+					return nil, fmt.Errorf("%w: truncated imm16", ErrCorrupt)
+				}
+				u := binary.LittleEndian.Uint16(data[i:])
+				i += 2
+				if u == wideSentinel {
+					if i+4 > len(data) {
+						return nil, fmt.Errorf("%w: truncated imm32", ErrCorrupt)
+					}
+					setPayloadVal(&ins, k, int32(binary.LittleEndian.Uint32(data[i:])))
+					i += 4
+				} else {
+					setPayloadVal(&ins, k, int32(int16(u)))
+				}
+			} else {
+				if i >= len(data) {
+					return nil, fmt.Errorf("%w: truncated imm8", ErrCorrupt)
+				}
+				setPayloadVal(&ins, k, int32(int8(data[i])))
+				i++
+			}
+		}
+		code = append(code, ins)
+	}
+	return code, nil
+}
+
+// FixedSize reports len(EncodeFixed(code)) without materializing it.
+func FixedSize(code []vm.Instr) int {
+	n := 0
+	for _, ins := range code {
+		n += 4
+		ks := payloadKinds(ins.Op)
+		if len(ks) > 0 {
+			if p0 := payloadVal(ins, ks[0]); p0 < immMin || p0 > immMax {
+				n += 4
+			}
+			n += 4 * (len(ks) - 1)
+		}
+	}
+	return n
+}
+
+// VariableSize reports len(EncodeVariable(code)) without materializing it.
+func VariableSize(code []vm.Instr) int {
+	n := 0
+	for _, ins := range code {
+		n++ // opcode
+		switch regCount(ins.Op) {
+		case 1, 2:
+			n++
+		case 3:
+			n += 2
+		}
+		for _, k := range payloadKinds(ins.Op) {
+			if v := payloadVal(ins, k); fitsByte(v) {
+				n++
+			} else {
+				n += wideSize(v)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,390 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual OmniVM assembly this package's
+// disassembler emits (plus labels and a few directives) into a linked
+// Program. It exists so tests and tools can write machine programs
+// directly, and so `mcc -dump-asm` output is a real interchange format.
+//
+// Syntax, one item per line (';' or '#' start comments):
+//
+//	.func name frame=N     begin function "name" with frame size N
+//	.global name size      reserve a zeroed global
+//	.data name "bytes"     a global initialized from a Go-quoted string
+//	label:                 define a code label
+//	ld.iw n0,4(sp)         instructions, exactly as disassembled
+//	ble.i n1,n2,target     branch/jump/call targets are label or
+//	call name              function names
+//	trap putint            traps by name
+//
+// Programs execute from the first instruction, as with the code
+// generator's start stub.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		prog:   &Program{},
+		labels: map[string]int32{},
+	}
+	addr := int32(16) // skip the null page, like the code generator
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("vm: line %d: %w", lineNo+1, err)
+		}
+	}
+	a.endFunc()
+	// Lay out globals.
+	for i := range a.prog.Globals {
+		g := &a.prog.Globals[i]
+		addr = (addr + 3) &^ 3
+		g.Addr = addr
+		a.labels["&"+g.Name] = addr
+		addr += int32(g.Size)
+	}
+	a.prog.DataSize = int(addr)
+	// Resolve fixups.
+	for _, fx := range a.fixups {
+		pos, ok := a.labels[fx.name]
+		if !ok {
+			return nil, fmt.Errorf("vm: undefined label %q", fx.name)
+		}
+		a.prog.Code[fx.at].Target = pos
+	}
+	a.prog.ComputeBlockStarts()
+	return a.prog, nil
+}
+
+type asmFixup struct {
+	at   int
+	name string
+}
+
+type assembler struct {
+	prog    *Program
+	labels  map[string]int32
+	fixups  []asmFixup
+	curFunc *FuncInfo
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{";", "#"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) endFunc() {
+	if a.curFunc != nil {
+		a.curFunc.End = len(a.prog.Code)
+		a.prog.Funcs = append(a.prog.Funcs, *a.curFunc)
+		a.curFunc = nil
+	}
+}
+
+func (a *assembler) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".func "):
+		a.endFunc()
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf(".func needs a name")
+		}
+		name := fields[1]
+		frame := 0
+		for _, f := range fields[2:] {
+			if v, ok := strings.CutPrefix(f, "frame="); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("bad frame size %q", v)
+				}
+				frame = n
+			}
+		}
+		if _, dup := a.labels[name]; dup {
+			return fmt.Errorf("duplicate symbol %q", name)
+		}
+		a.labels[name] = int32(len(a.prog.Code))
+		a.curFunc = &FuncInfo{Name: name, Entry: len(a.prog.Code), Frame: frame}
+		return nil
+	case strings.HasPrefix(line, ".global "):
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf(".global needs name and size")
+		}
+		size, err := strconv.Atoi(fields[2])
+		if err != nil || size <= 0 {
+			return fmt.Errorf("bad global size %q", fields[2])
+		}
+		a.prog.Globals = append(a.prog.Globals, GlobalData{Name: fields[1], Size: size})
+		return nil
+	case strings.HasPrefix(line, ".data "):
+		rest := strings.TrimPrefix(line, ".data ")
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return fmt.Errorf(".data needs name and a quoted string")
+		}
+		name := rest[:sp]
+		lit := strings.TrimSpace(rest[sp+1:])
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return fmt.Errorf("bad string literal %s: %v", lit, err)
+		}
+		a.prog.Globals = append(a.prog.Globals, GlobalData{
+			Name: name, Size: len(s) + 1, Init: append([]byte(s), 0),
+		})
+		return nil
+	case strings.HasSuffix(line, ":"):
+		name := strings.TrimSuffix(line, ":")
+		if !validLabel(name) {
+			return fmt.Errorf("bad label %q", name)
+		}
+		if _, dup := a.labels[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		a.labels[name] = int32(len(a.prog.Code))
+		return nil
+	default:
+		return a.instr(line)
+	}
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == '$' || c == '.'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// opcodeByName maps mnemonics back to opcodes.
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(1); op < numOpcodes; op++ {
+		m[op.Name()] = op
+	}
+	return m
+}()
+
+func (a *assembler) instr(line string) error {
+	mn, rest, _ := strings.Cut(line, " ")
+	op, ok := opcodeByName[mn]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	args := splitArgs(rest)
+	ins := Instr{Op: op}
+	var err error
+	switch op {
+	case LDW, LDB, STW, STB:
+		// data, imm(base)
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs 2 operands", mn)
+		}
+		data, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		ins.Rs1, ins.Imm = base, imm
+		if op == LDW || op == LDB {
+			ins.Rd = data
+		} else {
+			ins.Rs2 = data
+		}
+	case LDI:
+		if len(args) != 2 {
+			return fmt.Errorf("ldi needs 2 operands")
+		}
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		if ins.Imm, err = parseImm(args[1]); err != nil {
+			return err
+		}
+	case ADDI:
+		if len(args) != 3 {
+			return fmt.Errorf("addi.i needs 3 operands")
+		}
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		if ins.Rs1, err = parseReg(args[1]); err != nil {
+			return err
+		}
+		if ins.Imm, err = parseImm(args[2]); err != nil {
+			return err
+		}
+	case MOV, NEG, NOT:
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs 2 operands", mn)
+		}
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		if ins.Rs1, err = parseReg(args[1]); err != nil {
+			return err
+		}
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SHR:
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mn)
+		}
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		if ins.Rs1, err = parseReg(args[1]); err != nil {
+			return err
+		}
+		if ins.Rs2, err = parseReg(args[2]); err != nil {
+			return err
+		}
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mn)
+		}
+		if ins.Rs1, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		if ins.Rs2, err = parseReg(args[1]); err != nil {
+			return err
+		}
+		a.target(&ins, args[2])
+	case BEQI, BNEI, BLTI, BLEI, BGTI, BGEI:
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mn)
+		}
+		if ins.Rs1, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		if ins.Imm, err = parseImm(args[1]); err != nil {
+			return err
+		}
+		a.target(&ins, args[2])
+	case JMP, CALL:
+		if len(args) != 1 {
+			return fmt.Errorf("%s needs 1 operand", mn)
+		}
+		a.target(&ins, args[0])
+	case RJR:
+		if len(args) != 1 {
+			return fmt.Errorf("rjr needs 1 operand")
+		}
+		if ins.Rs1, err = parseReg(args[0]); err != nil {
+			return err
+		}
+	case ENTER, EXIT, EPI:
+		// Accept both "enter sp,sp,24" and "enter 24".
+		switch len(args) {
+		case 1:
+			if ins.Imm, err = parseImm(args[0]); err != nil {
+				return err
+			}
+		case 3:
+			if ins.Imm, err = parseImm(args[2]); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%s needs a frame size", mn)
+		}
+	case TRAP:
+		if len(args) != 1 {
+			return fmt.Errorf("trap needs 1 operand")
+		}
+		id, ok := TrapByName(args[0])
+		if !ok {
+			return fmt.Errorf("unknown trap %q", args[0])
+		}
+		ins.Imm = id
+	case HALT:
+		if len(args) != 0 {
+			return fmt.Errorf("halt takes no operands")
+		}
+	default:
+		return fmt.Errorf("unsupported mnemonic %q", mn)
+	}
+	a.prog.Code = append(a.prog.Code, ins)
+	return nil
+}
+
+// target records a label reference for the just-built instruction.
+func (a *assembler) target(ins *Instr, arg string) {
+	name := strings.TrimPrefix(arg, "$")
+	a.fixups = append(a.fixups, asmFixup{at: len(a.prog.Code), name: name})
+	_ = ins
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (uint8, error) {
+	switch s {
+	case "sp":
+		return RegSP, nil
+	case "ra":
+		return RegRA, nil
+	}
+	if strings.HasPrefix(s, "n") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "imm(reg)" or "(reg)".
+func parseMem(s string) (int32, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	var imm int32
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, reg, nil
+}

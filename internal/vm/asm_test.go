@@ -1,0 +1,232 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const asmHello = `
+; start stub
+	call main
+	trap exit
+	halt
+
+.data greeting "hi!"
+
+.func main frame=8
+	enter sp,sp,8
+	st.iw ra,4(sp)
+	ldi n0,16        ; &greeting (first global lands at 16)
+	trap puts
+	ldi n4,6
+	ldi n5,7
+	mul.i n4,n4,n5
+	mov.i n0,n4
+	trap putint
+	ldi n0,0
+	ld.iw ra,4(sp)
+	exit sp,sp,8
+	rjr ra
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := Assemble(asmHello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m := NewMachine(p, 1<<16, &out)
+	code, err := m.Run(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+	if out.String() != "hi!\n42\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	if p.Func("main") == nil || p.Func("main").Frame != 8 {
+		t.Errorf("function table wrong: %+v", p.Funcs)
+	}
+}
+
+func TestAssembleBranchesAndLoops(t *testing.T) {
+	src := `
+	ldi n4,0
+	ldi n5,1
+loop:
+	add.i n4,n4,n5
+	addi.i n5,n5,1
+	blei.i n5,10,loop
+	mov.i n0,n4
+	trap exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p, 1<<16, nil)
+	code, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 55 {
+		t.Errorf("sum = %d, want 55", code)
+	}
+}
+
+func TestAssembleEveryBranchForm(t *testing.T) {
+	src := `
+	ldi n1,5
+	ldi n2,6
+	beq.i n1,n2,bad
+	bne.i n1,n2,ok1
+	jmp bad
+ok1:
+	blt.i n1,n2,ok2
+	jmp bad
+ok2:
+	ble.i n1,n2,ok3
+	jmp bad
+ok3:
+	bgt.i n2,n1,ok4
+	jmp bad
+ok4:
+	bge.i n2,n1,ok5
+	jmp bad
+ok5:
+	beqi.i n1,5,ok6
+	jmp bad
+ok6:
+	bnei.i n1,9,ok7
+	jmp bad
+ok7:
+	blti.i n1,6,ok8
+	jmp bad
+ok8:
+	bgti.i n1,4,ok9
+	jmp bad
+ok9:
+	bgei.i n1,5,good
+	jmp bad
+bad:
+	ldi n0,1
+	trap exit
+good:
+	ldi n0,0
+	trap exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p, 1<<16, nil)
+	code, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Error("branch semantics test took the wrong path")
+	}
+}
+
+func TestAssembleGlobals(t *testing.T) {
+	src := `
+	ld.iw n4,0(n13)   ; n13 is conventionally zero; 0(gz) reads page 0
+	halt
+.global counter 8
+.data msg "x"
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Globals) != 2 {
+		t.Fatalf("globals = %+v", p.Globals)
+	}
+	if p.Globals[0].Name != "counter" || p.Globals[0].Addr != 16 {
+		t.Errorf("counter placement: %+v", p.Globals[0])
+	}
+	if p.Globals[1].Addr != 24 || string(p.Globals[1].Init) != "x\x00" {
+		t.Errorf("msg placement: %+v", p.Globals[1])
+	}
+}
+
+// TestAssembleDisassembleRoundTrip: disassembling an assembled program
+// and reassembling yields identical code.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	p, err := Assemble(asmHello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild source from the disassembly (add labels for targets).
+	var sb strings.Builder
+	targets := map[int32]bool{}
+	for _, ins := range p.Code {
+		if ins.Op.IsBranch() || ins.Op == JMP || ins.Op == CALL {
+			targets[ins.Target] = true
+		}
+	}
+	for i, ins := range p.Code {
+		if targets[int32(i)] {
+			fmt.Fprintf(&sb, "L%d:\n", i)
+		}
+		text := ins.String()
+		// Rewrite $Ln target syntax to label references.
+		if idx := strings.Index(text, "$L"); idx >= 0 {
+			text = text[:idx] + "L" + text[idx+2:]
+		}
+		sb.WriteString("\t" + text + "\n")
+	}
+	p2, err := Assemble(sb.String())
+	if err != nil {
+		t.Fatalf("reassemble: %v\nsource:\n%s", err, sb.String())
+	}
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("code length %d != %d", len(p2.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != p2.Code[i] {
+			t.Errorf("instr %d: %+v != %+v", i, p.Code[i], p2.Code[i])
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus n1,n2",
+		"ldi n99,1",
+		"ldi n1",
+		"ld.iw n1,nope",
+		"jmp",
+		"trap nope",
+		"beq.i n1,n2,missing",
+		"dup:\ndup:\nhalt",
+		".func",
+		".global x",
+		".global x notanumber",
+		".data x noquote",
+		"halt extra",
+		"add.i n1,n2",
+		"enter sp,sp",
+		"rjr 42",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p, err := Assemble("; nothing\n# also nothing\n\thalt ; trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 1 || p.Code[0].Op != HALT {
+		t.Errorf("code = %+v", p.Code)
+	}
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// Fuzz targets: decoders must never panic on arbitrary bytes. Under
+// plain `go test` these run their seed corpus; `go test -fuzz` explores
+// further.
+
+func fuzzSeeds(f *testing.F) {
+	mod, err := cc.Compile("seed", `
+int g = 7;
+int f(int a, int b) { return a * b + g; }
+int main(void) { return f(2, 3); }`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, opt := range []Options{{}, {NoMTF: true}, {Final: FinalArith}, {Final: FinalNone}} {
+		if data, err := CompressOpts(mod, opt); err == nil {
+			f.Add(data)
+		}
+		if data, err := CompressIndexed(mod, opt); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("WIR1"))
+	f.Add([]byte("WIRX"))
+}
+
+func FuzzDecompress(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decompress(data)
+		if err == nil && m == nil {
+			t.Fatal("nil module without error")
+		}
+	})
+}
+
+func FuzzOpenIndexed(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenIndexed(data)
+		if err != nil {
+			return
+		}
+		_, _ = r.LoadAll()
+	})
+}

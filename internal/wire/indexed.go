@@ -1,0 +1,630 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/arith"
+	"repro/internal/bitio"
+	"repro/internal/flatezip"
+	"repro/internal/huffman"
+	"repro/internal/ir"
+	"repro/internal/mtf"
+)
+
+// Indexed wire objects support the paper's random-access variant:
+// "we have used them successfully by decompressing a function at a
+// time." All shared state is semi-static and lives in the header —
+// module metadata, the shape dictionary, and Huffman codes built over
+// the whole program's MTF indices — so each function's chunk is just
+// its coded streams (with fresh per-function MTF state) and can be
+// decompressed independently. Only the header passes through the
+// final LZ/arithmetic stage; chunks are already entropy-coded and too
+// small to benefit.
+
+var idxMagic = [4]byte{'W', 'I', 'R', 'X'}
+
+// symbolized is one stream after the (optional) MTF stage.
+type symbolized struct {
+	symbols []int
+	firsts  []int32
+}
+
+func symbolize(stream []int32, noMTF bool) symbolized {
+	if noMTF {
+		symbols := make([]int, len(stream))
+		for i, v := range stream {
+			symbols[i] = int(zigzag(v))
+		}
+		return symbolized{symbols: symbols}
+	}
+	symbols, firsts := mtf.EncodeStream(stream)
+	return symbolized{symbols: symbols, firsts: firsts}
+}
+
+// funcStreams is one function's symbolized streams.
+type funcStreams struct {
+	shape symbolized
+	lits  map[ir.Op]symbolized
+	litN  map[ir.Op]int
+}
+
+// CompressIndexed encodes a module with per-function random access.
+func CompressIndexed(m *ir.Module, opt Options) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	e, err := newEncoder(m, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared shape dictionary.
+	shapeIDs := map[string]int32{}
+	var shapeDefs [][]ir.Op
+	for _, f := range m.Functions {
+		for _, t := range f.Trees {
+			key := t.ShapeKey()
+			if _, ok := shapeIDs[key]; !ok {
+				shapeIDs[key] = int32(len(shapeDefs))
+				shapeDefs = append(shapeDefs, t.Shape())
+			}
+		}
+	}
+
+	// Pass 1: symbolize every function's streams and accumulate global
+	// frequency tables for the shared semi-static Huffman codes.
+	perFunc := make([]funcStreams, len(m.Functions))
+	var shapeFreq []int64
+	litFreq := map[ir.Op][]int64{}
+	bump := func(freqs *[]int64, s int) {
+		for len(*freqs) <= s {
+			*freqs = append(*freqs, 0)
+		}
+		(*freqs)[s]++
+	}
+	for fi, f := range m.Functions {
+		fs := funcStreams{lits: map[ir.Op]symbolized{}, litN: map[ir.Op]int{}}
+		var shapeStream []int32
+		litStreams := map[ir.Op][]int32{}
+		for _, t := range f.Trees {
+			shapeStream = append(shapeStream, shapeIDs[t.ShapeKey()])
+			for _, lit := range t.CollectLiterals() {
+				switch lit.Op.Lit() {
+				case ir.LitInt:
+					litStreams[lit.Op] = append(litStreams[lit.Op], int32(lit.Int))
+				case ir.LitName:
+					idx, ok := e.nameIdx[lit.Name]
+					if !ok {
+						return nil, fmt.Errorf("wire: unknown symbol %q", lit.Name)
+					}
+					litStreams[lit.Op] = append(litStreams[lit.Op], int32(idx))
+				}
+			}
+		}
+		fs.shape = symbolize(shapeStream, opt.NoMTF)
+		for _, s := range fs.shape.symbols {
+			bump(&shapeFreq, s)
+		}
+		for op, stream := range litStreams {
+			sym := symbolize(stream, opt.NoMTF)
+			fs.lits[op] = sym
+			fs.litN[op] = len(stream)
+			lf := litFreq[op]
+			for _, s := range sym.symbols {
+				bump(&lf, s)
+			}
+			litFreq[op] = lf
+		}
+		perFunc[fi] = fs
+	}
+
+	// Shared codes.
+	var shapeCode *huffman.Code
+	litCode := map[ir.Op]*huffman.Code{}
+	if !opt.NoHuffman {
+		if len(shapeFreq) > 0 {
+			if shapeCode, err = huffman.Build(shapeFreq, 0); err != nil {
+				return nil, err
+			}
+		}
+		for op, freqs := range litFreq {
+			c, err := huffman.Build(freqs, 0)
+			if err != nil {
+				return nil, err
+			}
+			litCode[op] = c
+		}
+	}
+
+	// Header.
+	var hdr bytes.Buffer
+	hw := bitio.NewWriter(&hdr)
+	writeString(hw, m.Name)
+	writeUvarint(hw, uint64(len(m.Externs)))
+	for _, n := range m.Externs {
+		writeString(hw, n)
+	}
+	writeUvarint(hw, uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		writeString(hw, g.Name)
+		writeUvarint(hw, uint64(g.Size))
+		writeUvarint(hw, uint64(len(g.Init)))
+		for _, b := range g.Init {
+			mustW(hw.WriteByte(b))
+		}
+	}
+	writeUvarint(hw, uint64(len(m.Functions)))
+	for _, f := range m.Functions {
+		writeString(hw, f.Name)
+		writeUvarint(hw, uint64(f.NumParams))
+		writeUvarint(hw, uint64(f.FrameSize))
+		writeUvarint(hw, uint64(len(f.Trees)))
+	}
+	writeUvarint(hw, uint64(len(shapeDefs)))
+	for _, ops := range shapeDefs {
+		writeUvarint(hw, uint64(len(ops)))
+		for _, op := range ops {
+			mustW(hw.WriteByte(byte(op)))
+		}
+	}
+	if !opt.NoHuffman {
+		if shapeCode != nil {
+			mustW(hw.WriteBit(1))
+			mustW(shapeCode.WriteLengths(hw))
+		} else {
+			mustW(hw.WriteBit(0))
+		}
+		for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+			if op.Lit() == ir.LitNone {
+				continue
+			}
+			if c, ok := litCode[op]; ok {
+				mustW(hw.WriteBit(1))
+				mustW(c.WriteLengths(hw))
+			} else {
+				mustW(hw.WriteBit(0))
+			}
+		}
+	}
+	mustW(hw.Flush())
+
+	// Chunks: per-function coded streams only.
+	chunks := make([][]byte, len(m.Functions))
+	for fi := range m.Functions {
+		fs := &perFunc[fi]
+		var body bytes.Buffer
+		bw := bitio.NewWriter(&body)
+		if err := writeCodedStream(bw, fs.shape, shapeCode, opt); err != nil {
+			return nil, err
+		}
+		for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+			if op.Lit() == ir.LitNone {
+				continue
+			}
+			n := fs.litN[op]
+			writeUvarint(bw, uint64(n))
+			if n == 0 {
+				continue
+			}
+			if err := writeCodedStream(bw, fs.lits[op], litCode[op], opt); err != nil {
+				return nil, err
+			}
+		}
+		mustW(bw.Flush())
+		chunks[fi] = body.Bytes()
+	}
+
+	// Assemble.
+	var out []byte
+	out = append(out, idxMagic[:]...)
+	out = append(out, encodeOpts(opt))
+	hc := finalStage(hdr.Bytes(), opt.Final)
+	out = appendUv(out, uint64(len(hc)))
+	out = append(out, hc...)
+	out = appendUv(out, uint64(len(chunks)))
+	for _, c := range chunks {
+		out = appendUv(out, uint64(len(c)))
+	}
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}
+
+// writeCodedStream emits firsts then coded symbols using the shared
+// code (or varints under NoHuffman).
+func writeCodedStream(bw *bitio.Writer, s symbolized, code *huffman.Code, opt Options) error {
+	writeUvarint(bw, uint64(len(s.firsts)))
+	for _, v := range s.firsts {
+		writeUvarint(bw, zigzag(v))
+	}
+	if opt.NoHuffman {
+		for _, sym := range s.symbols {
+			writeUvarint(bw, uint64(sym))
+		}
+		return nil
+	}
+	if len(s.symbols) > 0 && code == nil {
+		return fmt.Errorf("wire: internal: no shared code for nonempty stream")
+	}
+	for _, sym := range s.symbols {
+		if err := code.Encode(bw, sym); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCodedStream mirrors writeCodedStream for count symbols.
+func readCodedStream(br *bitio.Reader, count int, code *huffman.Code, opt Options) ([]int32, error) {
+	nFirsts, err := readUvarint(br)
+	if err != nil || nFirsts > uint64(count) {
+		return nil, fmt.Errorf("firsts count")
+	}
+	firsts := make([]int32, nFirsts)
+	for i := range firsts {
+		v, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		firsts[i] = unzigzag(v)
+	}
+	symbols := make([]int, count)
+	if opt.NoHuffman {
+		for i := range symbols {
+			v, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			symbols[i] = int(v)
+		}
+	} else {
+		if code == nil {
+			return nil, fmt.Errorf("missing shared code")
+		}
+		for i := range symbols {
+			s, err := code.Decode(br)
+			if err != nil {
+				return nil, err
+			}
+			symbols[i] = s
+		}
+	}
+	if opt.NoMTF {
+		out := make([]int32, count)
+		for i, s := range symbols {
+			out[i] = unzigzag(uint64(s))
+		}
+		return out, nil
+	}
+	out, ok := mtf.DecodeStream(symbols, firsts)
+	if !ok {
+		return nil, fmt.Errorf("mtf decode failed")
+	}
+	return out, nil
+}
+
+func finalStage(data []byte, fc FinalCoder) []byte {
+	switch fc {
+	case FinalArith:
+		return arith.Compress(data, arith.Order1)
+	case FinalNone:
+		return data
+	default:
+		return flatezip.Compress(data)
+	}
+}
+
+func unfinalStage(data []byte, fc FinalCoder) ([]byte, error) {
+	switch fc {
+	case FinalArith:
+		return arith.Decompress(data, arith.Order1)
+	case FinalNone:
+		return data, nil
+	default:
+		return flatezip.Decompress(data)
+	}
+}
+
+func appendUv(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	return append(dst, buf[:binary.PutUvarint(buf[:], v)]...)
+}
+
+// IndexedReader provides random access to an indexed wire object.
+type IndexedReader struct {
+	opt        Options
+	module     *ir.Module // metadata; Trees filled per function on demand
+	names      []string
+	shapes     [][]ir.Op
+	shapeCode  *huffman.Code
+	litCodes   map[ir.Op]*huffman.Code
+	chunks     [][]byte
+	loaded     []bool
+	treeCounts []int
+	// BytesTouched counts compressed bytes actually consumed, for the
+	// partial-load experiments.
+	BytesTouched int
+}
+
+// OpenIndexed parses the header of an indexed wire object without
+// touching any function chunk.
+func OpenIndexed(data []byte) (*IndexedReader, error) {
+	if len(data) < 5 || !bytes.Equal(data[:4], idxMagic[:]) {
+		return nil, fmt.Errorf("%w: bad indexed magic", ErrCorrupt)
+	}
+	opt, err := decodeOpts(data[4])
+	if err != nil {
+		return nil, err
+	}
+	pos := 5
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: varint", ErrCorrupt)
+		}
+		pos += n
+		return v, nil
+	}
+	hlen, err := uv()
+	if err != nil || uint64(pos)+hlen > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: header length", ErrCorrupt)
+	}
+	hcomp := data[pos : pos+int(hlen)]
+	pos += int(hlen)
+	hdr, err := unfinalStage(hcomp, opt.Final)
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	r := &IndexedReader{opt: opt, litCodes: map[ir.Op]*huffman.Code{}, BytesTouched: 5 + int(hlen)}
+	if err := r.parseHeader(hdr); err != nil {
+		return nil, err
+	}
+	nChunks, err := uv()
+	if err != nil || nChunks != uint64(len(r.module.Functions)) {
+		return nil, fmt.Errorf("%w: chunk count", ErrCorrupt)
+	}
+	lens := make([]int, nChunks)
+	for i := range lens {
+		l, err := uv()
+		if err != nil || l > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: chunk length", ErrCorrupt)
+		}
+		lens[i] = int(l)
+	}
+	r.chunks = make([][]byte, nChunks)
+	r.loaded = make([]bool, nChunks)
+	for i, l := range lens {
+		if pos+l > len(data) {
+			return nil, fmt.Errorf("%w: truncated chunk %d", ErrCorrupt, i)
+		}
+		r.chunks[i] = data[pos : pos+l]
+		pos += l
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return r, nil
+}
+
+func (r *IndexedReader) parseHeader(hdr []byte) error {
+	br := bitio.NewReader(bytes.NewReader(hdr))
+	m := &ir.Module{}
+	var err error
+	if m.Name, err = readString(br); err != nil {
+		return fmt.Errorf("%w: name", ErrCorrupt)
+	}
+	nExterns, err := readUvarint(br)
+	if err != nil || nExterns > 1<<16 {
+		return fmt.Errorf("%w: externs", ErrCorrupt)
+	}
+	for i := uint64(0); i < nExterns; i++ {
+		s, err := readString(br)
+		if err != nil {
+			return fmt.Errorf("%w: extern", ErrCorrupt)
+		}
+		m.Externs = append(m.Externs, s)
+		r.names = append(r.names, s)
+	}
+	nGlobals, err := readUvarint(br)
+	if err != nil || nGlobals > 1<<20 {
+		return fmt.Errorf("%w: globals", ErrCorrupt)
+	}
+	for i := uint64(0); i < nGlobals; i++ {
+		var g ir.Global
+		if g.Name, err = readString(br); err != nil {
+			return fmt.Errorf("%w: global name", ErrCorrupt)
+		}
+		size, err := readUvarint(br)
+		if err != nil || size > 1<<28 {
+			return fmt.Errorf("%w: global size", ErrCorrupt)
+		}
+		initLen, err := readUvarint(br)
+		if err != nil || initLen > size {
+			return fmt.Errorf("%w: global init", ErrCorrupt)
+		}
+		g.Size = int(size)
+		if initLen > 0 {
+			g.Init = make([]byte, initLen)
+			for j := range g.Init {
+				if g.Init[j], err = br.ReadByte(); err != nil {
+					return fmt.Errorf("%w: init bytes", ErrCorrupt)
+				}
+			}
+		}
+		m.Globals = append(m.Globals, g)
+		r.names = append(r.names, g.Name)
+	}
+	nFuncs, err := readUvarint(br)
+	if err != nil || nFuncs > 1<<20 {
+		return fmt.Errorf("%w: functions", ErrCorrupt)
+	}
+	for i := uint64(0); i < nFuncs; i++ {
+		f := &ir.Function{}
+		if f.Name, err = readString(br); err != nil {
+			return fmt.Errorf("%w: function name", ErrCorrupt)
+		}
+		np, err := readUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: params", ErrCorrupt)
+		}
+		fs, err := readUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: frame", ErrCorrupt)
+		}
+		nt, err := readUvarint(br)
+		if err != nil || nt > 1<<24 {
+			return fmt.Errorf("%w: tree count", ErrCorrupt)
+		}
+		f.NumParams, f.FrameSize = int(np), int(fs)
+		r.treeCounts = append(r.treeCounts, int(nt))
+		m.Functions = append(m.Functions, f)
+		r.names = append(r.names, f.Name)
+	}
+	nShapes, err := readUvarint(br)
+	if err != nil || nShapes > 1<<24 {
+		return fmt.Errorf("%w: shapes", ErrCorrupt)
+	}
+	r.shapes = make([][]ir.Op, nShapes)
+	for i := range r.shapes {
+		n, err := readUvarint(br)
+		if err != nil || n == 0 || n > 1<<16 {
+			return fmt.Errorf("%w: shape length", ErrCorrupt)
+		}
+		ops := make([]ir.Op, n)
+		for j := range ops {
+			b, err := br.ReadByte()
+			if err != nil {
+				return fmt.Errorf("%w: shape ops", ErrCorrupt)
+			}
+			ops[j] = ir.Op(b)
+			if !ops[j].Valid() {
+				return fmt.Errorf("%w: bad op in shape", ErrCorrupt)
+			}
+		}
+		r.shapes[i] = ops
+	}
+	if !r.opt.NoHuffman {
+		bit, err := br.ReadBit()
+		if err != nil {
+			return fmt.Errorf("%w: shape code flag", ErrCorrupt)
+		}
+		if bit == 1 {
+			if r.shapeCode, err = huffman.ReadLengths(br); err != nil {
+				return fmt.Errorf("%w: shape code: %v", ErrCorrupt, err)
+			}
+		}
+		for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+			if op.Lit() == ir.LitNone {
+				continue
+			}
+			bit, err := br.ReadBit()
+			if err != nil {
+				return fmt.Errorf("%w: literal code flag", ErrCorrupt)
+			}
+			if bit == 1 {
+				c, err := huffman.ReadLengths(br)
+				if err != nil {
+					return fmt.Errorf("%w: literal code for %s: %v", ErrCorrupt, op, err)
+				}
+				r.litCodes[op] = c
+			}
+		}
+	}
+	r.module = m
+	return nil
+}
+
+// Functions lists the function names in the object.
+func (r *IndexedReader) Functions() []string {
+	var out []string
+	for _, f := range r.module.Functions {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// Metadata returns the module with whatever functions have been loaded
+// so far (others have empty bodies).
+func (r *IndexedReader) Metadata() *ir.Module { return r.module }
+
+// LoadFunction decompresses one function's chunk (idempotent) and
+// returns the function with its trees filled in.
+func (r *IndexedReader) LoadFunction(name string) (*ir.Function, error) {
+	fi := -1
+	for i, f := range r.module.Functions {
+		if f.Name == name {
+			fi = i
+			break
+		}
+	}
+	if fi < 0 {
+		return nil, fmt.Errorf("wire: no function %q", name)
+	}
+	if r.loaded[fi] {
+		return r.module.Functions[fi], nil
+	}
+	r.BytesTouched += len(r.chunks[fi])
+	f := r.module.Functions[fi]
+	count := r.treeCounts[fi]
+	br := bitio.NewReader(bytes.NewReader(r.chunks[fi]))
+	shapeStream, err := readCodedStream(br, count, r.shapeCode, r.opt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: shape stream for %s: %v", ErrCorrupt, name, err)
+	}
+	litStreams := map[ir.Op][]int32{}
+	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+		if op.Lit() == ir.LitNone {
+			continue
+		}
+		n, err := readUvarint(br)
+		if err != nil || n > 1<<26 {
+			return nil, fmt.Errorf("%w: literal count for %s", ErrCorrupt, op)
+		}
+		if n == 0 {
+			continue
+		}
+		vals, err := readCodedStream(br, int(n), r.litCodes[op], r.opt)
+		if err != nil {
+			return nil, fmt.Errorf("%w: literal stream for %s: %v", ErrCorrupt, op, err)
+		}
+		litStreams[op] = vals
+	}
+	litPos := map[ir.Op]int{}
+	nextLit := func(op ir.Op) (int32, error) {
+		s := litStreams[op]
+		p := litPos[op]
+		if p >= len(s) {
+			return 0, fmt.Errorf("literal underflow for %s", op)
+		}
+		litPos[op] = p + 1
+		return s[p], nil
+	}
+	for _, id := range shapeStream {
+		if id < 0 || int(id) >= len(r.shapes) {
+			return nil, fmt.Errorf("%w: shape id %d", ErrCorrupt, id)
+		}
+		t, err := rebuildTree(r.shapes[id], nextLit, r.names)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		f.Trees = append(f.Trees, t)
+	}
+	r.loaded[fi] = true
+	return f, nil
+}
+
+// LoadAll decompresses every function and returns the full module.
+func (r *IndexedReader) LoadAll() (*ir.Module, error) {
+	for _, f := range r.module.Functions {
+		if _, err := r.LoadFunction(f.Name); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.module.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: reconstructed module invalid: %v", ErrCorrupt, err)
+	}
+	return r.module, nil
+}

@@ -1,0 +1,678 @@
+// Package wire implements the paper's wire-format code compressor (§3):
+//
+//  1. compile the program into trees (package cc/ir),
+//  2. patternize: split the tree forest into one operator stream
+//     (tree shapes with all literals wildcarded) and one literal
+//     stream per operator that carries a literal,
+//  3. move-to-front code each stream in isolation,
+//  4. Huffman-code all MTF indices (but no MTF tables),
+//  5. compress the serialized streams with the LZ stage (flatezip,
+//     this repository's gzip stand-in).
+//
+// Decompression reverses every stage and reconstructs a structurally
+// identical ir.Module. Options expose each stage for the ablation
+// benchmarks (MTF off, Huffman off, or an arithmetic-coder final stage
+// instead of LZ — the design-space alternatives from §2).
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/arith"
+	"repro/internal/bitio"
+	"repro/internal/flatezip"
+	"repro/internal/huffman"
+	"repro/internal/ir"
+	"repro/internal/mtf"
+)
+
+// FinalCoder selects the last compression stage.
+type FinalCoder uint8
+
+// Final-stage choices.
+const (
+	FinalLZ    FinalCoder = iota // flatezip (the paper's gzip stage)
+	FinalArith                   // order-1 adaptive arithmetic coder
+	FinalNone                    // no final stage (for ablation)
+)
+
+// Options configures the pipeline for ablation studies; the zero value
+// is the paper's configuration.
+type Options struct {
+	NoMTF     bool       // skip move-to-front, Huffman-code raw symbols
+	NoHuffman bool       // emit MTF indices as varints instead
+	Final     FinalCoder // last stage
+}
+
+var magic = [4]byte{'W', 'I', 'R', '1'}
+
+// ErrCorrupt reports a malformed wire object.
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// Compress encodes a module with the paper's default pipeline.
+func Compress(m *ir.Module) ([]byte, error) { return CompressOpts(m, Options{}) }
+
+// CompressOpts encodes a module with an explicit pipeline configuration.
+func CompressOpts(m *ir.Module, opt Options) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	container, err := buildContainer(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Write(magic[:])
+	out.WriteByte(encodeOpts(opt))
+	switch opt.Final {
+	case FinalLZ:
+		out.Write(flatezip.Compress(container))
+	case FinalArith:
+		out.Write(arith.Compress(container, arith.Order1))
+	case FinalNone:
+		out.Write(container)
+	default:
+		return nil, fmt.Errorf("wire: unknown final coder %d", opt.Final)
+	}
+	return out.Bytes(), nil
+}
+
+// Decompress reconstructs the module from a wire object.
+func Decompress(data []byte) (*ir.Module, error) {
+	if len(data) < 5 || !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	opt, err := decodeOpts(data[4])
+	if err != nil {
+		return nil, err
+	}
+	payload := data[5:]
+	var container []byte
+	switch opt.Final {
+	case FinalLZ:
+		container, err = flatezip.Decompress(payload)
+	case FinalArith:
+		container, err = arith.Decompress(payload, arith.Order1)
+	case FinalNone:
+		container = payload
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: final stage: %v", ErrCorrupt, err)
+	}
+	return parseContainer(container, opt)
+}
+
+func encodeOpts(opt Options) byte {
+	b := byte(opt.Final)
+	if opt.NoMTF {
+		b |= 0x10
+	}
+	if opt.NoHuffman {
+		b |= 0x20
+	}
+	return b
+}
+
+func decodeOpts(b byte) (Options, error) {
+	opt := Options{
+		Final:     FinalCoder(b & 0x0F),
+		NoMTF:     b&0x10 != 0,
+		NoHuffman: b&0x20 != 0,
+	}
+	if opt.Final > FinalNone {
+		return opt, fmt.Errorf("%w: options byte %#x", ErrCorrupt, b)
+	}
+	return opt, nil
+}
+
+// Stats describes the size contribution of each pipeline stage.
+type Stats struct {
+	Trees          int // statement trees encoded
+	Shapes         int // distinct tree shapes (operator patterns)
+	OperatorBytes  int // shape-stream bytes before the final stage
+	LiteralBytes   int // literal-stream bytes before the final stage
+	MetadataBytes  int // names, globals, function headers
+	ContainerBytes int // total container before the final stage
+	FinalBytes     int // the compressed object (including header)
+}
+
+// Measure compresses and reports per-stage sizes.
+func Measure(m *ir.Module, opt Options) (Stats, error) {
+	var st Stats
+	enc, err := newEncoder(m, opt)
+	if err != nil {
+		return st, err
+	}
+	container, err := enc.encode()
+	if err != nil {
+		return st, err
+	}
+	st = enc.stats
+	st.ContainerBytes = len(container)
+	full, err := CompressOpts(m, opt)
+	if err != nil {
+		return st, err
+	}
+	st.FinalBytes = len(full)
+	return st, nil
+}
+
+// ---- container encoding ----
+
+type encoder struct {
+	m       *ir.Module
+	opt     Options
+	names   []string // symbol table: externs, globals, functions
+	nameIdx map[string]int
+	stats   Stats
+}
+
+func newEncoder(m *ir.Module, opt Options) (*encoder, error) {
+	e := &encoder{m: m, opt: opt, nameIdx: map[string]int{}}
+	for _, n := range m.Externs {
+		e.addName(n)
+	}
+	for _, g := range m.Globals {
+		e.addName(g.Name)
+	}
+	for _, f := range m.Functions {
+		e.addName(f.Name)
+	}
+	return e, nil
+}
+
+func (e *encoder) addName(n string) {
+	if _, ok := e.nameIdx[n]; !ok {
+		e.nameIdx[n] = len(e.names)
+		e.names = append(e.names, n)
+	}
+}
+
+func buildContainer(m *ir.Module, opt Options) ([]byte, error) {
+	e, err := newEncoder(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.encode()
+}
+
+func (e *encoder) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bitio.NewWriter(&buf)
+
+	// Metadata.
+	writeString(bw, e.m.Name)
+	writeUvarint(bw, uint64(len(e.m.Externs)))
+	for _, n := range e.m.Externs {
+		writeString(bw, n)
+	}
+	writeUvarint(bw, uint64(len(e.m.Globals)))
+	for _, g := range e.m.Globals {
+		writeString(bw, g.Name)
+		writeUvarint(bw, uint64(g.Size))
+		writeUvarint(bw, uint64(len(g.Init)))
+		for _, b := range g.Init {
+			mustW(bw.WriteByte(b))
+		}
+	}
+	writeUvarint(bw, uint64(len(e.m.Functions)))
+	for _, f := range e.m.Functions {
+		writeString(bw, f.Name)
+		writeUvarint(bw, uint64(f.NumParams))
+		writeUvarint(bw, uint64(f.FrameSize))
+		writeUvarint(bw, uint64(len(f.Trees)))
+	}
+	mustW(bw.Flush())
+	e.stats.MetadataBytes = buf.Len()
+
+	// Patternize: shape stream + per-op literal streams.
+	shapeIDs := map[string]int32{}
+	var shapeDefs [][]ir.Op
+	var shapeStream []int32
+	litStreams := map[ir.Op][]int32{} // integer literals (and name indices)
+	for _, f := range e.m.Functions {
+		for _, t := range f.Trees {
+			key := t.ShapeKey()
+			id, ok := shapeIDs[key]
+			if !ok {
+				id = int32(len(shapeDefs))
+				shapeIDs[key] = id
+				shapeDefs = append(shapeDefs, t.Shape())
+			}
+			shapeStream = append(shapeStream, id)
+			for _, lit := range t.CollectLiterals() {
+				switch lit.Op.Lit() {
+				case ir.LitInt:
+					litStreams[lit.Op] = append(litStreams[lit.Op], int32(lit.Int))
+				case ir.LitName:
+					idx, ok := e.nameIdx[lit.Name]
+					if !ok {
+						return nil, fmt.Errorf("wire: unknown symbol %q", lit.Name)
+					}
+					litStreams[lit.Op] = append(litStreams[lit.Op], int32(idx))
+				}
+			}
+		}
+	}
+	e.stats.Trees = len(shapeStream)
+	e.stats.Shapes = len(shapeDefs)
+
+	// Shape definitions, in first-occurrence order, then the operator
+	// (shape) stream itself.
+	opStart := buf.Len()
+	writeUvarint(bw, uint64(len(shapeDefs)))
+	for _, ops := range shapeDefs {
+		writeUvarint(bw, uint64(len(ops)))
+		for _, op := range ops {
+			mustW(bw.WriteByte(byte(op)))
+		}
+	}
+	if err := e.writeSymbolStream(bw, shapeStream); err != nil {
+		return nil, err
+	}
+	mustW(bw.Flush())
+	e.stats.OperatorBytes = buf.Len() - opStart
+
+	// Literal streams, one per operator, in opcode order.
+	litStart := buf.Len()
+	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+		if op.Lit() == ir.LitNone {
+			continue
+		}
+		stream := litStreams[op]
+		writeUvarint(bw, uint64(len(stream)))
+		if len(stream) == 0 {
+			continue
+		}
+		if err := e.writeSymbolStream(bw, stream); err != nil {
+			return nil, err
+		}
+	}
+	mustW(bw.Flush())
+	e.stats.LiteralBytes = buf.Len() - litStart
+	return buf.Bytes(), nil
+}
+
+// writeSymbolStream MTF-codes (per options) one stream and Huffman-codes
+// the result. First-occurrence values follow as zigzag varints (the
+// paper's "1, 2, or 4-byte values, as appropriate" byte packing,
+// realized as varints so the LZ stage sees uniform framing).
+func (e *encoder) writeSymbolStream(bw *bitio.Writer, stream []int32) error {
+	var symbols []int
+	var firsts []int32
+	if e.opt.NoMTF {
+		// Raw symbols: shift into non-negative space via zigzag.
+		symbols = make([]int, len(stream))
+		for i, v := range stream {
+			symbols[i] = int(zigzag(v))
+		}
+	} else {
+		symbols, firsts = mtf.EncodeStream(stream)
+	}
+	// Value payloads for first occurrences.
+	writeUvarint(bw, uint64(len(firsts)))
+	for _, v := range firsts {
+		writeUvarint(bw, zigzag(v))
+	}
+	if e.opt.NoHuffman {
+		for _, s := range symbols {
+			writeUvarint(bw, uint64(s))
+		}
+		return nil
+	}
+	max := 0
+	for _, s := range symbols {
+		if s > max {
+			max = s
+		}
+	}
+	freqs := make([]int64, max+1)
+	for _, s := range symbols {
+		freqs[s]++
+	}
+	code, err := huffman.Build(freqs, 0)
+	if err != nil {
+		return fmt.Errorf("wire: huffman: %w", err)
+	}
+	if err := code.WriteLengths(bw); err != nil {
+		return err
+	}
+	for _, s := range symbols {
+		if err := code.Encode(bw, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseContainer(data []byte, opt Options) (*ir.Module, error) {
+	br := bitio.NewReader(bytes.NewReader(data))
+	m := &ir.Module{}
+	var err error
+	if m.Name, err = readString(br); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrCorrupt, err)
+	}
+	nExterns, err := readUvarint(br)
+	if err != nil || nExterns > 1<<16 {
+		return nil, fmt.Errorf("%w: externs", ErrCorrupt)
+	}
+	var names []string
+	for i := uint64(0); i < nExterns; i++ {
+		s, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: extern name", ErrCorrupt)
+		}
+		m.Externs = append(m.Externs, s)
+		names = append(names, s)
+	}
+	nGlobals, err := readUvarint(br)
+	if err != nil || nGlobals > 1<<20 {
+		return nil, fmt.Errorf("%w: globals", ErrCorrupt)
+	}
+	for i := uint64(0); i < nGlobals; i++ {
+		var g ir.Global
+		if g.Name, err = readString(br); err != nil {
+			return nil, fmt.Errorf("%w: global name", ErrCorrupt)
+		}
+		size, err := readUvarint(br)
+		if err != nil || size > 1<<28 {
+			return nil, fmt.Errorf("%w: global size", ErrCorrupt)
+		}
+		g.Size = int(size)
+		initLen, err := readUvarint(br)
+		if err != nil || initLen > size {
+			return nil, fmt.Errorf("%w: global init", ErrCorrupt)
+		}
+		if initLen > 0 {
+			g.Init = make([]byte, initLen)
+			for j := range g.Init {
+				b, err := br.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("%w: global init bytes", ErrCorrupt)
+				}
+				g.Init[j] = b
+			}
+		}
+		m.Globals = append(m.Globals, g)
+		names = append(names, g.Name)
+	}
+	nFuncs, err := readUvarint(br)
+	if err != nil || nFuncs > 1<<20 {
+		return nil, fmt.Errorf("%w: functions", ErrCorrupt)
+	}
+	treeCounts := make([]int, nFuncs)
+	for i := uint64(0); i < nFuncs; i++ {
+		f := &ir.Function{}
+		if f.Name, err = readString(br); err != nil {
+			return nil, fmt.Errorf("%w: function name", ErrCorrupt)
+		}
+		np, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: params", ErrCorrupt)
+		}
+		fs, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: frame", ErrCorrupt)
+		}
+		nt, err := readUvarint(br)
+		if err != nil || nt > 1<<24 {
+			return nil, fmt.Errorf("%w: tree count", ErrCorrupt)
+		}
+		f.NumParams, f.FrameSize = int(np), int(fs)
+		treeCounts[i] = int(nt)
+		m.Functions = append(m.Functions, f)
+		names = append(names, f.Name)
+	}
+	br.Align()
+
+	// Shape definitions.
+	nShapes, err := readUvarint(br)
+	if err != nil || nShapes > 1<<24 {
+		return nil, fmt.Errorf("%w: shape count", ErrCorrupt)
+	}
+	shapes := make([][]ir.Op, nShapes)
+	for i := range shapes {
+		n, err := readUvarint(br)
+		if err != nil || n == 0 || n > 1<<16 {
+			return nil, fmt.Errorf("%w: shape length", ErrCorrupt)
+		}
+		ops := make([]ir.Op, n)
+		for j := range ops {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: shape ops", ErrCorrupt)
+			}
+			ops[j] = ir.Op(b)
+			if !ops[j].Valid() {
+				return nil, fmt.Errorf("%w: invalid op %d in shape", ErrCorrupt, b)
+			}
+		}
+		shapes[i] = ops
+	}
+	totalTrees := 0
+	for _, n := range treeCounts {
+		totalTrees += n
+	}
+	shapeStream, err := readSymbolStream(br, totalTrees, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: shape stream: %v", ErrCorrupt, err)
+	}
+	br.Align()
+
+	// Literal streams. First pass over shapes per tree to know how many
+	// literals of each opcode we need... the stream lengths are stored,
+	// so read them directly.
+	litStreams := map[ir.Op][]int32{}
+	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+		if op.Lit() == ir.LitNone {
+			continue
+		}
+		n, err := readUvarint(br)
+		if err != nil || n > 1<<26 {
+			return nil, fmt.Errorf("%w: literal stream size for %s", ErrCorrupt, op)
+		}
+		if n == 0 {
+			continue
+		}
+		vals, err := readSymbolStream(br, int(n), opt)
+		if err != nil {
+			return nil, fmt.Errorf("%w: literal stream for %s: %v", ErrCorrupt, op, err)
+		}
+		litStreams[op] = vals
+	}
+
+	// Rebuild trees.
+	litPos := map[ir.Op]int{}
+	nextLit := func(op ir.Op) (int32, error) {
+		s := litStreams[op]
+		p := litPos[op]
+		if p >= len(s) {
+			return 0, fmt.Errorf("literal underflow for %s", op)
+		}
+		litPos[op] = p + 1
+		return s[p], nil
+	}
+	si := 0
+	for fi, f := range m.Functions {
+		for k := 0; k < treeCounts[fi]; k++ {
+			if si >= len(shapeStream) {
+				return nil, fmt.Errorf("%w: shape stream underflow", ErrCorrupt)
+			}
+			id := shapeStream[si]
+			si++
+			if id < 0 || int(id) >= len(shapes) {
+				return nil, fmt.Errorf("%w: shape id %d", ErrCorrupt, id)
+			}
+			t, err := rebuildTree(shapes[id], nextLit, names)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			f.Trees = append(f.Trees, t)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: reconstructed module invalid: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// rebuildTree reconstructs one tree from its shape, pulling literals
+// from the per-opcode streams in prefix order.
+func rebuildTree(ops []ir.Op, nextLit func(ir.Op) (int32, error), names []string) (*ir.Tree, error) {
+	pos := 0
+	var build func() (*ir.Tree, error)
+	build = func() (*ir.Tree, error) {
+		if pos >= len(ops) {
+			return nil, fmt.Errorf("shape underflow")
+		}
+		op := ops[pos]
+		pos++
+		t := &ir.Tree{Op: op}
+		switch op.Lit() {
+		case ir.LitInt:
+			v, err := nextLit(op)
+			if err != nil {
+				return nil, err
+			}
+			t.Lit = int64(v)
+		case ir.LitName:
+			v, err := nextLit(op)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || int(v) >= len(names) {
+				return nil, fmt.Errorf("name index %d out of range", v)
+			}
+			t.Name = names[v]
+		}
+		for i := 0; i < op.Arity(); i++ {
+			k, err := build()
+			if err != nil {
+				return nil, err
+			}
+			t.Kids = append(t.Kids, k)
+		}
+		return t, nil
+	}
+	t, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(ops) {
+		return nil, fmt.Errorf("shape has %d trailing ops", len(ops)-pos)
+	}
+	return t, nil
+}
+
+func readSymbolStream(br *bitio.Reader, count int, opt Options) ([]int32, error) {
+	nFirsts, err := readUvarint(br)
+	if err != nil || nFirsts > uint64(count) {
+		return nil, fmt.Errorf("firsts count")
+	}
+	firsts := make([]int32, nFirsts)
+	for i := range firsts {
+		v, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		firsts[i] = unzigzag(v)
+	}
+	symbols := make([]int, count)
+	if opt.NoHuffman {
+		for i := range symbols {
+			v, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			symbols[i] = int(v)
+		}
+	} else {
+		code, err := huffman.ReadLengths(br)
+		if err != nil {
+			return nil, err
+		}
+		for i := range symbols {
+			s, err := code.Decode(br)
+			if err != nil {
+				return nil, err
+			}
+			symbols[i] = s
+		}
+	}
+	if opt.NoMTF {
+		out := make([]int32, count)
+		for i, s := range symbols {
+			out[i] = unzigzag(uint64(s))
+		}
+		return out, nil
+	}
+	out, ok := mtf.DecodeStream(symbols, firsts)
+	if !ok {
+		return nil, fmt.Errorf("mtf decode failed")
+	}
+	return out, nil
+}
+
+// ---- primitive serialization helpers ----
+
+func mustW(err error) {
+	if err != nil {
+		panic("wire: write to bytes.Buffer failed: " + err.Error())
+	}
+}
+
+func zigzag(v int32) uint64   { return uint64(uint32(v<<1) ^ uint32(v>>31)) }
+func unzigzag(u uint64) int32 { return int32(uint32(u)>>1) ^ -int32(u&1) }
+
+func writeUvarint(bw *bitio.Writer, v uint64) {
+	for v >= 0x80 {
+		mustW(bw.WriteByte(byte(v) | 0x80))
+		v >>= 7
+	}
+	mustW(bw.WriteByte(byte(v)))
+}
+
+func readUvarint(br *bitio.Reader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, fmt.Errorf("varint overflow")
+		}
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func writeString(bw *bitio.Writer, s string) {
+	writeUvarint(bw, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		mustW(bw.WriteByte(s[i]))
+	}
+}
+
+func readString(br *bitio.Reader) (string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("string too long")
+	}
+	b := make([]byte, n)
+	for i := range b {
+		if b[i], err = br.ReadByte(); err != nil {
+			return "", err
+		}
+	}
+	return string(b), nil
+}

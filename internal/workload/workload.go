@@ -1,0 +1,508 @@
+// Package workload synthesizes MiniC benchmark programs standing in
+// for the paper's inputs (lcc, gcc, wep, Word97), plus hand-written
+// kernels for the timing experiments.
+//
+// The compressors' behaviour depends on code statistics, so the
+// generator models what real compiler output looks like: a skewed
+// operator mix, heavy reuse of small frame offsets and constants,
+// recurring idioms (guarded decrements, accumulation loops, call
+// marshalling), and a long tail of rarely used shapes. Programs are
+// deterministic per seed and always terminate quickly when run: the
+// call graph is two-tier (leaf functions and mid functions that call
+// only leaves), and loops have small constant bounds.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Profile sizes a generated program.
+type Profile struct {
+	Name       string
+	Seed       int64
+	LeafFuncs  int // functions containing no calls
+	MidFuncs   int // functions calling only leaf functions
+	GlobalInts int
+	GlobalArrs int
+	Strings    int
+	// MeanStmts is the average statement count per function body.
+	MeanStmts int
+	// MainSweep makes main call every mid function (instead of a small
+	// sample), modelling the paper's startup observation that "many
+	// functions are called just once".
+	MainSweep bool
+	// MainRounds repeats main's call sequence (default 1); with
+	// MainSweep it produces the cyclic whole-image access pattern the
+	// paging experiments need.
+	MainRounds int
+	// WideLits biases literals toward 16-bit values, modelling the
+	// paper's Word97 observation ("an unusually large number of 16-bit
+	// operations") that makes BRISC compression less effective.
+	WideLits bool
+	// StructVars adds that many global struct variables (over a couple
+	// of generated struct types) that function bodies read and update,
+	// giving the code the field-access idioms real programs have.
+	StructVars int
+}
+
+// Preset profiles named after the paper's benchmarks. Sizes are scaled
+// to keep the full experiment suite fast while preserving the paper's
+// relative ordering (wep < lcc < gcc).
+var (
+	// Wep matches the paper's smallest benchmark.
+	Wep = Profile{Name: "wep", Seed: 101, LeafFuncs: 45, MidFuncs: 15, GlobalInts: 10, GlobalArrs: 6, Strings: 6, MeanStmts: 9, StructVars: 3}
+	// Lcc is the mid-size compiler-shaped benchmark.
+	Lcc = Profile{Name: "lcc", Seed: 202, LeafFuncs: 220, MidFuncs: 80, GlobalInts: 40, GlobalArrs: 20, Strings: 24, MeanStmts: 10, StructVars: 8}
+	// Gcc is the large benchmark.
+	Gcc = Profile{Name: "gcc", Seed: 303, LeafFuncs: 900, MidFuncs: 300, GlobalInts: 120, GlobalArrs: 60, Strings: 80, MeanStmts: 11, StructVars: 20}
+	// Quick is a tiny profile for unit tests.
+	Quick = Profile{Name: "quick", Seed: 404, LeafFuncs: 8, MidFuncs: 3, GlobalInts: 4, GlobalArrs: 2, Strings: 2, MeanStmts: 6, StructVars: 2}
+	// Word models the paper's Word97 row: lcc-scale but biased toward
+	// 16-bit literal operands, which compress less well.
+	Word = Profile{Name: "word", Seed: 505, LeafFuncs: 220, MidFuncs: 80, GlobalInts: 40, GlobalArrs: 20, Strings: 24, MeanStmts: 10, WideLits: true, StructVars: 8}
+)
+
+// Presets lists the benchmark profiles in the paper's table order.
+func Presets() []Profile { return []Profile{Lcc, Gcc, Wep} }
+
+// Generate produces a complete MiniC translation unit for the profile.
+func Generate(p Profile) string {
+	g := &pgen{rng: rand.New(rand.NewSource(p.Seed)), p: p}
+	return g.program()
+}
+
+type pgen struct {
+	rng *rand.Rand
+	p   Profile
+	sb  strings.Builder
+
+	arrNames []string
+	arrSizes []int
+	intNames []string
+	strNames []string
+	// structVars are "var.field" lvalue strings over the generated
+	// struct globals, usable wherever an int global is.
+	structVars []string
+	indent     int
+
+	// The current function's scalar variables usable in expressions.
+	vars []string
+	// loopDepth selects the reserved induction variable (i0, i1, i2) so
+	// nested loops never share or clobber each other's counters.
+	loopDepth int
+}
+
+func (g *pgen) w(format string, args ...interface{}) {
+	for i := 0; i < g.indent; i++ {
+		g.sb.WriteByte('\t')
+	}
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+// pick returns a weighted choice index: weights[i] relative likelihoods.
+func (g *pgen) pick(weights ...int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	v := g.rng.Intn(total)
+	for i, w := range weights {
+		if v < w {
+			return i
+		}
+		v -= w
+	}
+	return len(weights) - 1
+}
+
+// smallConst returns constants with the skew real code has: mostly 0,
+// 1, 2, 4, 8, small values; occasionally large. With WideLits the
+// distribution shifts toward 16-bit magnitudes (the Word97 profile).
+func (g *pgen) smallConst() int {
+	if g.p.WideLits && g.pick(3, 2) == 0 {
+		return g.rng.Intn(30000) + 256
+	}
+	switch g.pick(30, 20, 10, 8, 8, 14, 6, 4) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return 2
+	case 3:
+		return 4
+	case 4:
+		return 8
+	case 5:
+		return g.rng.Intn(16)
+	case 6:
+		return g.rng.Intn(256)
+	default:
+		return g.rng.Intn(100000)
+	}
+}
+
+func (g *pgen) variable() string {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+// expr generates an integer expression of bounded depth.
+func (g *pgen) expr(depth int) string {
+	if depth <= 0 || g.pick(2, 3) == 0 {
+		// Leaf.
+		switch g.pick(5, 4, 2) {
+		case 0:
+			return g.variable()
+		case 1:
+			return fmt.Sprint(g.smallConst())
+		default:
+			if len(g.arrNames) > 0 {
+				// Sizes are powers of two, so masking keeps indices in
+				// range even for negative values.
+				ai := g.rng.Intn(len(g.arrNames))
+				return fmt.Sprintf("%s[%s & %d]", g.arrNames[ai], g.variable(), g.arrSizes[ai]-1)
+			}
+			return g.variable()
+		}
+	}
+	ops := []string{"+", "+", "+", "-", "-", "*", "&", "|", "^", ">>", "<<"}
+	op := ops[g.rng.Intn(len(ops))]
+	l, r := g.expr(depth-1), g.expr(depth-1)
+	if op == ">>" || op == "<<" {
+		r = fmt.Sprint(g.rng.Intn(5) + 1)
+	}
+	return fmt.Sprintf("(%s %s %s)", l, op, r)
+}
+
+// condition generates a comparison.
+func (g *pgen) condition() string {
+	rels := []string{"<", "<=", ">", ">=", "==", "!="}
+	rel := rels[g.rng.Intn(len(rels))]
+	if g.pick(3, 1) == 0 {
+		return fmt.Sprintf("%s %s %d", g.variable(), rel, g.smallConst())
+	}
+	return fmt.Sprintf("%s %s %s", g.variable(), rel, g.variable())
+}
+
+// stmt emits one statement; callees lists functions this body may call.
+func (g *pgen) stmt(callees []string, depth int) {
+	choice := g.pick(30, 10, 10, 8, 6, 10, 6)
+	if len(callees) == 0 && choice == 5 {
+		choice = 0
+	}
+	if depth <= 0 && (choice == 2 || choice == 3 || choice == 4) {
+		choice = 0
+	}
+	switch choice {
+	case 0: // assignment
+		g.w("%s = %s;", g.variable(), g.expr(2))
+	case 1: // compound assignment / inc / dec — the paper's j-- idiom
+		switch g.pick(3, 3, 4) {
+		case 0:
+			g.w("%s += %s;", g.variable(), g.expr(1))
+		case 1:
+			g.w("%s -= %d;", g.variable(), g.smallConst())
+		default:
+			if g.rng.Intn(2) == 0 {
+				g.w("%s++;", g.variable())
+			} else {
+				g.w("%s--;", g.variable())
+			}
+		}
+	case 2: // if (guarded block, often with the paper's call+decrement shape)
+		g.w("if (%s) {", g.condition())
+		g.indent++
+		n := 1 + g.rng.Intn(2)
+		for i := 0; i < n; i++ {
+			g.stmt(callees, depth-1)
+		}
+		g.indent--
+		if g.pick(3, 1) == 1 {
+			g.w("} else {")
+			g.indent++
+			g.stmt(callees, depth-1)
+			g.indent--
+		}
+		g.w("}")
+	case 3: // bounded accumulation loop over a reserved induction variable
+		iv := fmt.Sprintf("i%d", g.loopDepth)
+		bound := g.rng.Intn(12) + 2
+		g.w("for (%s = 0; %s < %d; %s++) {", iv, iv, bound, iv)
+		g.indent++
+		g.loopDepth++
+		g.stmt(nil, depth-1) // no calls inside loops: bounds total work
+		g.loopDepth--
+		g.indent--
+		g.w("}")
+	case 4: // array update
+		if len(g.arrNames) > 0 {
+			ai := g.rng.Intn(len(g.arrNames))
+			g.w("%s[%s & %d] = %s;", g.arrNames[ai], g.variable(), g.arrSizes[ai]-1, g.expr(1))
+		} else {
+			g.w("%s = %s;", g.variable(), g.expr(1))
+		}
+	case 5: // call
+		callee := callees[g.rng.Intn(len(callees))]
+		args := make([]string, 2)
+		for i := range args {
+			if g.rng.Intn(2) == 0 {
+				args[i] = g.variable()
+			} else {
+				args[i] = fmt.Sprint(g.smallConst())
+			}
+		}
+		if g.rng.Intn(3) == 0 {
+			g.w("%s(%s, %s);", callee, args[0], args[1])
+		} else {
+			g.w("%s = %s(%s, %s);", g.variable(), callee, args[0], args[1])
+		}
+	default: // global or struct-field update
+		switch {
+		case len(g.structVars) > 0 && g.rng.Intn(2) == 0:
+			sv := g.structVars[g.rng.Intn(len(g.structVars))]
+			g.w("%s = %s + %s;", sv, sv, g.variable())
+		case len(g.intNames) > 0:
+			gn := g.intNames[g.rng.Intn(len(g.intNames))]
+			g.w("%s = %s + %s;", gn, gn, g.variable())
+		default:
+			g.w("%s = %s;", g.variable(), g.expr(1))
+		}
+	}
+}
+
+func (g *pgen) function(name string, callees []string) {
+	g.w("int %s(int a, int b) {", name)
+	g.indent++
+	g.w("int i0 = 0, i1 = 0, i2 = 0;")
+	g.loopDepth = 0
+	nLocals := g.rng.Intn(3) + 2
+	g.vars = []string{"a", "b"}
+	for i := 0; i < nLocals; i++ {
+		v := fmt.Sprintf("t%d", i)
+		g.w("int %s = %d;", v, g.smallConst())
+		g.vars = append(g.vars, v)
+	}
+	nStmts := g.p.MeanStmts/2 + g.rng.Intn(g.p.MeanStmts)
+	for i := 0; i < nStmts; i++ {
+		g.stmt(callees, 2)
+	}
+	g.w("return %s;", g.expr(1))
+	g.indent--
+	g.w("}")
+	g.w("")
+}
+
+var words = []string{
+	"parse", "emit", "scan", "fold", "walk", "hash", "copy", "init",
+	"read", "link", "mark", "pack", "dump", "node", "type", "sym",
+}
+
+func (g *pgen) program() string {
+	g.w("/* %s: synthetic benchmark generated by internal/workload (seed %d) */",
+		g.p.Name, g.p.Seed)
+	g.w("")
+	for i := 0; i < g.p.GlobalInts; i++ {
+		n := fmt.Sprintf("g_%s%d", words[i%len(words)], i)
+		g.intNames = append(g.intNames, n)
+		if g.rng.Intn(2) == 0 {
+			g.w("int %s = %d;", n, g.smallConst())
+		} else {
+			g.w("int %s;", n)
+		}
+	}
+	for i := 0; i < g.p.GlobalArrs; i++ {
+		n := fmt.Sprintf("tab_%s%d", words[i%len(words)], i)
+		size := []int{8, 16, 16, 32, 64}[g.rng.Intn(5)]
+		g.arrNames = append(g.arrNames, n)
+		g.arrSizes = append(g.arrSizes, size)
+		g.w("int %s[%d];", n, size)
+	}
+	for i := 0; i < g.p.Strings; i++ {
+		n := fmt.Sprintf("msg%d", i)
+		s := words[g.rng.Intn(len(words))] + ": " + words[g.rng.Intn(len(words))]
+		g.strNames = append(g.strNames, n)
+		g.w("char %s[%d] = \"%s\";", n, len(s)+1, s)
+	}
+	if g.p.StructVars > 0 {
+		// Two record types with the field mix compiler data structures
+		// have; globals of these types feed field-access idioms.
+		g.w("struct state { int pos; int count; int flags; };")
+		g.w("struct entry { int key; int value; char kind; };")
+		types := []string{"state", "entry"}
+		fields := map[string][]string{
+			"state": {"pos", "count", "flags"},
+			"entry": {"key", "value"},
+		}
+		for i := 0; i < g.p.StructVars; i++ {
+			ty := types[i%len(types)]
+			n := fmt.Sprintf("rec_%s%d", ty, i)
+			g.w("struct %s %s;", ty, n)
+			for _, f := range fields[ty] {
+				g.structVars = append(g.structVars, n+"."+f)
+			}
+		}
+	}
+	g.w("")
+
+	var leaves, mids []string
+	for i := 0; i < g.p.LeafFuncs; i++ {
+		name := fmt.Sprintf("%s_%d", words[i%len(words)], i)
+		leaves = append(leaves, name)
+		g.function(name, nil)
+	}
+	for i := 0; i < g.p.MidFuncs; i++ {
+		name := fmt.Sprintf("do_%s_%d", words[i%len(words)], i)
+		mids = append(mids, name)
+		// Each mid function sees a small window of leaves, giving call
+		// sites the locality real code has.
+		lo := g.rng.Intn(len(leaves))
+		hi := lo + 6
+		if hi > len(leaves) {
+			hi = len(leaves)
+		}
+		g.function(name, leaves[lo:hi])
+	}
+
+	// main exercises mid functions and prints a checksum.
+	g.w("int main(void) {")
+	g.indent++
+	g.w("int sum = 0;")
+	g.w("int round;")
+	g.vars = []string{"sum"}
+	rounds := g.p.MainRounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	g.w("for (round = 0; round < %d; round++) {", rounds)
+	g.indent++
+	if g.p.MainSweep {
+		for i, m := range mids {
+			g.w("sum += %s(%d, round);", m, i+1)
+		}
+	} else {
+		nCalls := len(mids)
+		if nCalls > 8 {
+			nCalls = 8
+		}
+		for i := 0; i < nCalls; i++ {
+			g.w("sum += %s(%d, %d);", mids[g.rng.Intn(len(mids))], i+1, g.smallConst())
+		}
+	}
+	g.indent--
+	g.w("}")
+	if len(g.strNames) > 0 {
+		g.w("puts(%s);", g.strNames[0])
+	}
+	g.w("putint(sum);")
+	g.w("return 0;")
+	g.indent--
+	g.w("}")
+	return g.sb.String()
+}
+
+// Kernels returns the hand-written benchmark programs used for the
+// timing experiments (interpretation penalty, JIT-vs-native runtime);
+// each runs long enough to time and prints a checksum.
+func Kernels() map[string]string {
+	return map[string]string{
+		"fib": `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main(void) { putint(fib(24)); return 0; }
+`,
+		"sieve": `
+char flags[8192];
+int main(void) {
+	int i, j, count = 0, iter;
+	for (iter = 0; iter < 20; iter++) {
+		count = 0;
+		for (i = 2; i < 8192; i++) flags[i] = 1;
+		for (i = 2; i < 8192; i++) {
+			if (flags[i]) {
+				count++;
+				for (j = i + i; j < 8192; j += i) flags[j] = 0;
+			}
+		}
+	}
+	putint(count);
+	return 0;
+}
+`,
+		"matmul": `
+int a[256];
+int b[256];
+int c[256];
+int main(void) {
+	int i, j, k, iter;
+	for (i = 0; i < 256; i++) { a[i] = i; b[i] = i * 2; }
+	for (iter = 0; iter < 12; iter++) {
+		for (i = 0; i < 16; i++) {
+			for (j = 0; j < 16; j++) {
+				int s = 0;
+				for (k = 0; k < 16; k++) s += a[i*16+k] * b[k*16+j];
+				c[i*16+j] = s;
+			}
+		}
+	}
+	putint(c[255]);
+	return 0;
+}
+`,
+		"qsortk": `
+int data[2048];
+int partition(int lo, int hi) {
+	int pivot = data[hi];
+	int i = lo - 1, j, t;
+	for (j = lo; j < hi; j++) {
+		if (data[j] <= pivot) {
+			i++;
+			t = data[i]; data[i] = data[j]; data[j] = t;
+		}
+	}
+	t = data[i+1]; data[i+1] = data[hi]; data[hi] = t;
+	return i + 1;
+}
+int quicksort(int lo, int hi) {
+	if (lo < hi) {
+		int p = partition(lo, hi);
+		quicksort(lo, p - 1);
+		quicksort(p + 1, hi);
+	}
+	return 0;
+}
+int main(void) {
+	int i, seed = 12345, iter;
+	for (iter = 0; iter < 6; iter++) {
+		for (i = 0; i < 2048; i++) {
+			seed = seed * 1103515245 + 12345;
+			data[i] = (seed >> 8) & 32767;
+		}
+		quicksort(0, 2047);
+	}
+	putint(data[0]); putint(data[1024]); putint(data[2047]);
+	return 0;
+}
+`,
+		"strops": `
+char buf[4096];
+int main(void) {
+	int i, n = 0, iter;
+	for (iter = 0; iter < 200; iter++) {
+		for (i = 0; i < 4095; i++) buf[i] = 'a' + (i % 26);
+		buf[4095] = 0;
+		n = 0;
+		for (i = 0; buf[i]; i++) {
+			if (buf[i] == 'q') n++;
+		}
+	}
+	putint(n);
+	return 0;
+}
+`,
+	}
+}

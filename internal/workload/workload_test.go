@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/vm"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Quick)
+	b := Generate(Quick)
+	if a != b {
+		t.Error("same profile should generate identical source")
+	}
+	c := Generate(Profile{Name: "other", Seed: 999, LeafFuncs: 8, MidFuncs: 3,
+		GlobalInts: 4, GlobalArrs: 2, Strings: 2, MeanStmts: 6})
+	if a == c {
+		t.Error("different seed should change the program")
+	}
+}
+
+func TestQuickProfileCompilesAndRuns(t *testing.T) {
+	src := Generate(Quick)
+	mod, err := cc.Compile("quick", src)
+	if err != nil {
+		t.Fatalf("generated program does not compile: %v\n%s", err, src)
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m := vm.NewMachine(prog, 1<<20, &out)
+	if _, err := m.Run(20_000_000); err != nil {
+		t.Fatalf("generated program failed to run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Error("generated program produced no output")
+	}
+}
+
+func TestPresetsCompileAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			src := Generate(p)
+			mod, err := cc.Compile(p.Name, src)
+			if err != nil {
+				t.Fatalf("%s does not compile: %v", p.Name, err)
+			}
+			prog, err := codegen.Generate(mod, codegen.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			m := vm.NewMachine(prog, 4<<20, &out)
+			if _, err := m.Run(100_000_000); err != nil {
+				t.Fatalf("%s failed to run: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The paper's size ordering must hold: wep < lcc < gcc.
+	sizes := map[string]int{}
+	for _, p := range []Profile{Wep, Lcc, Gcc} {
+		mod, err := cc.Compile(p.Name, Generate(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := codegen.Generate(mod, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[p.Name] = len(prog.Code)
+	}
+	if !(sizes["wep"] < sizes["lcc"] && sizes["lcc"] < sizes["gcc"]) {
+		t.Errorf("size ordering violated: %v", sizes)
+	}
+	t.Logf("instruction counts: %v", sizes)
+}
+
+func TestKernelsRunCorrectly(t *testing.T) {
+	want := map[string]string{
+		"fib":    "46368\n",
+		"sieve":  "1028\n",
+		"strops": "157\n",
+	}
+	for name, src := range Kernels() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			mod, err := cc.Compile(name, src)
+			if err != nil {
+				t.Fatalf("kernel %s: %v", name, err)
+			}
+			prog, err := codegen.Generate(mod, codegen.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			m := vm.NewMachine(prog, 1<<20, &out)
+			code, err := m.Run(500_000_000)
+			if err != nil {
+				t.Fatalf("kernel %s: %v", name, err)
+			}
+			if code != 0 {
+				t.Errorf("kernel %s exit = %d", name, code)
+			}
+			if w, ok := want[name]; ok && out.String() != w {
+				t.Errorf("kernel %s output = %q, want %q", name, out.String(), w)
+			}
+			if name == "qsortk" {
+				// Sorted: first <= middle <= last.
+				t.Logf("qsortk output: %s", out.String())
+			}
+		})
+	}
+}
