@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench check fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything CI would run: formatting, vet, build, race-enabled tests.
+check: fmt vet build
+	$(GO) test -race ./...

@@ -7,20 +7,60 @@ package codecomp
 // numbers behind every table row.
 
 import (
+	"fmt"
 	"io"
+	"os"
 	"testing"
 
 	"repro/internal/brisc"
 	"repro/internal/cc"
 	"repro/internal/codegen"
+	"repro/internal/experiments"
 	"repro/internal/flatezip"
 	"repro/internal/ir"
 	"repro/internal/native"
 	"repro/internal/paging"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
+
+// benchRec is non-nil when BENCH_METRICS names an output file; report
+// mirrors every benchmark metric into it so `go test -bench=.` leaves
+// a machine-readable JSON snapshot next to the textual output.
+var benchRec *telemetry.Recorder
+
+func TestMain(m *testing.M) {
+	out := os.Getenv("BENCH_METRICS")
+	if out != "" {
+		benchRec = telemetry.New()
+		experiments.SetRecorder(benchRec)
+	}
+	code := m.Run()
+	if out != "" && code == 0 {
+		f, err := os.Create(out)
+		if err == nil {
+			err = telemetry.WriteJSON(f, benchRec)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench metrics:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// report records a benchmark metric both on the benchmark (the usual
+// -bench output) and, when BENCH_METRICS is set, as a gauge named
+// after the running benchmark in the JSON snapshot.
+func report(b *testing.B, v float64, unit string) {
+	b.ReportMetric(v, unit)
+	benchRec.SetGauge("bench."+b.Name()+"."+unit, v)
+}
 
 // modCache avoids recompiling the big workloads for every benchmark.
 var modCache = map[string]*ir.Module{}
@@ -100,10 +140,10 @@ func benchTableWire(b *testing.B, p workload.Profile) {
 	}
 	b.StopTimer()
 	gz := flatezip.Compress(conv)
-	b.ReportMetric(float64(len(conv)), "conv-bytes")
-	b.ReportMetric(float64(len(gz)), "gzip-bytes")
-	b.ReportMetric(float64(len(wb)), "wire-bytes")
-	b.ReportMetric(float64(len(conv))/float64(len(wb)), "factor")
+	report(b, float64(len(conv)), "conv-bytes")
+	report(b, float64(len(gz)), "gzip-bytes")
+	report(b, float64(len(wb)), "wire-bytes")
+	report(b, float64(len(conv))/float64(len(wb)), "factor")
 }
 
 func BenchmarkTableWireLcc(b *testing.B) { benchTableWire(b, workload.Lcc) }
@@ -128,11 +168,11 @@ func benchTableBrisc(b *testing.B, p workload.Profile) {
 	objCache[p.Name] = obj
 	sb := obj.Size()
 	gz := len(flatezip.Compress(native.EncodeVariable(prog.Code)))
-	b.ReportMetric(float64(natBytes), "native-bytes")
-	b.ReportMetric(float64(sb.CodeSize()), "brisc-bytes")
-	b.ReportMetric(float64(sb.CodeSize())/float64(natBytes), "brisc-ratio")
-	b.ReportMetric(float64(gz)/float64(natBytes), "gzip-ratio")
-	b.ReportMetric(float64(sb.NumPatterns), "dict-patterns")
+	report(b, float64(natBytes), "native-bytes")
+	report(b, float64(sb.CodeSize()), "brisc-bytes")
+	report(b, float64(sb.CodeSize())/float64(natBytes), "brisc-ratio")
+	report(b, float64(gz)/float64(natBytes), "gzip-ratio")
+	report(b, float64(sb.NumPatterns), "dict-patterns")
 }
 
 func BenchmarkTableBriscLcc(b *testing.B) { benchTableBrisc(b, workload.Lcc) }
@@ -171,7 +211,7 @@ func BenchmarkTableVariants(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(obj.Size().CodeSize())/baseline, "ratio-vs-native")
+			report(b, float64(obj.Size().CodeSize())/baseline, "ratio-vs-native")
 		})
 	}
 }
@@ -204,8 +244,8 @@ int main(void) { return salt(3, 4); }`
 		}
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(native.VariableSize(prog.Code)), "native-bytes")
-	b.ReportMetric(float64(obj.Size().CodeBytes), "brisc-stream-bytes")
+	report(b, float64(native.VariableSize(prog.Code)), "native-bytes")
+	report(b, float64(obj.Size().CodeBytes), "brisc-stream-bytes")
 }
 
 // ---- S1: interpretation penalty ----
@@ -319,9 +359,9 @@ func BenchmarkWorkingSet(b *testing.B) {
 		briscPages = briscSim.Result(1).PagesTouched
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(natPages), "native-pages")
-	b.ReportMetric(float64(briscPages), "brisc-pages")
-	b.ReportMetric(100*(1-float64(briscPages)/float64(natPages)), "reduction-%")
+	report(b, float64(natPages), "native-pages")
+	report(b, float64(briscPages), "brisc-pages")
+	report(b, 100*(1-float64(briscPages)/float64(natPages)), "reduction-%")
 }
 
 // ---- S4: the intro paging scenario ----
@@ -362,8 +402,8 @@ func BenchmarkPagingScenario(b *testing.B) {
 		briscMs = briscSim.Result(12).TotalTime / 1000
 	}
 	b.StopTimer()
-	b.ReportMetric(natMs, "native-ms")
-	b.ReportMetric(briscMs, "brisc-ms")
+	report(b, natMs, "native-ms")
+	report(b, briscMs, "brisc-ms")
 }
 
 // ---- ablations the design sections call out ----
@@ -389,7 +429,7 @@ func BenchmarkWireAblations(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(len(out)), "bytes")
+			report(b, float64(len(out)), "bytes")
 		})
 	}
 }
@@ -413,8 +453,8 @@ func BenchmarkPeepholeAblation(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(native.VariableSize(v.prog.Code)), "native-bytes")
-			b.ReportMetric(float64(obj.Size().CodeSize()), "brisc-bytes")
+			report(b, float64(native.VariableSize(v.prog.Code)), "native-bytes")
+			report(b, float64(obj.Size().CodeSize()), "brisc-bytes")
 		})
 	}
 }
@@ -440,7 +480,7 @@ func BenchmarkBriscAblations(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(obj.Size().CodeSize()), "bytes")
+			report(b, float64(obj.Size().CodeSize()), "bytes")
 		})
 	}
 }

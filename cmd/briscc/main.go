@@ -7,6 +7,13 @@
 //	briscc file.mc -stats          section sizes and ratios
 //	briscc file.mc -dict           print the learned dictionary
 //	briscc file.mc -K 20 -abundant -no-combine -no-specialize
+//
+// Observability (shared across the tools):
+//
+//	-metrics             telemetry summary on stderr
+//	-trace file.jsonl    machine-readable span/counter trace
+//	-cpuprofile f.pprof  CPU profile
+//	-memprofile f.pprof  heap profile
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/flatezip"
 	"repro/internal/native"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -34,21 +42,44 @@ func main() {
 	dict := flag.Bool("dict", false, "print the learned dictionary")
 	dictOut := flag.String("dict-out", "", "save the learned dictionary for reuse")
 	dictIn := flag.String("dict-in", "", "compress with a previously trained dictionary")
+	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
+	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: briscc [flags] file.mc")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+
+	tool, err := telemetry.StartTool(telemetry.ToolOptions{
+		Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rec := tool.Rec
+	// -stats is rendered through the telemetry summary sink so the
+	// three CLIs share one report format; it gets a private recorder
+	// when no telemetry flag created one.
+	if *stats && rec == nil {
+		rec = telemetry.New()
+	}
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	sp := rec.StartSpan("briscc.frontend")
 	mod, err := cc.Compile(flag.Arg(0), string(src))
 	if err != nil {
+		sp.End()
 		fatal(err)
 	}
 	prog, err := codegen.Generate(mod, codegen.Options{})
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -78,7 +109,7 @@ func main() {
 		}
 	} else {
 		var err error
-		obj, err = brisc.Compress(prog, opt)
+		obj, err = brisc.CompressTraced(prog, opt, rec)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,16 +125,19 @@ func main() {
 		sb := obj.Size()
 		nat := native.VariableSize(prog.Code)
 		gz := len(flatezip.Compress(native.EncodeVariable(prog.Code)))
-		fmt.Printf("instructions:       %d\n", len(prog.Code))
-		fmt.Printf("native (x86-like):  %d bytes (1.00)\n", nat)
-		fmt.Printf("gzipped native:     %d bytes (%.2f)\n", gz, float64(gz)/float64(nat))
-		fmt.Printf("BRISC code stream:  %d bytes\n", sb.CodeBytes)
-		fmt.Printf("BRISC dictionary:   %d bytes (%d learned patterns, %d passes)\n",
-			sb.DictBytes, sb.NumPatterns, obj.Passes)
-		fmt.Printf("BRISC Markov tables:%d bytes\n", sb.TableBytes)
-		fmt.Printf("BRISC block table:  %d bytes (%d blocks)\n", sb.BlockBytes, sb.NumBlocks)
-		fmt.Printf("BRISC total code:   %d bytes (%.2f)\n", sb.CodeSize(),
-			float64(sb.CodeSize())/float64(nat))
+		rec.Add("briscc.instructions", int64(len(prog.Code)))
+		rec.Add("briscc.native_bytes", int64(nat))
+		rec.Add("briscc.gzip_native_bytes", int64(gz))
+		rec.Add("briscc.code_stream_bytes", int64(sb.CodeBytes))
+		rec.Add("briscc.dict_bytes", int64(sb.DictBytes))
+		rec.Add("briscc.markov_table_bytes", int64(sb.TableBytes))
+		rec.Add("briscc.block_table_bytes", int64(sb.BlockBytes))
+		rec.Add("briscc.total_code_bytes", int64(sb.CodeSize()))
+		rec.Add("briscc.learned_patterns", int64(sb.NumPatterns))
+		rec.Add("briscc.passes", int64(obj.Passes))
+		rec.SetGauge("briscc.ratio.gzip_vs_native", float64(gz)/float64(nat))
+		rec.SetGauge("briscc.ratio.brisc_vs_native", float64(sb.CodeSize())/float64(nat))
+		telemetry.WriteSummary(os.Stdout, rec)
 	}
 	if *dict {
 		for i, p := range obj.Dict[vm.NumOpcodes:] {
@@ -116,6 +150,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
+	}
+	if err := tool.Close(); err != nil {
+		fatal(err)
 	}
 }
 

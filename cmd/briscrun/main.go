@@ -7,15 +7,22 @@
 //	briscrun file.brisc           interpret in place
 //	briscrun -jit file.brisc      JIT to native code, then run
 //	briscrun -time file.brisc     report execution statistics
+//
+// Observability (shared across the tools):
+//
+//	-metrics             telemetry summary on stderr
+//	-trace file.jsonl    machine-readable span/counter trace
+//	-cpuprofile f.pprof  CPU profile
+//	-memprofile f.pprof  heap profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/brisc"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -23,11 +30,31 @@ func main() {
 	jit := flag.Bool("jit", false, "JIT to native code before running")
 	cache := flag.Bool("cache", false, "interpret with the decoded-unit cache (faster, larger working set)")
 	timing := flag.Bool("time", false, "report execution statistics")
+	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
+	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: briscrun [-jit] [-time] file.brisc")
 		os.Exit(2)
 	}
+
+	tool, err := telemetry.StartTool(telemetry.ToolOptions{
+		Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rec := tool.Rec
+	// -time renders through the telemetry summary sink (one format
+	// across the CLIs); give it a private recorder when no telemetry
+	// flag created one.
+	if *timing && rec == nil {
+		rec = telemetry.New()
+	}
+
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -36,39 +63,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	start := time.Now()
 	var code int32
-	var steps int64
 	if *jit {
-		prog, err := brisc.JIT(obj)
+		prog, err := brisc.JITTraced(obj, rec)
 		if err != nil {
 			fatal(err)
 		}
-		jitDone := time.Now()
 		m := vm.NewMachine(prog, 0, os.Stdout)
+		m.SetRecorder(rec)
+		sp := rec.StartSpan("briscrun.run", telemetry.String("mode", "jit"))
 		code, err = m.Run(0)
+		sp.End()
 		if err != nil {
 			fatal(err)
-		}
-		steps = m.Steps
-		if *timing {
-			fmt.Fprintf(os.Stderr, "jit: %v, run: %v, %d instructions\n",
-				jitDone.Sub(start), time.Since(jitDone), steps)
 		}
 	} else {
 		it := brisc.NewInterp(obj, 0, os.Stdout)
 		if *cache {
 			it.EnableCache()
 		}
+		it.SetRecorder(rec)
+		sp := rec.StartSpan("briscrun.run", telemetry.String("mode", "interp"))
 		code, err = it.Run(0)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
-		steps = it.Steps
-		if *timing {
-			fmt.Fprintf(os.Stderr, "interp: %v, %d instructions in %d units, cache %d bytes\n",
-				time.Since(start), it.Steps, it.Units, it.CacheBytes())
+		if rec.Enabled() {
+			rec.SetGauge("briscrun.cache_bytes", float64(it.CacheBytes()))
 		}
+	}
+	if *timing && !*metrics { // -metrics already prints the summary at Close
+		telemetry.WriteSummary(os.Stderr, rec)
+	}
+	if err := tool.Close(); err != nil {
+		fatal(err)
 	}
 	os.Exit(int(code))
 }

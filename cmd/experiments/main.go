@@ -21,13 +21,33 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
 	table := flag.String("table", "all", "which experiment to run")
 	quick := flag.Bool("quick", false, "skip slow timing measurements")
+	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
+	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	tool, terr := telemetry.StartTool(telemetry.ToolOptions{
+		Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+	})
+	if terr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", terr)
+		os.Exit(1)
+	}
+	rec := tool.Rec
+	if *metricsOut != "" && rec == nil {
+		rec = telemetry.New()
+	}
+	experiments.SetRecorder(rec)
 
 	var err error
 	switch *table {
@@ -94,6 +114,24 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		f, ferr := os.Create(*metricsOut)
+		if ferr == nil {
+			ferr = telemetry.WriteJSON(f, rec)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", ferr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics %s\n", *metricsOut)
+	}
+	if cerr := tool.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", cerr)
 		os.Exit(1)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/flatezip"
 	"repro/internal/native"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -33,27 +34,45 @@ func main() {
 	noRegDisp := flag.Bool("no-regdisp", false, "variant: remove register-displacement addressing")
 	optimize := flag.Bool("O", false, "run the peephole optimizer")
 	stats := flag.Bool("stats", false, "print code-size statistics")
+	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
+	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.mc")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+
+	tool, err := telemetry.StartTool(telemetry.ToolOptions{
+		Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rec := tool.Rec
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	sp := rec.StartSpan("mcc.frontend")
 	mod, err := cc.Compile(flag.Arg(0), string(src))
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 	if *dumpIR {
 		fmt.Print(mod.String())
 	}
+	sp = rec.StartSpan("mcc.codegen")
 	prog, err := codegen.Generate(mod, codegen.Options{
 		NoImmediates: *noImm,
 		NoRegDisp:    *noRegDisp,
 	})
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -74,12 +93,21 @@ func main() {
 	}
 	if *run {
 		m := vm.NewMachine(prog, 0, os.Stdout)
+		m.SetRecorder(rec)
+		sp = rec.StartSpan("mcc.run")
 		code, err := m.Run(0)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "exit %d (%d instructions)\n", code, m.Steps)
+		if err := tool.Close(); err != nil {
+			fatal(err)
+		}
 		os.Exit(int(code))
+	}
+	if err := tool.Close(); err != nil {
+		fatal(err)
 	}
 }
 

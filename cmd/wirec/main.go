@@ -4,9 +4,17 @@
 // Usage:
 //
 //	wirec -c file.mc -o file.wire      compress source
+//	wirec file.mc                      shorthand for -c file.mc
 //	wirec -d file.wire [-dump-ir]      decompress (and optionally dump)
 //	wirec -c file.mc -stats            per-stage size report
 //	wirec -c file.mc -no-mtf|-no-huff|-final=lz|arith|none   ablations
+//
+// Observability (shared across the tools):
+//
+//	-metrics             per-stage telemetry summary on stderr
+//	-trace file.jsonl    machine-readable span/counter trace
+//	-cpuprofile f.pprof  CPU profile
+//	-memprofile f.pprof  heap profile
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/cc"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -29,7 +38,24 @@ func main() {
 	final := flag.String("final", "lz", "final stage: lz, arith, none")
 	indexed := flag.Bool("indexed", false, "function-at-a-time random-access format")
 	fn := flag.String("func", "", "with -d on an indexed object: load only this function")
+	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
+	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	// A bare positional source file means -c.
+	if *compress == "" && *decompress == "" && flag.NArg() == 1 {
+		*compress = flag.Arg(0)
+	}
+
+	tool, err := telemetry.StartTool(telemetry.ToolOptions{
+		Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rec := tool.Rec
 
 	opt := wire.Options{NoMTF: *noMTF, NoHuffman: *noHuff}
 	switch *final {
@@ -49,37 +75,43 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		sp := rec.StartSpan("wire.frontend")
 		mod, err := cc.Compile(*compress, string(src))
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
 		var data []byte
+		var st wire.Stats
 		if *indexed {
-			data, err = wire.CompressIndexed(mod, opt)
+			data, err = wire.CompressIndexedTraced(mod, opt, rec)
 		} else {
-			data, err = wire.CompressOpts(mod, opt)
+			// One traced build serves -stats, -o, and stdout alike.
+			st, data, err = wire.MeasureTraced(mod, opt, rec)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		if *stats {
-			st, err := wire.Measure(mod, opt)
-			if err != nil {
-				fatal(err)
-			}
+		if rec.Enabled() && !*indexed {
+			rec.SetGauge("wire.compression_ratio",
+				float64(st.ContainerBytes)/float64(st.FinalBytes))
+		}
+		if *stats && !*indexed {
 			fmt.Printf("trees:            %d (%d distinct shapes)\n", st.Trees, st.Shapes)
 			fmt.Printf("metadata:         %d bytes\n", st.MetadataBytes)
 			fmt.Printf("operator streams: %d bytes\n", st.OperatorBytes)
 			fmt.Printf("literal streams:  %d bytes\n", st.LiteralBytes)
 			fmt.Printf("container:        %d bytes\n", st.ContainerBytes)
 			fmt.Printf("final object:     %d bytes\n", st.FinalBytes)
+			fmt.Printf("compression ratio: %.2f (container/final)\n",
+				float64(st.ContainerBytes)/float64(st.FinalBytes))
 		}
 		if *out != "" {
 			if err := os.WriteFile(*out, data, 0o644); err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
-		} else if !*stats {
+		} else if !*stats && !*metrics {
 			if _, err := os.Stdout.Write(data); err != nil {
 				fatal(err)
 			}
@@ -94,6 +126,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			r.Rec = rec
 			if *fn != "" {
 				f, err := r.LoadFunction(*fn)
 				if err != nil {
@@ -106,6 +139,7 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "loaded %s: %d trees, touched %d of %d bytes\n",
 					*fn, len(f.Trees), r.BytesTouched, len(data))
+				closeTool(tool)
 				return
 			}
 			mod, err := r.LoadAll()
@@ -116,9 +150,10 @@ func main() {
 				fmt.Print(mod.String())
 			}
 			fmt.Fprintf(os.Stderr, "decompressed %s: %d functions\n", mod.Name, len(mod.Functions))
+			closeTool(tool)
 			return
 		}
-		mod, err := wire.Decompress(data)
+		mod, err := wire.DecompressTraced(data, rec)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,6 +167,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: wirec -c file.mc [-o out.wire] | wirec -d file.wire")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	closeTool(tool)
+}
+
+func closeTool(tool *telemetry.Tool) {
+	if err := tool.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -48,8 +49,19 @@ type unit struct {
 
 // Compress builds a BRISC object from a linked VM program.
 func Compress(p *vm.Program, opt Options) (*Object, error) {
+	return CompressTraced(p, opt, nil)
+}
+
+// CompressTraced is Compress with telemetry: a "brisc.compress" span
+// wraps the run, each greedy pass gets a "brisc.pass" span with
+// candidate/adoption counts, and adopted patterns accumulate the
+// paper's P (program savings) and W (decoder table cost) counters.
+// rec may be nil.
+func CompressTraced(p *vm.Program, opt Options, rec *telemetry.Recorder) (*Object, error) {
 	opt = opt.withDefaults()
-	c := &compressor{opt: opt}
+	c := &compressor{opt: opt, rec: rec}
+	sp := rec.StartSpan("brisc.compress", telemetry.Int("instrs_in", int64(len(p.Code))))
+	defer sp.End()
 	prog := p
 	if !opt.NoEPI {
 		prog = peepholeEPI(p)
@@ -58,7 +70,24 @@ func Compress(p *vm.Program, opt Options) (*Object, error) {
 		return nil, err
 	}
 	c.run()
-	return c.finish(prog)
+	obj, err := c.finish(prog)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Enabled() {
+		sb := obj.Size()
+		sp.SetAttr(
+			telemetry.Int("passes", int64(c.passes)),
+			telemetry.Int("units", int64(len(c.units))),
+			telemetry.Int("patterns", int64(sb.NumPatterns)),
+			telemetry.Int("code_bytes", int64(sb.CodeBytes)),
+			telemetry.Int("total_bytes", int64(sb.TotalBytes)),
+		)
+		rec.Add("brisc.compress.instrs_in", int64(len(p.Code)))
+		rec.Add("brisc.compress.code_bytes", int64(sb.CodeBytes))
+		rec.Add("brisc.compress.total_bytes", int64(sb.CodeSize()))
+	}
+	return obj, nil
 }
 
 // CompressWithDict encodes a program against an externally trained
@@ -111,6 +140,7 @@ type compressor struct {
 	dictKeys      map[string]int
 	flocCache     map[int][]floc
 	dictCostCache map[int]int
+	rec           *telemetry.Recorder
 	// stats
 	passes int
 }
@@ -261,12 +291,22 @@ func (c *compressor) materialize(k candKey) Pattern {
 func (c *compressor) run() {
 	for pass := 0; pass < c.opt.MaxPasses; pass++ {
 		c.passes++
+		sp := c.rec.StartSpan("brisc.pass", telemetry.Int("pass", int64(c.passes)))
 		cands := c.generateCandidates()
 		adopted := c.adopt(cands)
+		c.rec.Add("brisc.pass.candidates", int64(len(cands)))
+		c.rec.Add("brisc.pass.adopted", int64(len(adopted)))
+		sp.SetAttr(
+			telemetry.Int("candidates", int64(len(cands))),
+			telemetry.Int("adopted", int64(len(adopted))),
+		)
 		if len(adopted) == 0 {
+			sp.End()
 			break
 		}
 		c.rewrite(adopted)
+		sp.SetAttr(telemetry.Int("units", int64(len(c.units))))
+		sp.End()
 		if len(adopted) < c.opt.K {
 			break // the pass did not yield K useful patterns
 		}
@@ -404,6 +444,13 @@ func (c *compressor) adopt(cands map[candKey]*candStat) []int {
 		c.dict = append(c.dict, p)
 		c.dictKeys[key] = id
 		ids = append(ids, id)
+		if c.rec.Enabled() {
+			st := cands[s.key]
+			c.rec.Add("brisc.dict.savings_p", int64(st.savings))
+			c.rec.Add("brisc.dict.cost_w", int64(tableCostW(p)))
+			c.rec.Observe("brisc.adopt.benefit", float64(s.b))
+			c.rec.Observe("brisc.adopt.occurrences", float64(st.count))
+		}
 	}
 	return ids
 }
@@ -598,6 +645,8 @@ func peepholeEPI(p *vm.Program) *vm.Program {
 
 // finish performs the final Markov encoding and assembles the object.
 func (c *compressor) finish(p *vm.Program) (*Object, error) {
+	sp := c.rec.StartSpan("brisc.finish")
+	defer sp.End()
 	// Garbage-collect learned patterns that no unit uses; base patterns
 	// (ids < NumOpcodes) are implicit and free.
 	used := make(map[int]bool)
@@ -729,6 +778,11 @@ func (c *compressor) finish(p *vm.Program) (*Object, error) {
 		}
 		obj.Funcs = append(obj.Funcs, ObjFunc{Name: f.Name, EntryBlock: int32(bi), Frame: int32(f.Frame)})
 	}
+	sp.SetAttr(
+		telemetry.Int("units", int64(len(c.units))),
+		telemetry.Int("dict", int64(len(dict))),
+		telemetry.Int("code_bytes", int64(len(code))),
+	)
 	return obj, nil
 }
 

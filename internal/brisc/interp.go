@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -39,6 +40,16 @@ type Interp struct {
 	// the decoder's expanded tables make interpretation faster but
 	// consume the memory that compressing the code was saving.
 	cache map[int32]*cachedUnit
+
+	// Telemetry. The hot loop touches only local fields behind a single
+	// opCounts nil check; recorder locks are taken in FlushTelemetry,
+	// once per Run, so the disabled path costs nothing measurable.
+	rec                    *telemetry.Recorder
+	opCounts               []int64
+	blockCounts            map[int32]int64
+	cacheHits, cacheMisses int64
+	flushedSteps           int64
+	flushedUnits           int64
 }
 
 type cachedUnit struct {
@@ -89,11 +100,67 @@ func (it *Interp) Reset() {
 	if it.cache != nil {
 		it.cache = make(map[int32]*cachedUnit)
 	}
+	it.flushedSteps, it.flushedUnits = 0, 0
+	it.cacheHits, it.cacheMisses = 0, 0
+	if it.opCounts != nil {
+		for i := range it.opCounts {
+			it.opCounts[i] = 0
+		}
+		it.blockCounts = make(map[int32]int64)
+	}
+}
+
+// SetRecorder attaches a telemetry recorder. When rec is enabled the
+// interpreter counts opcode dispatches, basic-block entries, and
+// decode-cache hits/misses in local fields and publishes them at the
+// end of each Run (or via FlushTelemetry). A nil or disabled recorder
+// detaches and restores the zero-overhead path.
+func (it *Interp) SetRecorder(rec *telemetry.Recorder) {
+	if rec.Enabled() {
+		it.rec = rec
+		it.opCounts = make([]int64, vm.NumOpcodes)
+		it.blockCounts = make(map[int32]int64)
+	} else {
+		it.rec = nil
+		it.opCounts = nil
+		it.blockCounts = nil
+	}
+}
+
+// FlushTelemetry publishes the execution counters accumulated since
+// the last flush to the attached recorder: total steps and units,
+// per-opcode dispatch counts, block entries (total, plus a histogram
+// of entries per distinct block), and cache hits/misses. Run calls it
+// on exit; call it directly only when sampling mid-run.
+func (it *Interp) FlushTelemetry() {
+	if it.rec == nil {
+		return
+	}
+	it.rec.Add("brisc.interp.steps", it.Steps-it.flushedSteps)
+	it.rec.Add("brisc.interp.units", it.Units-it.flushedUnits)
+	it.flushedSteps, it.flushedUnits = it.Steps, it.Units
+	it.rec.Add("brisc.interp.cache.hits", it.cacheHits)
+	it.rec.Add("brisc.interp.cache.misses", it.cacheMisses)
+	it.cacheHits, it.cacheMisses = 0, 0
+	var entries int64
+	for _, n := range it.blockCounts {
+		entries += n
+		it.rec.Observe("brisc.interp.block_entries_per_block", float64(n))
+	}
+	it.rec.Add("brisc.interp.block_entries", entries)
+	it.blockCounts = make(map[int32]int64)
+	for op, n := range it.opCounts {
+		if n != 0 {
+			it.rec.Add("brisc.interp.dispatch."+vm.Opcode(op).Name(), n)
+			it.opCounts[op] = 0
+		}
+	}
 }
 
 // Run interprets until halt/exit, an error, or maxSteps instructions
 // (0 = unlimited), returning the exit code.
 func (it *Interp) Run(maxSteps int64) (int32, error) {
+	defer it.FlushTelemetry()
 	for !it.Halted {
 		if maxSteps > 0 && it.Steps >= maxSteps {
 			return 0, fmt.Errorf("%w: %d", ErrOutOfSteps, maxSteps)
@@ -125,6 +192,9 @@ func (it *Interp) CacheBytes() int {
 func (it *Interp) StepUnit() error {
 	if it.blockSet[it.PC] {
 		it.ctx = 0
+		if it.opCounts != nil {
+			it.blockCounts[it.PC]++
+		}
 	}
 	if it.Trace != nil {
 		it.Trace(it.PC)
@@ -134,6 +204,9 @@ func (it *Interp) StepUnit() error {
 	var next int32
 	if cu, ok := it.cache[it.PC]; ok {
 		pid, vals, next = cu.pid, cu.vals, cu.next
+		if it.opCounts != nil {
+			it.cacheHits++
+		}
 	} else {
 		var err error
 		pid, vals, next, err = it.Obj.decodeUnit(it.PC, it.ctx)
@@ -142,6 +215,9 @@ func (it *Interp) StepUnit() error {
 		}
 		if it.cache != nil {
 			it.cache[it.PC] = &cachedUnit{pid: pid, vals: vals, next: next}
+			if it.opCounts != nil {
+				it.cacheMisses++
+			}
 		}
 	}
 	it.Units++
@@ -160,6 +236,9 @@ func (it *Interp) StepUnit() error {
 				setField(&ins, f, vals[vi])
 				vi++
 			}
+		}
+		if it.opCounts != nil && int(ins.Op) < len(it.opCounts) {
+			it.opCounts[ins.Op]++
 		}
 		taken, err := it.exec(ins, next)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -14,6 +15,15 @@ import (
 // instruction indices. Measured throughput of this function is the
 // "MB/sec of produced code" figure in the results table.
 func JIT(o *Object) (*vm.Program, error) {
+	return JITTraced(o, nil)
+}
+
+// JITTraced is JIT under a "brisc.jit" span recording the compressed
+// input size, units decoded, and instructions produced. rec may be nil.
+func JITTraced(o *Object, rec *telemetry.Recorder) (*vm.Program, error) {
+	sp := rec.StartSpan("brisc.jit", telemetry.Int("bytes_in", int64(len(o.Code))))
+	defer sp.End()
+	units := 0
 	blockSet := make(map[int32]bool, len(o.Blocks))
 	for _, off := range o.Blocks {
 		blockSet[off] = true
@@ -40,6 +50,7 @@ func JIT(o *Object) (*vm.Program, error) {
 			return nil, err
 		}
 		code = append(code, instrs...)
+		units++
 		ctx = pid + 1
 		off = next
 	}
@@ -94,5 +105,13 @@ func JIT(o *Object) (*vm.Program, error) {
 		}
 	}
 	p.ComputeBlockStarts()
+	if rec.Enabled() {
+		sp.SetAttr(
+			telemetry.Int("units", int64(units)),
+			telemetry.Int("instrs_out", int64(len(code))),
+		)
+		rec.Add("brisc.jit.units", int64(units))
+		rec.Add("brisc.jit.instrs_out", int64(len(code)))
+	}
 	return p, nil
 }

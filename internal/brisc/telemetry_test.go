@@ -1,0 +1,178 @@
+package brisc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/vm"
+)
+
+const loopSrc = `
+int acc;
+int step(int x) { acc = acc + x; return acc; }
+int main(void) {
+	int i;
+	i = 0;
+	while (i < 200) {
+		step(i);
+		i = i + 1;
+	}
+	putint(acc);
+	return acc % 7;
+}`
+
+// TestInterpTelemetryEquivalence is the guard the tentpole requires:
+// attaching a recorder must not change interpreter behaviour in any
+// observable way — same output, exit code, step and unit counts — and
+// the published counters must agree with the interpreter's own totals.
+func TestInterpTelemetryEquivalence(t *testing.T) {
+	prog := compileProg(t, "loop", loopSrc)
+	obj, err := Compress(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(rec *telemetry.Recorder) (*Interp, string) {
+		var out bytes.Buffer
+		it := NewInterp(obj, 1<<20, &out)
+		it.EnableCache()
+		it.SetRecorder(rec)
+		if _, err := it.Run(50_000_000); err != nil {
+			t.Fatalf("interp run: %v", err)
+		}
+		return it, out.String()
+	}
+
+	plain, plainOut := run(nil)
+	rec := telemetry.New()
+	traced, tracedOut := run(rec)
+
+	if plainOut != tracedOut {
+		t.Errorf("output differs with telemetry: %q vs %q", plainOut, tracedOut)
+	}
+	if plain.ExitCode != traced.ExitCode {
+		t.Errorf("exit code differs: %d vs %d", plain.ExitCode, traced.ExitCode)
+	}
+	if plain.Steps != traced.Steps || plain.Units != traced.Units {
+		t.Errorf("counts differ: steps %d/%d units %d/%d",
+			plain.Steps, traced.Steps, plain.Units, traced.Units)
+	}
+
+	if got := rec.Counter("brisc.interp.steps"); got != traced.Steps {
+		t.Errorf("steps counter = %d, interp counted %d", got, traced.Steps)
+	}
+	if got := rec.Counter("brisc.interp.units"); got != traced.Units {
+		t.Errorf("units counter = %d, interp counted %d", got, traced.Units)
+	}
+	var dispatch int64
+	for name, v := range rec.Counters() {
+		if len(name) > 22 && name[:22] == "brisc.interp.dispatch." {
+			dispatch += v
+		}
+	}
+	if dispatch != traced.Steps {
+		t.Errorf("dispatch counters sum to %d, want steps %d", dispatch, traced.Steps)
+	}
+	hits := rec.Counter("brisc.interp.cache.hits")
+	misses := rec.Counter("brisc.interp.cache.misses")
+	if hits+misses != traced.Units {
+		t.Errorf("cache hits %d + misses %d != units %d", hits, misses, traced.Units)
+	}
+	if hits == 0 {
+		t.Error("loop program produced no cache hits")
+	}
+	if rec.Counter("brisc.interp.block_entries") <= 0 {
+		t.Error("no block entries recorded")
+	}
+	if rec.Histogram("brisc.interp.block_entries_per_block").Count == 0 {
+		t.Error("no per-block entry histogram recorded")
+	}
+}
+
+// TestCompressTracedMatchesUntraced pins that tracing is purely
+// observational: the traced compressor and JIT emit byte-identical
+// artifacts, while the recorder sees the pass structure and the
+// paper's P/W accounting.
+func TestCompressTracedMatchesUntraced(t *testing.T) {
+	prog := compileProg(t, "loop", loopSrc)
+	plain, err := Compress(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.New()
+	traced, err := CompressTraced(prog, Options{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Error("traced compression produced a different object")
+	}
+
+	passes := 0
+	for _, sr := range rec.Spans() {
+		if sr.Name == "brisc.pass" {
+			passes++
+		}
+	}
+	if passes == 0 || passes != traced.Passes {
+		t.Errorf("recorded %d brisc.pass spans, object reports %d passes", passes, traced.Passes)
+	}
+	if rec.Counter("brisc.pass.candidates") <= 0 {
+		t.Error("no candidates counted")
+	}
+	if rec.Counter("brisc.pass.adopted") > 0 {
+		if rec.Counter("brisc.dict.savings_p") <= 0 || rec.Counter("brisc.dict.cost_w") <= 0 {
+			t.Error("patterns adopted but P/W counters missing")
+		}
+		if rec.Histogram("brisc.adopt.benefit").Count != rec.Counter("brisc.pass.adopted") {
+			t.Errorf("benefit histogram n=%d != adopted %d",
+				rec.Histogram("brisc.adopt.benefit").Count, rec.Counter("brisc.pass.adopted"))
+		}
+	}
+
+	jplain, err := JIT(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jtraced, err := JITTraced(traced, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jplain.Code) != len(jtraced.Code) {
+		t.Errorf("JIT code length differs: %d vs %d", len(jplain.Code), len(jtraced.Code))
+	}
+	if got := rec.Counter("brisc.jit.instrs_out"); got != int64(len(jtraced.Code)) {
+		t.Errorf("jit instrs_out counter = %d, want %d", got, len(jtraced.Code))
+	}
+	c1, o1 := runVM(t, jplain)
+	c2, o2 := runVM(t, jtraced)
+	if c1 != c2 || o1 != o2 {
+		t.Errorf("JIT behaviour differs: (%d,%q) vs (%d,%q)", c1, o1, c2, o2)
+	}
+}
+
+// TestVMDispatchCounters checks the plain VM's counter path against
+// its own step total.
+func TestVMDispatchCounters(t *testing.T) {
+	prog := compileProg(t, "loop", loopSrc)
+	rec := telemetry.New()
+	var out bytes.Buffer
+	m := vm.NewMachine(prog, 1<<20, &out)
+	m.SetRecorder(rec)
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("vm.steps"); got != m.Steps {
+		t.Errorf("vm.steps counter = %d, machine counted %d", got, m.Steps)
+	}
+	var dispatch int64
+	for name, v := range rec.Counters() {
+		if len(name) > 12 && name[:12] == "vm.dispatch." {
+			dispatch += v
+		}
+	}
+	if dispatch != m.Steps {
+		t.Errorf("dispatch counters sum to %d, want steps %d", dispatch, m.Steps)
+	}
+}

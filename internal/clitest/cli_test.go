@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 var (
@@ -130,6 +132,9 @@ func TestWireRoundTripViaCLI(t *testing.T) {
 	if !strings.Contains(out, "final object:") {
 		t.Errorf("stats missing:\n%s", out)
 	}
+	if !strings.Contains(out, "compression ratio:") {
+		t.Errorf("ratio line missing:\n%s", out)
+	}
 	out, code = run(t, "wirec", "-d", obj, "-dump-ir")
 	if code != 0 {
 		t.Fatalf("wirec -d exited %d:\n%s", code, out)
@@ -163,8 +168,11 @@ func TestBriscPipelineViaCLI(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("briscc exited %d:\n%s", code, out)
 	}
-	if !strings.Contains(out, "BRISC total code:") {
-		t.Errorf("stats missing:\n%s", out)
+	// -stats renders through the telemetry summary sink.
+	for _, want := range []string{"briscc.total_code_bytes", "briscc.native_bytes", "brisc.compress", "briscc.ratio.brisc_vs_native"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
 	}
 	for _, args := range [][]string{
 		{obj},
@@ -178,11 +186,70 @@ func TestBriscPipelineViaCLI(t *testing.T) {
 		if !strings.Contains(out, "55\n") {
 			t.Errorf("briscrun %v output missing fib(10):\n%s", args, out)
 		}
+		if args[0] == "-cache" {
+			// -time renders through the summary sink too.
+			for _, want := range []string{"briscrun.run", "brisc.interp.steps", "brisc.interp.cache.hits"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("-time report missing %q:\n%s", want, out)
+				}
+			}
+		}
 	}
 	// Recompress with the saved dictionary.
 	out, code = run(t, "briscc", "-dict-in", dict, "-stats", src)
 	if code != 0 {
 		t.Fatalf("briscc -dict-in exited %d:\n%s", code, out)
+	}
+}
+
+// TestWirecTelemetryTrace is the PR's acceptance path: a bare
+// positional source file with -metrics and -trace must emit a stage
+// summary and a JSONL trace whose per-stage byte counts sum to the
+// measured container size.
+func TestWirecTelemetryTrace(t *testing.T) {
+	src := writeSample(t)
+	traceFile := filepath.Join(t.TempDir(), "t.jsonl")
+	out, code := run(t, "wirec", "-metrics", "-trace", traceFile, src)
+	if code != 0 {
+		t.Fatalf("wirec exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"wire.compress", "wire.patternize", "wire.compression_ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics summary missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("trace is not valid JSONL: %v", err)
+	}
+	var stageSum, container int64
+	for _, e := range events {
+		if e.Type != "span" {
+			continue
+		}
+		switch e.Name {
+		case "wire.metadata", "wire.operators", "wire.literals":
+			v, ok := e.IntAttr("bytes")
+			if !ok {
+				t.Errorf("stage span %s has no bytes attr", e.Name)
+			}
+			stageSum += v
+		case "wire.compress":
+			if v, ok := e.IntAttr("container_bytes"); ok {
+				container = v
+			}
+		}
+	}
+	if container == 0 {
+		t.Fatal("no wire.compress span with container_bytes in trace")
+	}
+	if stageSum != container {
+		t.Errorf("stage bytes sum to %d, container is %d", stageSum, container)
 	}
 }
 

@@ -18,10 +18,34 @@ import (
 	"repro/internal/flatezip"
 	"repro/internal/native"
 	"repro/internal/paging"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
+
+// rec is the package recorder: when set (cmd/experiments -metrics-out,
+// the root benchmarks), every table run emits spans and metrics
+// through it instead of keeping raw time.Now deltas to itself.
+var rec *telemetry.Recorder
+
+// SetRecorder installs the telemetry recorder the experiment runners
+// report through. nil (the default) disables reporting.
+func SetRecorder(r *telemetry.Recorder) { rec = r }
+
+// Recorder returns the currently installed recorder (may be nil).
+func Recorder() *telemetry.Recorder { return rec }
+
+// measureNamed times f like measure and publishes the per-iteration
+// mean as a span and a histogram observation under the given name.
+func measureNamed(name string, f func()) time.Duration {
+	sp := rec.StartSpan("experiments.measure", telemetry.String("what", name))
+	d := measure(f)
+	sp.SetAttr(telemetry.Int("mean_ns", d.Nanoseconds()))
+	sp.End()
+	rec.Observe("experiments.measure."+name+".mean_ns", float64(d.Nanoseconds()))
+	return d
+}
 
 // buildNative compiles one workload preset to a linked VM program.
 func buildNative(p workload.Profile, opt codegen.Options) (*vm.Program, error) {
@@ -45,6 +69,8 @@ type WireRow struct {
 
 // WireTable regenerates the §3 table for the three benchmark scales.
 func WireTable() ([]WireRow, error) {
+	sp := rec.StartSpan("experiments.wire_table")
+	defer sp.End()
 	var rows []WireRow
 	for _, p := range workload.Presets() {
 		mod, err := cc.Compile(p.Name, workload.Generate(p))
@@ -61,13 +87,15 @@ func WireTable() ([]WireRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, WireRow{
+		row := WireRow{
 			Benchmark:    p.Name,
 			Conventional: len(conv),
 			Gzipped:      len(gz),
 			WireCode:     len(wb),
 			Factor:       float64(len(conv)) / float64(len(wb)),
-		})
+		}
+		rec.SetGauge("experiments.wire.factor."+p.Name, row.Factor)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -104,7 +132,7 @@ type BriscRow struct {
 func briscSizeRow(name string, prog *vm.Program, opt brisc.Options) (BriscRow, *brisc.Object, error) {
 	nat := native.EncodeVariable(prog.Code)
 	gz := flatezip.Compress(nat)
-	obj, err := brisc.Compress(prog, opt)
+	obj, err := brisc.CompressTraced(prog, opt, rec)
 	if err != nil {
 		return BriscRow{}, nil, err
 	}
@@ -115,25 +143,28 @@ func briscSizeRow(name string, prog *vm.Program, opt brisc.Options) (BriscRow, *
 		GzipRatio:    float64(len(gz)) / float64(len(nat)),
 		BriscRatio:   float64(sb.CodeSize()) / float64(len(nat)),
 		DictPatterns: sb.NumPatterns,
-		JITMBps:      measureJITThroughput(obj),
+		JITMBps:      measureJITThroughput(name, obj),
 	}
+	rec.SetGauge("experiments.brisc.ratio."+name, row.BriscRatio)
 	return row, obj, nil
 }
 
 // measureJITThroughput times brisc.JIT and reports MB of produced
 // (variable-encoded) code per second.
-func measureJITThroughput(obj *brisc.Object) float64 {
+func measureJITThroughput(name string, obj *brisc.Object) float64 {
 	jp, err := brisc.JIT(obj)
 	if err != nil {
 		return 0
 	}
 	outBytes := native.VariableSize(jp.Code)
-	elapsed := measure(func() {
+	elapsed := measureNamed(name+".jit", func() {
 		if _, err := brisc.JIT(obj); err != nil {
 			panic(err)
 		}
 	})
-	return float64(outBytes) / 1e6 / elapsed.Seconds()
+	mbps := float64(outBytes) / 1e6 / elapsed.Seconds()
+	rec.SetGauge("experiments.jit_mbps."+name, mbps)
+	return mbps
 }
 
 // measure times f with enough repetitions for a stable reading.
@@ -162,6 +193,8 @@ func measure(f func()) time.Duration {
 // (which run long enough to time). withTimings=false skips the slow
 // runtime measurements (useful in tests).
 func BriscTable(withTimings bool) ([]BriscRow, error) {
+	sp := rec.StartSpan("experiments.brisc_table")
+	defer sp.End()
 	var rows []BriscRow
 	for _, p := range append(workload.Presets(), workload.Word) {
 		prog, err := buildNative(p, codegen.Options{})
@@ -190,17 +223,18 @@ func BriscTable(withTimings bool) ([]BriscRow, error) {
 			return nil, err
 		}
 		if withTimings {
-			nativeTime := measure(func() { mustRunVM(prog) })
-			jitTime := measure(func() {
+			nativeTime := measureNamed(name+".native_run", func() { mustRunVM(prog) })
+			jitTime := measureNamed(name+".jit_run", func() {
 				jp, err := brisc.JIT(obj)
 				if err != nil {
 					panic(err)
 				}
 				mustRunVM(jp)
 			})
-			interpTime := measure(func() { mustRunInterp(obj) })
+			interpTime := measureNamed(name+".interp_run", func() { mustRunInterp(obj) })
 			row.JITRunRatio = jitTime.Seconds() / nativeTime.Seconds()
 			row.InterpRatio = interpTime.Seconds() / nativeTime.Seconds()
+			rec.SetGauge("experiments.interp_penalty."+name, row.InterpRatio)
 		}
 		rows = append(rows, row)
 	}
@@ -546,6 +580,8 @@ type PenaltyRow struct {
 // InterpPenalty measures S1 ("a typical 12x time penalty") across the
 // kernels.
 func InterpPenalty() ([]PenaltyRow, error) {
+	sp := rec.StartSpan("experiments.interp_penalty")
+	defer sp.End()
 	var rows []PenaltyRow
 	kernels := workload.Kernels()
 	for _, name := range []string{"fib", "sieve", "matmul", "qsortk", "strops"} {
@@ -561,9 +597,11 @@ func InterpPenalty() ([]PenaltyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		nativeTime := measure(func() { mustRunVM(prog) })
-		interpTime := measure(func() { mustRunInterp(obj) })
-		rows = append(rows, PenaltyRow{Kernel: name, Penalty: interpTime.Seconds() / nativeTime.Seconds()})
+		nativeTime := measureNamed(name+".native_run", func() { mustRunVM(prog) })
+		interpTime := measureNamed(name+".interp_run", func() { mustRunInterp(obj) })
+		penalty := interpTime.Seconds() / nativeTime.Seconds()
+		rec.SetGauge("experiments.interp_penalty."+name, penalty)
+		rows = append(rows, PenaltyRow{Kernel: name, Penalty: penalty})
 	}
 	return rows, nil
 }

@@ -17,6 +17,7 @@ import (
 	"io"
 
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Runtime errors.
@@ -43,6 +44,11 @@ type Machine struct {
 	dataEnd  int32
 	maxSteps int64
 	halted   bool
+
+	// Telemetry: per-operator evaluation counts, published at Run exit.
+	rec          *telemetry.Recorder
+	opCounts     []int64
+	flushedSteps int64
 }
 
 // NewMachine lays out the module's globals and prepares execution.
@@ -73,9 +79,39 @@ func NewMachine(m *ir.Module, memSize int, out io.Writer) (*Machine, error) {
 	return mc, nil
 }
 
+// SetRecorder attaches a telemetry recorder; when enabled, Run
+// publishes evaluated tree-node totals and per-operator dispatch
+// counts. A nil or disabled recorder detaches.
+func (mc *Machine) SetRecorder(rec *telemetry.Recorder) {
+	if rec.Enabled() {
+		mc.rec = rec
+		mc.opCounts = make([]int64, ir.NumOps)
+	} else {
+		mc.rec = nil
+		mc.opCounts = nil
+	}
+}
+
+// FlushTelemetry publishes counters accumulated since the last flush.
+// Run calls it on exit.
+func (mc *Machine) FlushTelemetry() {
+	if mc.rec == nil {
+		return
+	}
+	mc.rec.Add("irexec.steps", mc.Steps-mc.flushedSteps)
+	mc.flushedSteps = mc.Steps
+	for op, n := range mc.opCounts {
+		if n != 0 {
+			mc.rec.Add("irexec.dispatch."+ir.Op(op).String(), n)
+			mc.opCounts[op] = 0
+		}
+	}
+}
+
 // Run executes main with no arguments and returns its value as the
 // exit code. maxSteps bounds evaluated tree nodes (0 = 500M).
 func (mc *Machine) Run(maxSteps int64) (int32, error) {
+	defer mc.FlushTelemetry()
 	if maxSteps <= 0 {
 		maxSteps = 500_000_000
 	}
@@ -190,6 +226,9 @@ func (mc *Machine) call(f *ir.Function, args []int32) (int32, error) {
 
 // eval evaluates an expression tree to an int32.
 func (mc *Machine) eval(t *ir.Tree, fr *frame, pendingArgs *[]int32) (int32, error) {
+	if mc.opCounts != nil && int(t.Op) < len(mc.opCounts) {
+		mc.opCounts[t.Op]++
+	}
 	mc.Steps++
 	if mc.Steps > mc.maxSteps {
 		return 0, ErrOutOfSteps

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteSummary renders a recorder's contents as the human-readable
+// report the command-line tools share: a span tree (repeated spans
+// aggregated per parent), then counters, gauges, and histograms in
+// stable order. It is the telemetry summary sink behind the tools'
+// -metrics, -stats, and -time flags.
+func WriteSummary(w io.Writer, r *Recorder) {
+	if r == nil {
+		return
+	}
+	spans := r.Spans()
+	counters := r.Counters()
+	gauges := r.Gauges()
+	hists := r.Histograms()
+
+	if len(spans) > 0 {
+		fmt.Fprintf(w, "-- spans --\n")
+		writeSpanTree(w, spans)
+	}
+	if len(counters) > 0 {
+		fmt.Fprintf(w, "-- counters --\n")
+		for _, k := range sortedKeys(counters) {
+			fmt.Fprintf(w, "%-42s %14d\n", k, counters[k])
+		}
+	}
+	if len(gauges) > 0 {
+		fmt.Fprintf(w, "-- gauges --\n")
+		for _, k := range sortedKeys(gauges) {
+			fmt.Fprintf(w, "%-42s %14s\n", k, formatFloat(gauges[k]))
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Fprintf(w, "-- histograms --\n")
+		for _, k := range sortedKeys(hists) {
+			h := hists[k]
+			fmt.Fprintf(w, "%-42s n=%d mean=%s min=%s max=%s\n",
+				k, h.Count, formatFloat(h.Mean()), formatFloat(h.Min), formatFloat(h.Max))
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// aggSpan is one line of the aggregated span tree: all spans sharing a
+// name under the same aggregated parent.
+type aggSpan struct {
+	name     string
+	count    int
+	total    time.Duration
+	attrs    []Attr // attrs of the first constituent span
+	children []SpanRecord
+}
+
+// writeSpanTree aggregates spans by (parent, name) and prints them
+// indented, children under parents, in start order. Spans arrive in
+// end order (children first), so the id→children index is built over
+// the whole list before walking.
+func writeSpanTree(w io.Writer, spans []SpanRecord) {
+	children := map[uint64][]SpanRecord{}
+	ids := make(map[uint64]bool, len(spans))
+	for _, sr := range spans {
+		ids[sr.ID] = true
+	}
+	var roots []SpanRecord
+	for _, sr := range spans {
+		if sr.Parent != 0 && ids[sr.Parent] {
+			children[sr.Parent] = append(children[sr.Parent], sr)
+		} else {
+			roots = append(roots, sr)
+		}
+	}
+	var emit func(group []SpanRecord, depth int)
+	emit = func(group []SpanRecord, depth int) {
+		sort.SliceStable(group, func(i, j int) bool { return group[i].Start.Before(group[j].Start) })
+		// Fold runs of siblings sharing a name into one aggregate line.
+		byName := map[string]*aggSpan{}
+		var order []*aggSpan
+		for _, sr := range group {
+			a, ok := byName[sr.Name]
+			if !ok {
+				a = &aggSpan{name: sr.Name, attrs: sr.Attrs}
+				byName[sr.Name] = a
+				order = append(order, a)
+			}
+			a.count++
+			a.total += sr.Dur
+			a.children = append(a.children, children[sr.ID]...)
+		}
+		for _, a := range order {
+			label := strings.Repeat("  ", depth) + a.name
+			attrs := ""
+			if a.count == 1 && len(a.attrs) > 0 {
+				parts := make([]string, 0, len(a.attrs))
+				for _, at := range a.attrs {
+					parts = append(parts, fmt.Sprintf("%s=%v", at.Key, at.Value))
+				}
+				attrs = "  [" + strings.Join(parts, " ") + "]"
+			}
+			fmt.Fprintf(w, "%-38s %6d× %12s%s\n", label, a.count, a.total.Round(time.Microsecond), attrs)
+			if len(a.children) > 0 {
+				emit(a.children, depth+1)
+			}
+		}
+	}
+	emit(roots, 0)
+}
+
+// Snapshot is the machine-readable aggregate of a recorder, marshaled
+// by WriteJSON (the experiments harness writes one per run).
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]float64      `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
+	Spans    []Event                 `json:"spans,omitempty"`
+}
+
+// TakeSnapshot captures the recorder's aggregate state.
+func TakeSnapshot(r *Recorder) Snapshot {
+	snap := Snapshot{
+		Counters: r.Counters(),
+		Gauges:   r.Gauges(),
+		Hists:    r.Histograms(),
+	}
+	for _, sr := range r.Spans() {
+		e := Event{
+			Type:    "span",
+			Name:    sr.Name,
+			ID:      sr.ID,
+			Parent:  sr.Parent,
+			StartUS: sr.Start.Sub(r.Epoch()).Microseconds(),
+			DurUS:   sr.Dur.Microseconds(),
+		}
+		if len(sr.Attrs) > 0 {
+			e.Attrs = make(map[string]any, len(sr.Attrs))
+			for _, a := range sr.Attrs {
+				e.Attrs[a.Key] = a.Value
+			}
+		}
+		snap.Spans = append(snap.Spans, e)
+	}
+	return snap
+}
+
+// WriteJSON marshals the recorder's aggregate state as one indented
+// JSON document.
+func WriteJSON(w io.Writer, r *Recorder) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TakeSnapshot(r))
+}

@@ -1,0 +1,370 @@
+// Package telemetry is the repository's dependency-free observability
+// layer. Every stage of the two compression pipelines — the
+// compile→patternize→MTF→Huffman→LZ wire encoder (§3) and the BRISC
+// greedy compressor, interpreter, and JIT (§4) — reports into a
+// Recorder as hierarchical spans (wall time plus byte-delta
+// attributes), counters, gauges, and histograms. Pluggable sinks
+// consume the data: a JSONL trace writer for machine-readable output,
+// an in-memory Collector for tests, and a human-readable summary
+// printer shared by the command-line tools.
+//
+// Every hook is nil-safe and cheap when disabled: a nil *Recorder (or
+// one with the atomic enabled flag cleared) turns every call into a
+// single predictable branch, so hot loops such as the BRISC
+// interpreter's dispatch pay nothing in the default configuration.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span (byte deltas,
+// pass numbers, stage names).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Value: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, Value: v} }
+
+// SpanRecord is a finished span as delivered to sinks and returned by
+// Recorder.Spans.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Span is an in-flight span. A nil *Span (returned when telemetry is
+// disabled) accepts every method as a no-op.
+type Span struct {
+	rec    *Recorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End finishes the span, recording its duration and handing it to the
+// recorder's sinks. End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.endSpan(s)
+}
+
+// HistSnapshot summarizes one histogram.
+type HistSnapshot struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the histogram mean (0 when empty).
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Sink consumes telemetry as it is produced. SpanEnd is called for
+// every finished span; Flush receives the aggregate counters, gauges,
+// and histograms (called by Recorder.Close).
+type Sink interface {
+	SpanEnd(sr SpanRecord)
+	Flush(counters map[string]int64, gauges map[string]float64, hists map[string]HistSnapshot) error
+}
+
+// Recorder aggregates spans and metrics. The zero value is unusable;
+// construct with New. All methods are safe on a nil receiver, and all
+// mutating methods first consult an atomic enabled flag so a disabled
+// recorder costs one atomic load per call.
+type Recorder struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	epoch    time.Time
+	nextID   uint64
+	stack    []uint64 // open span ids; top is the current parent
+	spans    []SpanRecord
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*HistSnapshot
+	sinks    []Sink
+}
+
+// New returns an enabled recorder with no sinks attached.
+func New() *Recorder {
+	r := &Recorder{
+		epoch:    time.Now(),
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*HistSnapshot{},
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enabled reports whether the recorder accepts data. A nil recorder is
+// disabled.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled toggles recording; clearing the flag makes every hook a
+// no-op without detaching instrumented components.
+func (r *Recorder) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Epoch returns the recorder's creation time; JSONL span timestamps
+// are offsets from it.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// AttachSink registers a sink for finished spans and final metrics.
+func (r *Recorder) AttachSink(s Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sinks = append(r.sinks, s)
+	r.mu.Unlock()
+}
+
+// StartSpan opens a span as a child of the most recent unfinished span
+// started on this recorder. It returns nil when disabled; every method
+// of a nil *Span is a no-op.
+func (r *Recorder) StartSpan(name string, attrs ...Attr) *Span {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	r.nextID++
+	s := &Span{rec: r, id: r.nextID, name: name, attrs: attrs}
+	if n := len(r.stack); n > 0 {
+		s.parent = r.stack[n-1]
+	}
+	r.stack = append(r.stack, s.id)
+	r.mu.Unlock()
+	s.start = time.Now()
+	return s
+}
+
+func (r *Recorder) endSpan(s *Span) {
+	dur := time.Since(s.start)
+	sr := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    dur,
+		Attrs:  s.attrs,
+	}
+	r.mu.Lock()
+	// Pop the stack down to (and including) this span; spans ended out
+	// of order implicitly end their unfinished children.
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		if r.stack[i] == s.id {
+			r.stack = r.stack[:i]
+			break
+		}
+	}
+	r.spans = append(r.spans, sr)
+	sinks := r.sinks
+	r.mu.Unlock()
+	for _, sk := range sinks {
+		sk.SpanEnd(sr)
+	}
+}
+
+// Add increments a counter by delta.
+func (r *Recorder) Add(name string, delta int64) {
+	if !r.Enabled() || delta == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge records the latest value of a named quantity (sizes,
+// ratios, throughputs).
+func (r *Recorder) SetGauge(name string, v float64) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe adds one sample to a histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &HistSnapshot{Min: v, Max: v}
+		r.hists[name] = h
+	}
+	h.Count++
+	h.Sum += v
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 if absent).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Gauge returns the current value of a gauge and whether it was set.
+func (r *Recorder) Gauge(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	return v, ok
+}
+
+// Histogram returns a copy of the named histogram.
+func (r *Recorder) Histogram(name string) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return *h
+	}
+	return HistSnapshot{}
+}
+
+// Spans returns a copy of the finished spans in end order.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// Counters returns a copy of all counters.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of all gauges.
+func (r *Recorder) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Histograms returns a copy of all histograms.
+func (r *Recorder) Histograms() map[string]HistSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistSnapshot, len(r.hists))
+	for k, v := range r.hists {
+		out[k] = *v
+	}
+	return out
+}
+
+// Close flushes aggregate metrics to every sink. The recorder remains
+// usable afterwards; a second Close re-flushes.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	sinks := append([]Sink(nil), r.sinks...)
+	r.mu.Unlock()
+	counters := r.Counters()
+	gauges := r.Gauges()
+	hists := r.Histograms()
+	var first error
+	for _, s := range sinks {
+		if err := s.Flush(counters, gauges, hists); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// sortedKeys returns map keys in stable order (shared by the sinks).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ToolOptions carries the observability flags every command-line tool
+// exposes (-trace, -metrics, -cpuprofile, -memprofile).
+type ToolOptions struct {
+	Trace      string // JSONL trace path ("" = off)
+	Metrics    bool   // print the summary sink on Close
+	CPUProfile string // pprof CPU profile path ("" = off)
+	MemProfile string // pprof heap profile path ("" = off)
+	SummaryTo  io.Writer
+}
+
+// Tool is the per-process observability state behind those flags. Rec
+// is nil when neither -trace nor -metrics was requested, so passing it
+// straight into the instrumented libraries keeps the disabled path
+// free.
+type Tool struct {
+	Rec *Recorder
+
+	opts      ToolOptions
+	traceFile *os.File
+	cpuFile   *os.File
+}
+
+// StartTool activates the requested observability features. Callers
+// must invoke Close (before any os.Exit) to stop profiles and flush
+// sinks.
+func StartTool(opts ToolOptions) (*Tool, error) {
+	t := &Tool{opts: opts}
+	if opts.SummaryTo == nil {
+		t.opts.SummaryTo = os.Stderr
+	}
+	if opts.Trace != "" || opts.Metrics {
+		t.Rec = New()
+	}
+	if opts.Trace != "" {
+		f, err := os.Create(opts.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: trace: %w", err)
+		}
+		t.traceFile = f
+		t.Rec.AttachSink(NewJSONL(f).Anchor(t.Rec))
+	}
+	if opts.CPUProfile != "" {
+		f, err := os.Create(opts.CPUProfile)
+		if err != nil {
+			t.cleanup()
+			return nil, fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			t.cleanup()
+			return nil, fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+		t.cpuFile = f
+	}
+	return t, nil
+}
+
+func (t *Tool) cleanup() {
+	if t.traceFile != nil {
+		t.traceFile.Close()
+		t.traceFile = nil
+	}
+}
+
+// Close stops profiles, flushes the trace, writes the heap profile,
+// and prints the metrics summary when requested.
+func (t *Tool) Close() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	if t.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := t.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		t.cpuFile = nil
+	}
+	if t.opts.MemProfile != "" {
+		f, err := os.Create(t.opts.MemProfile)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("telemetry: memprofile: %w", err)
+		}
+		t.opts.MemProfile = ""
+	}
+	if t.Rec != nil {
+		if err := t.Rec.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if t.traceFile != nil {
+		if err := t.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		t.traceFile = nil
+	}
+	if t.opts.Metrics && t.Rec != nil {
+		WriteSummary(t.opts.SummaryTo, t.Rec)
+	}
+	return first
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // Runtime errors.
@@ -35,6 +37,12 @@ type Machine struct {
 	// Trace, when non-nil, is invoked with the pc of every executed
 	// instruction (used by the paging/working-set experiments).
 	Trace func(pc int32)
+
+	// Telemetry: dispatch counts accumulate in opCounts (hot loop pays
+	// one nil check) and publish at the end of each Run.
+	rec          *telemetry.Recorder
+	opCounts     []int64
+	flushedSteps int64
 }
 
 // NewMachine builds a machine with the given memory size (0 selects
@@ -63,6 +71,39 @@ func (m *Machine) Reset() {
 	m.Steps = 0
 	m.ExitCode = 0
 	m.Halted = false
+	m.flushedSteps = 0
+	for i := range m.opCounts {
+		m.opCounts[i] = 0
+	}
+}
+
+// SetRecorder attaches a telemetry recorder; when enabled, Run
+// publishes total steps and per-opcode dispatch counts. A nil or
+// disabled recorder detaches.
+func (m *Machine) SetRecorder(rec *telemetry.Recorder) {
+	if rec.Enabled() {
+		m.rec = rec
+		m.opCounts = make([]int64, NumOpcodes)
+	} else {
+		m.rec = nil
+		m.opCounts = nil
+	}
+}
+
+// FlushTelemetry publishes counters accumulated since the last flush.
+// Run calls it on exit.
+func (m *Machine) FlushTelemetry() {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Add("vm.steps", m.Steps-m.flushedSteps)
+	m.flushedSteps = m.Steps
+	for op, n := range m.opCounts {
+		if n != 0 {
+			m.rec.Add("vm.dispatch."+Opcode(op).Name(), n)
+			m.opCounts[op] = 0
+		}
+	}
 }
 
 func (m *Machine) load32(addr int32) (int32, error) {
@@ -98,6 +139,7 @@ func (m *Machine) store8(addr, v int32) error {
 // Run executes until HALT, an exit trap, an error, or maxSteps
 // instructions (0 = no limit). It returns the exit code.
 func (m *Machine) Run(maxSteps int64) (int32, error) {
+	defer m.FlushTelemetry()
 	for !m.Halted {
 		if maxSteps > 0 && m.Steps >= maxSteps {
 			return 0, fmt.Errorf("%w: %d", ErrOutOfSteps, maxSteps)
@@ -118,6 +160,9 @@ func (m *Machine) Step() error {
 		m.Trace(m.PC)
 	}
 	ins := m.Prog.Code[m.PC]
+	if m.opCounts != nil && int(ins.Op) < len(m.opCounts) {
+		m.opCounts[ins.Op]++
+	}
 	m.Steps++
 	next := m.PC + 1
 	r := &m.Regs

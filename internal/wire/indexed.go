@@ -11,6 +11,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/ir"
 	"repro/internal/mtf"
+	"repro/internal/telemetry"
 )
 
 // Indexed wire objects support the paper's random-access variant:
@@ -52,6 +53,23 @@ type funcStreams struct {
 
 // CompressIndexed encodes a module with per-function random access.
 func CompressIndexed(m *ir.Module, opt Options) ([]byte, error) {
+	return CompressIndexedTraced(m, opt, nil)
+}
+
+// CompressIndexedTraced encodes a module with per-function random
+// access, reporting a span with the object's vitals into rec.
+func CompressIndexedTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) ([]byte, error) {
+	sp := rec.StartSpan("wire.compress_indexed",
+		telemetry.Int("functions", int64(len(m.Functions))))
+	defer sp.End()
+	data, err := compressIndexed(m, opt)
+	if err == nil {
+		sp.SetAttr(telemetry.Int("bytes_out", int64(len(data))))
+	}
+	return data, err
+}
+
+func compressIndexed(m *ir.Module, opt Options) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("wire: %w", err)
 	}
@@ -347,6 +365,8 @@ type IndexedReader struct {
 	// BytesTouched counts compressed bytes actually consumed, for the
 	// partial-load experiments.
 	BytesTouched int
+	// Rec, when non-nil, receives a span per function chunk load.
+	Rec *telemetry.Recorder
 }
 
 // OpenIndexed parses the header of an indexed wire object without
@@ -564,8 +584,13 @@ func (r *IndexedReader) LoadFunction(name string) (*ir.Function, error) {
 		return nil, fmt.Errorf("wire: no function %q", name)
 	}
 	if r.loaded[fi] {
+		r.Rec.Add("wire.indexed.chunk_cache_hits", 1)
 		return r.module.Functions[fi], nil
 	}
+	sp := r.Rec.StartSpan("wire.load_function",
+		telemetry.String("func", name),
+		telemetry.Int("chunk_bytes", int64(len(r.chunks[fi]))))
+	defer sp.End()
 	r.BytesTouched += len(r.chunks[fi])
 	f := r.module.Functions[fi]
 	count := r.treeCounts[fi]

@@ -26,6 +26,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/ir"
 	"repro/internal/mtf"
+	"repro/internal/telemetry"
 )
 
 // FinalCoder selects the last compression stage.
@@ -56,13 +57,32 @@ func Compress(m *ir.Module) ([]byte, error) { return CompressOpts(m, Options{}) 
 
 // CompressOpts encodes a module with an explicit pipeline configuration.
 func CompressOpts(m *ir.Module, opt Options) ([]byte, error) {
-	if err := m.Validate(); err != nil {
-		return nil, fmt.Errorf("wire: %w", err)
-	}
-	container, err := buildContainer(m, opt)
+	return CompressTraced(m, opt, nil)
+}
+
+// CompressTraced encodes a module, reporting per-stage spans and byte
+// deltas into rec (nil disables telemetry at no cost).
+func CompressTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) ([]byte, error) {
+	sp := rec.StartSpan("wire.compress")
+	defer sp.End()
+	_, container, err := buildContainerTraced(m, opt, rec)
 	if err != nil {
 		return nil, err
 	}
+	out, err := finalize(container, opt, rec)
+	if err != nil {
+		return nil, err
+	}
+	sp.SetAttr(telemetry.Int("container_bytes", int64(len(container))),
+		telemetry.Int("final_bytes", int64(len(out))))
+	return out, nil
+}
+
+// finalize frames a container with the wire header and runs the final
+// compression stage.
+func finalize(container []byte, opt Options, rec *telemetry.Recorder) ([]byte, error) {
+	sp := rec.StartSpan("wire.final", telemetry.Int("bytes_in", int64(len(container))))
+	defer sp.End()
 	var out bytes.Buffer
 	out.Write(magic[:])
 	out.WriteByte(encodeOpts(opt))
@@ -76,11 +96,18 @@ func CompressOpts(m *ir.Module, opt Options) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("wire: unknown final coder %d", opt.Final)
 	}
+	sp.SetAttr(telemetry.Int("bytes_out", int64(out.Len())))
 	return out.Bytes(), nil
 }
 
 // Decompress reconstructs the module from a wire object.
-func Decompress(data []byte) (*ir.Module, error) {
+func Decompress(data []byte) (*ir.Module, error) { return DecompressTraced(data, nil) }
+
+// DecompressTraced reconstructs the module, reporting stage spans into
+// rec (nil disables telemetry).
+func DecompressTraced(data []byte, rec *telemetry.Recorder) (*ir.Module, error) {
+	sp := rec.StartSpan("wire.decompress", telemetry.Int("bytes_in", int64(len(data))))
+	defer sp.End()
 	if len(data) < 5 || !bytes.Equal(data[:4], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -89,6 +116,7 @@ func Decompress(data []byte) (*ir.Module, error) {
 		return nil, err
 	}
 	payload := data[5:]
+	fsp := rec.StartSpan("wire.unfinal")
 	var container []byte
 	switch opt.Final {
 	case FinalLZ:
@@ -98,10 +126,18 @@ func Decompress(data []byte) (*ir.Module, error) {
 	case FinalNone:
 		container = payload
 	}
+	fsp.SetAttr(telemetry.Int("bytes_out", int64(len(container))))
+	fsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: final stage: %v", ErrCorrupt, err)
 	}
-	return parseContainer(container, opt)
+	psp := rec.StartSpan("wire.parse")
+	m, err := parseContainer(container, opt)
+	psp.End()
+	if m != nil {
+		sp.SetAttr(telemetry.Int("trees", int64(m.NumTrees())))
+	}
+	return m, err
 }
 
 func encodeOpts(opt Options) byte {
@@ -140,23 +176,31 @@ type Stats struct {
 
 // Measure compresses and reports per-stage sizes.
 func Measure(m *ir.Module, opt Options) (Stats, error) {
+	st, _, err := MeasureTraced(m, opt, nil)
+	return st, err
+}
+
+// MeasureTraced compresses once, reporting per-stage sizes and spans.
+// It returns the stats and the finished wire object, so callers that
+// want both never encode twice.
+func MeasureTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) (Stats, []byte, error) {
 	var st Stats
-	enc, err := newEncoder(m, opt)
+	sp := rec.StartSpan("wire.compress")
+	defer sp.End()
+	enc, container, err := buildContainerTraced(m, opt, rec)
 	if err != nil {
-		return st, err
+		return st, nil, err
 	}
-	container, err := enc.encode()
+	full, err := finalize(container, opt, rec)
 	if err != nil {
-		return st, err
+		return st, nil, err
 	}
 	st = enc.stats
 	st.ContainerBytes = len(container)
-	full, err := CompressOpts(m, opt)
-	if err != nil {
-		return st, err
-	}
 	st.FinalBytes = len(full)
-	return st, nil
+	sp.SetAttr(telemetry.Int("container_bytes", int64(len(container))),
+		telemetry.Int("final_bytes", int64(len(full))))
+	return st, full, nil
 }
 
 // ---- container encoding ----
@@ -167,6 +211,7 @@ type encoder struct {
 	names   []string // symbol table: externs, globals, functions
 	nameIdx map[string]int
 	stats   Stats
+	rec     *telemetry.Recorder
 }
 
 func newEncoder(m *ir.Module, opt Options) (*encoder, error) {
@@ -190,12 +235,22 @@ func (e *encoder) addName(n string) {
 	}
 }
 
-func buildContainer(m *ir.Module, opt Options) ([]byte, error) {
+// buildContainerTraced validates the module and encodes its container,
+// returning the encoder so callers can read the per-stage stats.
+func buildContainerTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) (*encoder, []byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("wire: %w", err)
+	}
 	e, err := newEncoder(m, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return e.encode()
+	e.rec = rec
+	container, err := e.encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, container, nil
 }
 
 func (e *encoder) encode() ([]byte, error) {
@@ -203,6 +258,7 @@ func (e *encoder) encode() ([]byte, error) {
 	bw := bitio.NewWriter(&buf)
 
 	// Metadata.
+	msp := e.rec.StartSpan("wire.metadata")
 	writeString(bw, e.m.Name)
 	writeUvarint(bw, uint64(len(e.m.Externs)))
 	for _, n := range e.m.Externs {
@@ -226,8 +282,11 @@ func (e *encoder) encode() ([]byte, error) {
 	}
 	mustW(bw.Flush())
 	e.stats.MetadataBytes = buf.Len()
+	msp.SetAttr(telemetry.Int("bytes", int64(buf.Len())))
+	msp.End()
 
 	// Patternize: shape stream + per-op literal streams.
+	psp := e.rec.StartSpan("wire.patternize")
 	shapeIDs := map[string]int32{}
 	var shapeDefs [][]ir.Op
 	var shapeStream []int32
@@ -249,6 +308,7 @@ func (e *encoder) encode() ([]byte, error) {
 				case ir.LitName:
 					idx, ok := e.nameIdx[lit.Name]
 					if !ok {
+						psp.End()
 						return nil, fmt.Errorf("wire: unknown symbol %q", lit.Name)
 					}
 					litStreams[lit.Op] = append(litStreams[lit.Op], int32(idx))
@@ -258,9 +318,14 @@ func (e *encoder) encode() ([]byte, error) {
 	}
 	e.stats.Trees = len(shapeStream)
 	e.stats.Shapes = len(shapeDefs)
+	psp.SetAttr(telemetry.Int("trees", int64(e.stats.Trees)),
+		telemetry.Int("shapes", int64(e.stats.Shapes)))
+	psp.End()
 
 	// Shape definitions, in first-occurrence order, then the operator
-	// (shape) stream itself.
+	// (shape) stream itself. Each symbol stream passes through the MTF
+	// and Huffman stages inside writeSymbolStream.
+	osp := e.rec.StartSpan("wire.operators")
 	opStart := buf.Len()
 	writeUvarint(bw, uint64(len(shapeDefs)))
 	for _, ops := range shapeDefs {
@@ -270,12 +335,16 @@ func (e *encoder) encode() ([]byte, error) {
 		}
 	}
 	if err := e.writeSymbolStream(bw, shapeStream); err != nil {
+		osp.End()
 		return nil, err
 	}
 	mustW(bw.Flush())
 	e.stats.OperatorBytes = buf.Len() - opStart
+	osp.SetAttr(telemetry.Int("bytes", int64(e.stats.OperatorBytes)))
+	osp.End()
 
 	// Literal streams, one per operator, in opcode order.
+	lsp := e.rec.StartSpan("wire.literals")
 	litStart := buf.Len()
 	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
 		if op.Lit() == ir.LitNone {
@@ -287,11 +356,14 @@ func (e *encoder) encode() ([]byte, error) {
 			continue
 		}
 		if err := e.writeSymbolStream(bw, stream); err != nil {
+			lsp.End()
 			return nil, err
 		}
 	}
 	mustW(bw.Flush())
 	e.stats.LiteralBytes = buf.Len() - litStart
+	lsp.SetAttr(telemetry.Int("bytes", int64(e.stats.LiteralBytes)))
+	lsp.End()
 	return buf.Bytes(), nil
 }
 
