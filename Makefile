@@ -8,8 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
+# Full benchmark sweep; BENCH_pipeline.json is the machine-readable
+# metrics snapshot (per-benchmark gauges via the BENCH_METRICS path),
+# including the BenchmarkBatch Workers=1 vs Workers=4 speedup.
 bench:
-	$(GO) test -bench=. -benchmem .
+	BENCH_METRICS=BENCH_pipeline.json $(GO) test -bench=. -benchmem .
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -18,6 +21,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Everything CI would run: formatting, vet, build, race-enabled tests.
+# Everything CI would run: formatting, vet, build, race-enabled tests
+# (which include the Workers=1 vs Workers=N determinism suites and the
+# shared-pool stress tests), plus one short-mode race-enabled pass over
+# the parallel-pipeline benchmarks.
 check: fmt vet build
 	$(GO) test -race ./...
+	$(GO) test -race -short -run='^$$' -bench='WireCompress|BriscCompress|Batch' -benchtime=1x .

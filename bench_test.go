@@ -459,6 +459,103 @@ func BenchmarkPeepholeAblation(b *testing.B) {
 	}
 }
 
+// ---- pipeline parallelism (ROADMAP north star) ----
+
+// batchCorpus caches the experiments corpus across benchmark runs. In
+// short mode (make check runs these under -race) it holds only the
+// cheap hand-written kernels.
+var batchCorpus []experiments.BatchInput
+
+func benchCorpus(b *testing.B) []experiments.BatchInput {
+	b.Helper()
+	if batchCorpus != nil {
+		return batchCorpus
+	}
+	if testing.Short() {
+		for _, name := range []string{"fib", "sieve", "matmul", "qsortk", "strops"} {
+			prog := kernelProgram(b, name)
+			mod, err := cc.Compile(name, workload.Kernels()[name])
+			if err != nil {
+				b.Fatal(err)
+			}
+			batchCorpus = append(batchCorpus, experiments.BatchInput{Name: name, Module: mod, Prog: prog})
+		}
+		return batchCorpus
+	}
+	corpus, err := experiments.CompileCorpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	batchCorpus = corpus
+	return batchCorpus
+}
+
+// BenchmarkWireCompress times the wire encoder's per-stream fan-out at
+// one and four workers; the compressed bytes are identical either way.
+func BenchmarkWireCompress(b *testing.B) {
+	p := workload.Gcc
+	if testing.Short() {
+		p = workload.Wep
+	}
+	mod := benchModule(b, p)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			var out []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				out, err = wire.CompressOpts(mod, wire.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, float64(len(out)), "bytes")
+		})
+	}
+}
+
+// BenchmarkBriscCompress times the BRISC candidate-scan/rewrite
+// sharding at one and four workers.
+func BenchmarkBriscCompress(b *testing.B) {
+	prog := benchProgram(b, workload.Wep)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			var obj *brisc.Object
+			var err error
+			for i := 0; i < b.N; i++ {
+				obj, err = brisc.Compress(prog, brisc.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, float64(obj.Size().CodeSize()), "bytes")
+		})
+	}
+}
+
+// BenchmarkBatch compresses the whole experiments corpus through one
+// shared pool, serially and at four workers, and records the measured
+// wall-clock speedup in the BENCH_METRICS snapshot. The speedup only
+// materializes with multiple CPUs; on a single-core host the two
+// configurations degrade to the same serial schedule.
+func BenchmarkBatch(b *testing.B) {
+	corpus := benchCorpus(b)
+	nsPerOp := map[int]float64{}
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.BatchCompress(corpus, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp[w] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+	}
+	if nsPerOp[1] > 0 && nsPerOp[4] > 0 {
+		report(b, nsPerOp[1]/nsPerOp[4], "speedup-x4")
+	}
+}
+
 func BenchmarkBriscAblations(b *testing.B) {
 	prog := benchProgram(b, workload.Wep)
 	for _, v := range []struct {

@@ -37,6 +37,7 @@ func main() {
 	noCombine := flag.Bool("no-combine", false, "ablation: disable opcode combination")
 	noSpecialize := flag.Bool("no-specialize", false, "ablation: disable operand specialization")
 	noEPI := flag.Bool("no-epi", false, "disable the epi epilogue macro")
+	workers := flag.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = serial; output is identical either way")
 	optimize := flag.Bool("O", false, "peephole-optimize before compressing")
 	stats := flag.Bool("stats", false, "print size statistics")
 	dict := flag.Bool("dict", false, "print the learned dictionary")
@@ -92,6 +93,7 @@ func main() {
 		NoCombine:      *noCombine,
 		NoSpecialize:   *noSpecialize,
 		NoEPI:          *noEPI,
+		Workers:        *workers,
 	}
 	var obj *brisc.Object
 	if *dictIn != "" {

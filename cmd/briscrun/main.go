@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/brisc"
 	"repro/internal/telemetry"
@@ -30,6 +31,7 @@ func main() {
 	jit := flag.Bool("jit", false, "JIT to native code before running")
 	cache := flag.Bool("cache", false, "interpret with the decoded-unit cache (faster, larger working set)")
 	timing := flag.Bool("time", false, "report execution statistics")
+	workers := flag.Int("workers", 0, "cap runtime parallelism (GOMAXPROCS); 0 = one per CPU")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -38,6 +40,9 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: briscrun [-jit] [-time] file.brisc")
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	tool, err := telemetry.StartTool(telemetry.ToolOptions{

@@ -12,13 +12,16 @@
 //	experiments -table workingset     working-set reduction (S3)
 //	experiments -table paging         intro paging scenario (S4)
 //	experiments -table penalty        interpretation penalty (S1)
+//	experiments -table batch          batch-compress the corpus through the shared pool
 //	experiments -quick                skip the slow timing columns
+//	experiments -workers N            worker pool size for -table batch (0 = one per CPU)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
@@ -28,6 +31,7 @@ import (
 func main() {
 	table := flag.String("table", "all", "which experiment to run")
 	quick := flag.Bool("quick", false, "skip slow timing measurements")
+	workers := flag.Int("workers", 0, "worker pool size for -table batch: 0 = one per CPU, 1 = serial")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
@@ -107,6 +111,16 @@ func main() {
 		var r experiments.CallProfileResult
 		if r, err = experiments.CallProfile(workload.Lcc); err == nil {
 			fmt.Print(experiments.FormatCallProfile(r))
+		}
+	case "batch":
+		var inputs []experiments.BatchInput
+		if inputs, err = experiments.CompileCorpus(); err == nil {
+			start := time.Now()
+			var results []experiments.BatchResult
+			if results, err = experiments.BatchCompress(inputs, *workers); err == nil {
+				fmt.Print(experiments.FormatBatch(results))
+				fmt.Printf("%d modules in %v (workers=%d)\n", len(results), time.Since(start).Round(time.Millisecond), *workers)
+			}
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown table %q\n", *table)

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/cc"
 	"repro/internal/codegen"
@@ -34,6 +35,7 @@ func main() {
 	noRegDisp := flag.Bool("no-regdisp", false, "variant: remove register-displacement addressing")
 	optimize := flag.Bool("O", false, "run the peephole optimizer")
 	stats := flag.Bool("stats", false, "print code-size statistics")
+	workers := flag.Int("workers", 0, "cap runtime parallelism (GOMAXPROCS); 0 = one per CPU")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -43,6 +45,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.mc")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	tool, err := telemetry.StartTool(telemetry.ToolOptions{

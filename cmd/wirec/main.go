@@ -38,6 +38,7 @@ func main() {
 	final := flag.String("final", "lz", "final stage: lz, arith, none")
 	indexed := flag.Bool("indexed", false, "function-at-a-time random-access format")
 	fn := flag.String("func", "", "with -d on an indexed object: load only this function")
+	workers := flag.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = serial; output is identical either way")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -57,7 +58,7 @@ func main() {
 	}
 	rec := tool.Rec
 
-	opt := wire.Options{NoMTF: *noMTF, NoHuffman: *noHuff}
+	opt := wire.Options{NoMTF: *noMTF, NoHuffman: *noHuff, Workers: *workers}
 	switch *final {
 	case "lz":
 		opt.Final = wire.FinalLZ
@@ -153,7 +154,7 @@ func main() {
 			closeTool(tool)
 			return
 		}
-		mod, err := wire.DecompressTraced(data, rec)
+		mod, err := wire.DecompressParallel(data, *workers, rec)
 		if err != nil {
 			fatal(err)
 		}

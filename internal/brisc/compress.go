@@ -3,7 +3,9 @@ package brisc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
@@ -25,6 +27,27 @@ type Options struct {
 	NoCombine bool
 	// NoEPI disables the epilogue-macro peephole (the paper's epi).
 	NoEPI bool
+
+	// Workers bounds the candidate-scan and rewrite fan-out: 0 means one
+	// worker per CPU (GOMAXPROCS), 1 forces the serial path. The knob
+	// never changes the object — compressed bytes are identical for
+	// every worker count (enforced by the determinism test suite).
+	Workers int
+	// Pool, when non-nil, supplies an externally shared bounded worker
+	// pool (batch mode) and takes precedence over Workers.
+	Pool *parallel.Pool
+}
+
+// pool resolves the runtime concurrency knobs into a worker pool; nil
+// means "run serially on the caller".
+func (o Options) pool(rec *telemetry.Recorder) *parallel.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	if w := parallel.DefaultWorkers(o.Workers); w > 1 {
+		return parallel.NewTraced(w, rec)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -59,7 +82,7 @@ func Compress(p *vm.Program, opt Options) (*Object, error) {
 // rec may be nil.
 func CompressTraced(p *vm.Program, opt Options, rec *telemetry.Recorder) (*Object, error) {
 	opt = opt.withDefaults()
-	c := &compressor{opt: opt, rec: rec}
+	c := &compressor{opt: opt, rec: rec, pool: opt.pool(rec)}
 	sp := rec.StartSpan("brisc.compress", telemetry.Int("instrs_in", int64(len(p.Code))))
 	defer sp.End()
 	prog := p
@@ -98,7 +121,7 @@ func CompressTraced(p *vm.Program, opt Options, rec *telemetry.Recorder) (*Objec
 // patterns (Object.LearnedDict).
 func CompressWithDict(p *vm.Program, dict []Pattern, opt Options) (*Object, error) {
 	opt = opt.withDefaults()
-	c := &compressor{opt: opt}
+	c := &compressor{opt: opt, pool: opt.pool(nil)}
 	prog := p
 	if !opt.NoEPI {
 		prog = peepholeEPI(p)
@@ -141,6 +164,7 @@ type compressor struct {
 	flocCache     map[int][]floc
 	dictCostCache map[int]int
 	rec           *telemetry.Recorder
+	pool          *parallel.Pool
 	// stats
 	passes int
 }
@@ -164,30 +188,36 @@ func (c *compressor) buildUnits(p *vm.Program) error {
 	for _, idx := range p2.BlockStarts {
 		blockSet[idx] = true
 	}
+	// Seeding is a per-instruction map from read-only state (blockOf,
+	// blockSet, the base dictionary) to disjoint c.units slots, so it
+	// shards cleanly across the pool.
 	c.units = make([]unit, len(p2.Code))
-	for i, ins := range p2.Code {
-		cp := ins
-		// Rewrite code targets to block indices.
-		for fi, f := range ins.Op.Fields() {
-			if f == vm.FTgt {
-				b, ok := blockOf[getField(cp, fi)]
-				if !ok {
-					return fmt.Errorf("brisc: target %d of instr %d is not a block start", getField(cp, fi), i)
+	spans := parallel.Ranges(len(p2.Code), c.pool.Workers())
+	return c.pool.ForEach("brisc.build_units", len(spans), func(si int) error {
+		for i := spans[si][0]; i < spans[si][1]; i++ {
+			cp := p2.Code[i]
+			// Rewrite code targets to block indices.
+			for fi, f := range cp.Op.Fields() {
+				if f == vm.FTgt {
+					b, ok := blockOf[getField(cp, fi)]
+					if !ok {
+						return fmt.Errorf("brisc: target %d of instr %d is not a block start", getField(cp, fi), i)
+					}
+					setField(&cp, fi, b)
 				}
-				setField(&cp, fi, b)
+			}
+			pat := int(cp.Op)
+			vals := c.dict[pat].extract([]vm.Instr{cp})
+			c.units[i] = unit{
+				instrs: []vm.Instr{cp},
+				pat:    pat,
+				vals:   vals,
+				nib:    c.dict[pat].operandNibbles(vals),
+				block:  blockSet[i],
 			}
 		}
-		pat := int(cp.Op)
-		vals := c.dict[pat].extract([]vm.Instr{cp})
-		c.units[i] = unit{
-			instrs: []vm.Instr{cp},
-			pat:    pat,
-			vals:   vals,
-			nib:    c.dict[pat].operandNibbles(vals),
-			block:  blockSet[i],
-		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // dictEntryBytes estimates the serialized dictionary cost of a pattern
@@ -313,12 +343,55 @@ func (c *compressor) run() {
 	}
 }
 
-// generateCandidates scans the program once, proposing operand
+// generateCandidates scans the program, proposing operand
 // specializations and opcode combinations with estimated savings.
 // Sizes are computed arithmetically from cached nibble counts; no
 // candidate pattern is materialized until adoption.
+//
+// The scan shards across the pool: each worker folds its contiguous
+// unit span into a private map, and the shard maps are merged
+// afterwards. The merge only sums per-key counters — a commutative
+// reduction — so the resulting statistics (and hence adoption, which
+// sorts by benefit with a total candKey tie-break) are identical to
+// the serial scan's.
 func (c *compressor) generateCandidates() map[candKey]*candStat {
+	// Warm the floc cache for every pattern in use before fan-out: the
+	// lazily filled map must be read-only while workers share it.
+	for pid := range c.dict {
+		c.flocs(pid)
+	}
+	spans := parallel.Ranges(len(c.units), c.pool.Workers())
+	shards := make([]map[candKey]*candStat, len(spans))
+	c.pool.ForEach("brisc.scan", len(spans), func(si int) error {
+		shard := make(map[candKey]*candStat)
+		for i := spans[si][0]; i < spans[si][1]; i++ {
+			c.scanUnit(i, shard)
+		}
+		shards[si] = shard
+		return nil
+	})
+	if len(shards) == 1 {
+		return shards[0]
+	}
 	cands := make(map[candKey]*candStat)
+	for _, shard := range shards {
+		for k, st := range shard {
+			if g, ok := cands[k]; ok {
+				g.count += st.count
+				g.savings += st.savings
+			} else {
+				cands[k] = st
+			}
+		}
+	}
+	return cands
+}
+
+// scanUnit proposes the candidates anchored at unit i into cands.
+// Combination pairs (i, i+1) are anchored at i, so a contiguous span
+// scan reads one unit past its upper bound but never writes — shards
+// overlap only in reads.
+func (c *compressor) scanUnit(i int, cands map[candKey]*candStat) {
 	add := func(k candKey, saved int) {
 		if saved <= 0 {
 			return
@@ -333,7 +406,7 @@ func (c *compressor) generateCandidates() map[candKey]*candStat {
 	}
 	ceil2 := func(n int) int { return (n + 1) / 2 }
 
-	for i := range c.units {
+	{
 		u := &c.units[i]
 		uFlocs := c.flocs(u.pat)
 		uSize := 1 + ceil2(u.nib)
@@ -352,11 +425,11 @@ func (c *compressor) generateCandidates() map[candKey]*candStat {
 			}
 		}
 		if c.opt.NoCombine || i+1 >= len(c.units) {
-			continue
+			return
 		}
 		v := &c.units[i+1]
 		if v.block {
-			continue // never combine across a basic-block boundary
+			return // never combine across a basic-block boundary
 		}
 		vFlocs := c.flocs(v.pat)
 		oldSize := uSize + 1 + ceil2(v.nib)
@@ -386,7 +459,6 @@ func (c *compressor) generateCandidates() map[candKey]*candStat {
 			}
 		}
 	}
-	return cands
 }
 
 // specChoices returns -1 (no specialization) plus each specializable
@@ -522,63 +594,109 @@ func (c *compressor) rewrite(newIDs []int) {
 	}
 
 	if len(combinators) > 0 {
+		// The greedy left-to-right merge never crosses a basic-block
+		// boundary (units[i+1].block stops it), so the scan decomposes
+		// into independent per-block-run scans. Chunk the unit array at
+		// block starts, scan chunks concurrently, and concatenate in
+		// chunk order — provably identical to the serial pass.
+		chunks := c.blockChunks()
+		outs, _ := parallel.Map(c.pool, "brisc.combine", len(chunks), func(ci int) ([]unit, error) {
+			lo, hi := chunks[ci][0], chunks[ci][1]
+			var out []unit
+			i := lo
+			for i < hi {
+				merged := false
+				u := &c.units[i]
+				if i+1 < hi && !c.units[i+1].block {
+					v := &c.units[i+1]
+					cat := append(append([]vm.Instr(nil), u.instrs...), v.instrs...)
+					oldSize := c.dict[u.pat].encodedSize(u.vals) + c.dict[v.pat].encodedSize(v.vals)
+					best, bestSize := -1, oldSize
+					for _, id := range combinators {
+						p := c.dict[id]
+						if !p.matches(cat) {
+							continue
+						}
+						if sz := p.encodedSize(p.extract(cat)); sz < bestSize {
+							best, bestSize = id, sz
+						}
+					}
+					if best >= 0 {
+						vals := c.dict[best].extract(cat)
+						out = append(out, unit{
+							instrs: cat,
+							pat:    best,
+							vals:   vals,
+							nib:    c.dict[best].operandNibbles(vals),
+							block:  u.block,
+						})
+						i += 2
+						merged = true
+					}
+				}
+				if !merged {
+					out = append(out, *u)
+					i++
+				}
+			}
+			return out, nil
+		})
 		var out []unit
-		i := 0
-		for i < len(c.units) {
-			merged := false
-			u := &c.units[i]
-			if i+1 < len(c.units) && !c.units[i+1].block {
-				v := &c.units[i+1]
-				cat := append(append([]vm.Instr(nil), u.instrs...), v.instrs...)
-				oldSize := c.dict[u.pat].encodedSize(u.vals) + c.dict[v.pat].encodedSize(v.vals)
-				best, bestSize := -1, oldSize
-				for _, id := range combinators {
-					p := c.dict[id]
-					if !p.matches(cat) {
-						continue
-					}
-					if sz := p.encodedSize(p.extract(cat)); sz < bestSize {
-						best, bestSize = id, sz
-					}
-				}
-				if best >= 0 {
-					vals := c.dict[best].extract(cat)
-					out = append(out, unit{
-						instrs: cat,
-						pat:    best,
-						vals:   vals,
-						nib:    c.dict[best].operandNibbles(vals),
-						block:  u.block,
-					})
-					i += 2
-					merged = true
-				}
-			}
-			if !merged {
-				out = append(out, *u)
-				i++
-			}
+		for _, chunk := range outs {
+			out = append(out, chunk...)
 		}
 		c.units = out
 	}
 
-	// Re-pattern units with cheaper new patterns.
-	for i := range c.units {
-		u := &c.units[i]
-		curSize := c.dict[u.pat].encodedSize(u.vals)
-		for _, id := range specializers {
-			p := c.dict[id]
-			if len(p.Seq) != len(u.instrs) || !p.matches(u.instrs) {
-				continue
-			}
-			if sz := p.encodedSize(p.extract(u.instrs)); sz < curSize {
-				u.pat = id
-				u.vals = p.extract(u.instrs)
-				u.nib = p.operandNibbles(u.vals)
-				curSize = sz
+	// Re-pattern units with cheaper new patterns: a pure per-unit
+	// update against the read-only dictionary, sharded across the pool.
+	spans := parallel.Ranges(len(c.units), c.pool.Workers())
+	c.pool.ForEach("brisc.repattern", len(spans), func(si int) error {
+		for i := spans[si][0]; i < spans[si][1]; i++ {
+			u := &c.units[i]
+			curSize := c.dict[u.pat].encodedSize(u.vals)
+			for _, id := range specializers {
+				p := c.dict[id]
+				if len(p.Seq) != len(u.instrs) || !p.matches(u.instrs) {
+					continue
+				}
+				if sz := p.encodedSize(p.extract(u.instrs)); sz < curSize {
+					u.pat = id
+					u.vals = p.extract(u.instrs)
+					u.nib = p.operandNibbles(u.vals)
+					curSize = sz
+				}
 			}
 		}
+		return nil
+	})
+}
+
+// blockChunks partitions the unit array into contiguous [lo, hi) spans
+// that all begin at basic-block starts, one group of whole block runs
+// per worker. Merging never crosses a block boundary, so each chunk
+// rewrites independently.
+func (c *compressor) blockChunks() [][2]int {
+	if len(c.units) == 0 {
+		return nil
 	}
+	starts := []int{0}
+	for i := 1; i < len(c.units); i++ {
+		if c.units[i].block {
+			starts = append(starts, i)
+		}
+	}
+	groups := parallel.Ranges(len(starts), c.pool.Workers())
+	chunks := make([][2]int, len(groups))
+	for gi, g := range groups {
+		lo := starts[g[0]]
+		hi := len(c.units)
+		if g[1] < len(starts) {
+			hi = starts[g[1]]
+		}
+		chunks[gi] = [2]int{lo, hi}
+	}
+	return chunks
 }
 
 // peepholeEPI rewrites each three-instruction epilogue
@@ -719,7 +837,9 @@ func (c *compressor) finish(p *vm.Program) (*Object, error) {
 
 	// Encode the unit stream; record block byte offsets in order.
 	var code []byte
-	var nw nibbleWriter
+	nw := nibPool.Get().(*nibbleWriter)
+	defer nibPool.Put(nw)
+	nw.reset()
 	ctx = 0
 	for i := range c.units {
 		u := &c.units[i]
@@ -800,6 +920,10 @@ type nibbleWriter struct {
 	buf  []byte
 	half bool
 }
+
+// nibPool recycles nibbleWriters (and their grown buffers) across
+// finish calls, including concurrent Compress calls in batch mode.
+var nibPool = sync.Pool{New: func() any { return new(nibbleWriter) }}
 
 func (w *nibbleWriter) reset() { w.buf = w.buf[:0]; w.half = false }
 

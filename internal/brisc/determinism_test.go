@@ -1,0 +1,81 @@
+package brisc
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TestParallelObjectIdentical pins the tentpole contract for BRISC:
+// the serialized object at Workers=1 is byte-identical to Workers=8,
+// across workloads and option variants. The parallel candidate scan
+// merges per-shard statistics commutatively and adoption tie-breaks on
+// a total candidate order, so no scheduling can perturb the greedy
+// passes.
+func TestParallelObjectIdentical(t *testing.T) {
+	sources := map[string]string{
+		"wep":  workload.Generate(workload.Wep),
+		"fib":  workload.Kernels()["fib"],
+		"word": workload.Generate(workload.Word),
+	}
+	if testing.Short() {
+		delete(sources, "word")
+	}
+	optVariants := []Options{
+		{},
+		{AbundantMemory: true},
+		{NoSpecialize: true},
+		{NoCombine: true},
+	}
+	for name, src := range sources {
+		prog := compileProg(t, name, src)
+		for vi, base := range optVariants {
+			serial, par := base, base
+			serial.Workers = 1
+			par.Workers = 8
+			objS, err := Compress(prog, serial)
+			if err != nil {
+				t.Fatalf("%s variant %d serial: %v", name, vi, err)
+			}
+			objP, err := Compress(prog, par)
+			if err != nil {
+				t.Fatalf("%s variant %d parallel: %v", name, vi, err)
+			}
+			if !bytes.Equal(objS.Bytes(), objP.Bytes()) {
+				t.Errorf("%s variant %d: object differs between Workers=1 and Workers=8", name, vi)
+			}
+		}
+	}
+}
+
+// TestSharedPoolConcurrentCompress runs many Compress calls against
+// one shared pool concurrently (the batch-mode shape; -race via make
+// check) and checks each result against the serial bytes.
+func TestSharedPoolConcurrentCompress(t *testing.T) {
+	prog := compileProg(t, "wep", workload.Generate(workload.Wep))
+	want, err := Compress(prog, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewTraced(4, telemetry.New())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Compress(prog, Options{Pool: pool})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Error("shared-pool object differs from serial")
+			}
+		}()
+	}
+	wg.Wait()
+}

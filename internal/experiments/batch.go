@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+	"repro/internal/vm"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Batch mode: compress many independent modules concurrently through
+// one shared worker pool — the server-side shape from the ROADMAP
+// north star, where a stream of translation units arrives and each
+// must be wire- and BRISC-compressed as fast as the hardware allows.
+// The pool is shared (not per-module) so total concurrency stays
+// bounded no matter how many modules are in flight; the token-or-
+// inline discipline in internal/parallel keeps the nested per-stream
+// fan-outs deadlock-free.
+
+// BatchInput is one independent compression job: a compiled module and
+// its generated VM program.
+type BatchInput struct {
+	Name   string
+	Module *ir.Module
+	Prog   *vm.Program
+}
+
+// BatchResult carries one job's compressed artifacts.
+type BatchResult struct {
+	Name       string
+	WireBytes  []byte
+	BriscBytes []byte
+}
+
+// CompileCorpus builds the full experiments corpus — the three paper
+// presets, the Word97-like profile, and every hand-written kernel —
+// as batch inputs, in deterministic name order for the kernels.
+func CompileCorpus() ([]BatchInput, error) {
+	var inputs []BatchInput
+	add := func(name, src string) error {
+		mod, err := cc.Compile(name, src)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		prog, err := codegen.Generate(mod, codegen.Options{})
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		inputs = append(inputs, BatchInput{Name: name, Module: mod, Prog: prog})
+		return nil
+	}
+	for _, p := range append(workload.Presets(), workload.Word) {
+		if err := add(p.Name, workload.Generate(p)); err != nil {
+			return nil, err
+		}
+	}
+	kernels := workload.Kernels()
+	names := make([]string, 0, len(kernels))
+	for name := range kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := add(name, kernels[name]); err != nil {
+			return nil, err
+		}
+	}
+	return inputs, nil
+}
+
+// BatchCompress compresses every input through both pipelines using
+// one shared pool bounded at workers (0 = GOMAXPROCS, 1 = serial).
+// Results come back in input order and are byte-identical for every
+// worker count.
+func BatchCompress(inputs []BatchInput, workers int) ([]BatchResult, error) {
+	var pool *parallel.Pool
+	if w := parallel.DefaultWorkers(workers); w > 1 {
+		pool = parallel.NewTraced(w, rec)
+	}
+	sp := rec.StartSpan("experiments.batch",
+		telemetry.Int("modules", int64(len(inputs))),
+		telemetry.Int("workers", int64(pool.Workers())))
+	defer sp.End()
+	return parallel.Map(pool, "experiments.batch", len(inputs), func(i int) (BatchResult, error) {
+		in := inputs[i]
+		wb, err := wire.CompressOpts(in.Module, wire.Options{Pool: pool})
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("experiments: wire %s: %w", in.Name, err)
+		}
+		obj, err := brisc.Compress(in.Prog, brisc.Options{Pool: pool})
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("experiments: brisc %s: %w", in.Name, err)
+		}
+		return BatchResult{Name: in.Name, WireBytes: wb, BriscBytes: obj.Bytes()}, nil
+	})
+}
+
+// FormatBatch renders the batch results as a compact table.
+func FormatBatch(results []BatchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Batch compression (shared worker pool)\n")
+	fmt.Fprintf(&sb, "%-10s %10s %10s\n", "module", "wire", "brisc")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %10d %10d\n", r.Name, len(r.WireBytes), len(r.BriscBytes))
+	}
+	return sb.String()
+}

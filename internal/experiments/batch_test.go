@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/workload"
+)
+
+// smallCorpus builds a cheap batch from the hand-written kernels so the
+// test stays fast; CompileCorpus itself is exercised by the benchmarks.
+func smallCorpus(t *testing.T) []BatchInput {
+	t.Helper()
+	var inputs []BatchInput
+	for _, name := range []string{"fib", "sieve", "strops"} {
+		src := workload.Kernels()[name]
+		if src == "" {
+			t.Fatalf("no kernel %q", name)
+		}
+		mod, err := cc.Compile(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := codegen.Generate(mod, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, BatchInput{Name: name, Module: mod, Prog: prog})
+	}
+	return inputs
+}
+
+func TestBatchCompressDeterministic(t *testing.T) {
+	inputs := smallCorpus(t)
+	serial, err := BatchCompress(inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BatchCompress(inputs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(inputs) || len(par) != len(inputs) {
+		t.Fatalf("result counts: %d serial, %d parallel", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Name != inputs[i].Name || par[i].Name != inputs[i].Name {
+			t.Errorf("result %d out of order: %s / %s", i, serial[i].Name, par[i].Name)
+		}
+		if !bytes.Equal(serial[i].WireBytes, par[i].WireBytes) {
+			t.Errorf("%s: wire bytes differ between Workers=1 and Workers=4", inputs[i].Name)
+		}
+		if !bytes.Equal(serial[i].BriscBytes, par[i].BriscBytes) {
+			t.Errorf("%s: brisc bytes differ between Workers=1 and Workers=4", inputs[i].Name)
+		}
+	}
+	out := FormatBatch(par)
+	for _, in := range inputs {
+		if !strings.Contains(out, in.Name) {
+			t.Errorf("FormatBatch missing %s:\n%s", in.Name, out)
+		}
+	}
+}
+
+func TestCompileCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus compile is slow")
+	}
+	inputs, err := CompileCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) < 8 {
+		t.Fatalf("corpus has only %d inputs", len(inputs))
+	}
+	seen := map[string]bool{}
+	for _, in := range inputs {
+		if seen[in.Name] {
+			t.Errorf("duplicate corpus entry %s", in.Name)
+		}
+		seen[in.Name] = true
+		if in.Module == nil || in.Prog == nil {
+			t.Errorf("corpus entry %s missing artifacts", in.Name)
+		}
+	}
+	for _, want := range []string{"lcc", "gcc", "wep", "word", "fib"} {
+		if !seen[want] {
+			t.Errorf("corpus missing %s", want)
+		}
+	}
+}

@@ -18,6 +18,10 @@ type Encoder struct {
 // NewEncoder returns an encoder with an empty recency table.
 func NewEncoder() *Encoder { return &Encoder{} }
 
+// Reset clears the recency table while keeping its capacity, so one
+// Encoder can be reused across streams (the wire encoder pools them).
+func (e *Encoder) Reset() { e.table = e.table[:0] }
+
 // Encode codes one symbol: 0 if never seen, else 1-based recency rank.
 // The symbol is moved to (or inserted at) the front of the table.
 func (e *Encoder) Encode(sym int32) int {
@@ -69,11 +73,19 @@ func (d *Decoder) Decode(index int, fresh int32) (sym int32, usedFresh, ok bool)
 // sequence and the first-occurrence value list (the paper's "table",
 // in first-seen order).
 func EncodeStream(syms []int32) (indices []int, firsts []int32) {
-	e := NewEncoder()
-	indices = make([]int, len(syms))
-	for i, s := range syms {
+	return AppendEncode(NewEncoder(), syms, nil, nil)
+}
+
+// AppendEncode is EncodeStream with caller-owned scratch: it codes
+// syms through e (call Reset first for a fresh stream), appending the
+// indices and first-occurrence values to the provided slices and
+// returning them. Passing slices truncated to length zero reuses
+// their backing arrays, eliminating the per-stream allocation churn
+// of EncodeStream in hot encode loops.
+func AppendEncode(e *Encoder, syms []int32, indices []int, firsts []int32) ([]int, []int32) {
+	for _, s := range syms {
 		idx := e.Encode(s)
-		indices[i] = idx
+		indices = append(indices, idx)
 		if idx == 0 {
 			firsts = append(firsts, s)
 		}

@@ -1,0 +1,157 @@
+// Package parallel provides the bounded worker pool and deterministic
+// ordered fan-in used by the compression pipelines.
+//
+// The paper's wire format is embarrassingly parallel by construction —
+// one operator stream plus one independent literal stream per opcode
+// class — and BRISC's per-pass candidate scan is a pure fold over
+// basic-block units. This package turns that decomposition into actual
+// concurrency while preserving a hard determinism contract: every
+// fan-out collects its results by task index, so the assembled output
+// is byte-identical no matter how many workers run or how the
+// scheduler interleaves them.
+//
+// A Pool may be shared by many concurrent pipelines (batch mode). The
+// token discipline makes sharing safe: a task that cannot obtain a
+// worker slot runs inline on the submitting goroutine, so a saturated
+// pool degrades to serial execution instead of deadlocking — even when
+// a pooled task itself fans out through the same pool.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// DefaultWorkers resolves a Workers knob: values > 0 are taken as-is,
+// anything else means "one worker per available CPU" (GOMAXPROCS).
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool is a bounded work scheduler. A nil *Pool is valid and runs
+// everything serially on the caller, which is also the Workers=1
+// fast path — no goroutines, no channels, no overhead.
+type Pool struct {
+	tokens chan struct{}
+	rec    *telemetry.Recorder
+}
+
+// New returns a pool bounded at DefaultWorkers(workers) concurrent
+// tasks.
+func New(workers int) *Pool { return NewTraced(workers, nil) }
+
+// NewTraced is New with telemetry: each task that lands on a pool
+// worker records a "parallel.worker" span through rec (nil disables
+// tracing at no cost).
+func NewTraced(workers int, rec *telemetry.Recorder) *Pool {
+	return &Pool{tokens: make(chan struct{}, DefaultWorkers(workers)), rec: rec}
+}
+
+// Workers reports the pool's concurrency bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return cap(p.tokens)
+}
+
+// ForEach runs fn(i) for every i in [0, n), using at most Workers()
+// concurrent goroutines. Submission order is ascending; a task that
+// cannot get a worker token runs inline on the caller. The returned
+// error is deterministic: the error of the lowest failing index,
+// regardless of completion order. ForEach does not cancel in-flight
+// siblings on error — fn must be safe to run to completion.
+func (p *Pool) ForEach(label string, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || p.Workers() <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.tokens }()
+				sp := p.rec.StartSpan("parallel.worker",
+					telemetry.String("label", label),
+					telemetry.Int("index", int64(i)))
+				errs[i] = fn(i)
+				sp.End()
+			}(i)
+		default:
+			// Pool saturated (possibly by our own parent task in a
+			// nested fan-out): run on the submitting goroutine.
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map fans fn out over [0, n) through p and returns the results in
+// index order — the deterministic ordered fan-in every encoder stage
+// relies on. On error the slice is nil and the error is that of the
+// lowest failing index.
+func Map[T any](p *Pool, label string, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(label, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ranges splits [0, n) into at most pieces contiguous [lo, hi) spans
+// of near-equal size, in order. It never returns an empty span; fewer
+// than pieces spans come back when n < pieces. Sharding work this way
+// keeps per-item results contiguous so fan-in is a simple ordered
+// concatenation.
+func Ranges(n, pieces int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if pieces < 1 {
+		pieces = 1
+	}
+	if pieces > n {
+		pieces = n
+	}
+	out := make([][2]int, 0, pieces)
+	lo := 0
+	for i := 0; i < pieces; i++ {
+		hi := lo + (n-lo)/(pieces-i)
+		if hi == lo {
+			hi = lo + 1
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

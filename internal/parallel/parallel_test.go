@@ -1,0 +1,175 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(4); got != 4 {
+		t.Errorf("DefaultWorkers(4) = %d", got)
+	}
+	if got := DefaultWorkers(0); got < 1 {
+		t.Errorf("DefaultWorkers(0) = %d, want >= 1", got)
+	}
+	if got := DefaultWorkers(-3); got < 1 {
+		t.Errorf("DefaultWorkers(-3) = %d, want >= 1", got)
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d", p.Workers())
+	}
+	order := []int{}
+	err := p.ForEach("serial", 5, func(i int) error {
+		order = append(order, i) // safe: serial contract
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestMapOrderedFanIn(t *testing.T) {
+	p := New(8)
+	out, err := Map(p, "square", 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachDeterministicError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// Regardless of scheduling, the reported error must be the lowest
+	// failing index's.
+	for trial := 0; trial < 20; trial++ {
+		p := New(4)
+		err := p.ForEach("err", 16, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 12:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("trial %d: got %v, want errLow", trial, err)
+		}
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	err := p.ForEach("bound", 64, func(i int) error {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The submitting goroutine may run one task inline while `workers`
+	// tasks hold tokens.
+	if got := peak.Load(); got > workers+1 {
+		t.Errorf("peak concurrency %d exceeds bound %d", got, workers+1)
+	}
+}
+
+// TestSharedPoolStress hammers one pool from many goroutines, each
+// running nested fan-outs — the batch-mode shape. Run under -race by
+// `make check`; the property checked here is ordered fan-in under
+// contention and absence of deadlock.
+func TestSharedPoolStress(t *testing.T) {
+	p := NewTraced(4, telemetry.New())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				out, err := Map(p, fmt.Sprintf("outer-%d", g), 10, func(i int) (int, error) {
+					// Nested fan-out through the same saturated pool.
+					inner, err := Map(p, "inner", 4, func(j int) (int, error) {
+						return i + j, nil
+					})
+					if err != nil {
+						return 0, err
+					}
+					sum := 0
+					for _, v := range inner {
+						sum += v
+					}
+					return sum, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, v := range out {
+					if want := 4*i + 6; v != want {
+						t.Errorf("out[%d] = %d, want %d", i, v, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRanges(t *testing.T) {
+	cases := []struct{ n, pieces int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 2}, {100, 7}, {3, 100}, {10, 1}, {10, 0},
+	}
+	for _, c := range cases {
+		rs := Ranges(c.n, c.pieces)
+		if c.n == 0 {
+			if rs != nil {
+				t.Errorf("Ranges(%d,%d) = %v, want nil", c.n, c.pieces, rs)
+			}
+			continue
+		}
+		covered := 0
+		prev := 0
+		for _, r := range rs {
+			if r[0] != prev || r[1] <= r[0] {
+				t.Fatalf("Ranges(%d,%d): bad span %v in %v", c.n, c.pieces, r, rs)
+			}
+			covered += r[1] - r[0]
+			prev = r[1]
+		}
+		if covered != c.n || prev != c.n {
+			t.Errorf("Ranges(%d,%d) covers %d: %v", c.n, c.pieces, covered, rs)
+		}
+		if len(rs) > c.pieces && c.pieces >= 1 {
+			t.Errorf("Ranges(%d,%d) has %d pieces", c.n, c.pieces, len(rs))
+		}
+	}
+}

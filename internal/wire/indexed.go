@@ -11,6 +11,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/ir"
 	"repro/internal/mtf"
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
 
@@ -62,14 +63,14 @@ func CompressIndexedTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) (
 	sp := rec.StartSpan("wire.compress_indexed",
 		telemetry.Int("functions", int64(len(m.Functions))))
 	defer sp.End()
-	data, err := compressIndexed(m, opt)
+	data, err := compressIndexed(m, opt, opt.pool(rec))
 	if err == nil {
 		sp.SetAttr(telemetry.Int("bytes_out", int64(len(data))))
 	}
 	return data, err
 }
 
-func compressIndexed(m *ir.Module, opt Options) ([]byte, error) {
+func compressIndexed(m *ir.Module, opt Options, pool *parallel.Pool) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("wire: %w", err)
 	}
@@ -91,19 +92,28 @@ func compressIndexed(m *ir.Module, opt Options) ([]byte, error) {
 		}
 	}
 
-	// Pass 1: symbolize every function's streams and accumulate global
-	// frequency tables for the shared semi-static Huffman codes.
-	perFunc := make([]funcStreams, len(m.Functions))
-	var shapeFreq []int64
-	litFreq := map[ir.Op][]int64{}
+	// Pass 1: symbolize every function's streams concurrently — each
+	// function's MTF state is fresh by design, so the jobs are fully
+	// independent. Per-function frequency tables are merged serially in
+	// function order afterwards; the merge is an element-wise sum, so
+	// worker scheduling cannot perturb the shared Huffman codes.
 	bump := func(freqs *[]int64, s int) {
 		for len(*freqs) <= s {
 			*freqs = append(*freqs, 0)
 		}
 		(*freqs)[s]++
 	}
-	for fi, f := range m.Functions {
-		fs := funcStreams{lits: map[ir.Op]symbolized{}, litN: map[ir.Op]int{}}
+	type funcResult struct {
+		fs        funcStreams
+		shapeFreq []int64
+		litFreq   map[ir.Op][]int64
+	}
+	results, err := parallel.Map(pool, "wire.symbolize", len(m.Functions), func(fi int) (funcResult, error) {
+		f := m.Functions[fi]
+		r := funcResult{
+			fs:      funcStreams{lits: map[ir.Op]symbolized{}, litN: map[ir.Op]int{}},
+			litFreq: map[ir.Op][]int64{},
+		}
 		var shapeStream []int32
 		litStreams := map[ir.Op][]int32{}
 		for _, t := range f.Trees {
@@ -115,27 +125,52 @@ func compressIndexed(m *ir.Module, opt Options) ([]byte, error) {
 				case ir.LitName:
 					idx, ok := e.nameIdx[lit.Name]
 					if !ok {
-						return nil, fmt.Errorf("wire: unknown symbol %q", lit.Name)
+						return r, fmt.Errorf("wire: unknown symbol %q", lit.Name)
 					}
 					litStreams[lit.Op] = append(litStreams[lit.Op], int32(idx))
 				}
 			}
 		}
-		fs.shape = symbolize(shapeStream, opt.NoMTF)
-		for _, s := range fs.shape.symbols {
-			bump(&shapeFreq, s)
+		r.fs.shape = symbolize(shapeStream, opt.NoMTF)
+		for _, s := range r.fs.shape.symbols {
+			bump(&r.shapeFreq, s)
 		}
-		for op, stream := range litStreams {
-			sym := symbolize(stream, opt.NoMTF)
-			fs.lits[op] = sym
-			fs.litN[op] = len(stream)
-			lf := litFreq[op]
+		for _, op := range sortedLitKeys(litStreams) {
+			sym := symbolize(litStreams[op], opt.NoMTF)
+			r.fs.lits[op] = sym
+			r.fs.litN[op] = len(litStreams[op])
+			lf := r.litFreq[op]
 			for _, s := range sym.symbols {
 				bump(&lf, s)
 			}
+			r.litFreq[op] = lf
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perFunc := make([]funcStreams, len(m.Functions))
+	var shapeFreq []int64
+	litFreq := map[ir.Op][]int64{}
+	for fi := range results {
+		perFunc[fi] = results[fi].fs
+		for s, n := range results[fi].shapeFreq {
+			for len(shapeFreq) <= s {
+				shapeFreq = append(shapeFreq, 0)
+			}
+			shapeFreq[s] += n
+		}
+		for _, op := range sortedLitKeys(results[fi].litFreq) {
+			lf := litFreq[op]
+			for s, n := range results[fi].litFreq[op] {
+				for len(lf) <= s {
+					lf = append(lf, 0)
+				}
+				lf[s] += n
+			}
 			litFreq[op] = lf
 		}
-		perFunc[fi] = fs
 	}
 
 	// Shared codes.
@@ -147,8 +182,8 @@ func compressIndexed(m *ir.Module, opt Options) ([]byte, error) {
 				return nil, err
 			}
 		}
-		for op, freqs := range litFreq {
-			c, err := huffman.Build(freqs, 0)
+		for _, op := range sortedLitKeys(litFreq) {
+			c, err := huffman.Build(litFreq[op], 0)
 			if err != nil {
 				return nil, err
 			}
@@ -208,19 +243,19 @@ func compressIndexed(m *ir.Module, opt Options) ([]byte, error) {
 	}
 	mustW(hw.Flush())
 
-	// Chunks: per-function coded streams only.
-	chunks := make([][]byte, len(m.Functions))
-	for fi := range m.Functions {
+	// Chunks: per-function coded streams only. Each chunk is a
+	// standalone byte-aligned body and the shared codes are read-only
+	// here, so chunk encoding fans out across the pool; the assembly
+	// below walks chunks in function order, keeping the object
+	// byte-identical to the serial path.
+	chunks, err := parallel.Map(pool, "wire.chunk", len(m.Functions), func(fi int) ([]byte, error) {
 		fs := &perFunc[fi]
 		var body bytes.Buffer
 		bw := bitio.NewWriter(&body)
 		if err := writeCodedStream(bw, fs.shape, shapeCode, opt); err != nil {
 			return nil, err
 		}
-		for op := ir.Op(1); int(op) < ir.NumOps; op++ {
-			if op.Lit() == ir.LitNone {
-				continue
-			}
+		for _, op := range litOps() {
 			n := fs.litN[op]
 			writeUvarint(bw, uint64(n))
 			if n == 0 {
@@ -231,7 +266,10 @@ func compressIndexed(m *ir.Module, opt Options) ([]byte, error) {
 			}
 		}
 		mustW(bw.Flush())
-		chunks[fi] = body.Bytes()
+		return body.Bytes(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Assemble.

@@ -13,12 +13,20 @@
 // identical ir.Module. Options expose each stage for the ablation
 // benchmarks (MTF off, Huffman off, or an arithmetic-coder final stage
 // instead of LZ — the design-space alternatives from §2).
+//
+// Because each stream is MTF+Huffman-coded in isolation, the container
+// stores every stream as an independent byte-aligned segment and both
+// the encoder and the decoder fan the per-stream work across a bounded
+// worker pool (internal/parallel). The fan-in is ordered, so the
+// output is byte-identical for every Options.Workers setting.
 package wire
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/arith"
 	"repro/internal/bitio"
@@ -26,6 +34,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/ir"
 	"repro/internal/mtf"
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
 
@@ -45,12 +54,66 @@ type Options struct {
 	NoMTF     bool       // skip move-to-front, Huffman-code raw symbols
 	NoHuffman bool       // emit MTF indices as varints instead
 	Final     FinalCoder // last stage
+
+	// Workers bounds the per-stream encode fan-out: 0 means one worker
+	// per CPU (GOMAXPROCS), 1 forces the serial path. The knob never
+	// changes the artifact — compressed bytes are identical for every
+	// worker count (enforced by the determinism test suite).
+	Workers int
+	// Pool, when non-nil, supplies an externally shared bounded worker
+	// pool (batch mode) and takes precedence over Workers.
+	Pool *parallel.Pool
 }
 
-var magic = [4]byte{'W', 'I', 'R', '1'}
+// pool resolves the runtime concurrency knobs into a worker pool; nil
+// means "run serially on the caller".
+func (opt Options) pool(rec *telemetry.Recorder) *parallel.Pool {
+	if opt.Pool != nil {
+		return opt.Pool
+	}
+	if w := parallel.DefaultWorkers(opt.Workers); w > 1 {
+		return parallel.NewTraced(w, rec)
+	}
+	return nil
+}
+
+var magic = [4]byte{'W', 'I', 'R', '2'}
 
 // ErrCorrupt reports a malformed wire object.
 var ErrCorrupt = errors.New("wire: corrupt input")
+
+// litOps returns the literal-carrying opcodes in canonical opcode
+// order. Every per-opcode stream map on the encode or decode path must
+// be walked through this list (never by map range) so that map
+// iteration order — and therefore goroutine scheduling in the parallel
+// paths — can never leak into the output bytes.
+var (
+	litOpsOnce sync.Once
+	litOpsList []ir.Op
+)
+
+func litOps() []ir.Op {
+	litOpsOnce.Do(func() {
+		for op := ir.Op(1); int(op) < ir.NumOps; op++ {
+			if op.Lit() != ir.LitNone {
+				litOpsList = append(litOpsList, op)
+			}
+		}
+	})
+	return litOpsList
+}
+
+// sortedLitKeys returns a map's opcode keys in ascending order — the
+// deterministic-iteration helper for maps that are merged across
+// parallel workers.
+func sortedLitKeys[V any](m map[ir.Op]V) []ir.Op {
+	keys := make([]ir.Op, 0, len(m))
+	for op := range m {
+		keys = append(keys, op)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // Compress encodes a module with the paper's default pipeline.
 func Compress(m *ir.Module) ([]byte, error) { return CompressOpts(m, Options{}) }
@@ -104,8 +167,16 @@ func finalize(container []byte, opt Options, rec *telemetry.Recorder) ([]byte, e
 func Decompress(data []byte) (*ir.Module, error) { return DecompressTraced(data, nil) }
 
 // DecompressTraced reconstructs the module, reporting stage spans into
-// rec (nil disables telemetry).
+// rec (nil disables telemetry). Stream decoding fans out across one
+// worker per CPU; use DecompressParallel for an explicit bound.
 func DecompressTraced(data []byte, rec *telemetry.Recorder) (*ir.Module, error) {
+	return DecompressParallel(data, 0, rec)
+}
+
+// DecompressParallel reconstructs the module with an explicit worker
+// bound (0 = GOMAXPROCS, 1 = serial). The reconstructed module is
+// identical for every setting.
+func DecompressParallel(data []byte, workers int, rec *telemetry.Recorder) (*ir.Module, error) {
 	sp := rec.StartSpan("wire.decompress", telemetry.Int("bytes_in", int64(len(data))))
 	defer sp.End()
 	if len(data) < 5 || !bytes.Equal(data[:4], magic[:]) {
@@ -115,6 +186,7 @@ func DecompressTraced(data []byte, rec *telemetry.Recorder) (*ir.Module, error) 
 	if err != nil {
 		return nil, err
 	}
+	opt.Workers = workers
 	payload := data[5:]
 	fsp := rec.StartSpan("wire.unfinal")
 	var container []byte
@@ -132,7 +204,7 @@ func DecompressTraced(data []byte, rec *telemetry.Recorder) (*ir.Module, error) 
 		return nil, fmt.Errorf("%w: final stage: %v", ErrCorrupt, err)
 	}
 	psp := rec.StartSpan("wire.parse")
-	m, err := parseContainer(container, opt)
+	m, err := parseContainer(container, opt, opt.pool(rec))
 	psp.End()
 	if m != nil {
 		sp.SetAttr(telemetry.Int("trees", int64(m.NumTrees())))
@@ -212,6 +284,7 @@ type encoder struct {
 	nameIdx map[string]int
 	stats   Stats
 	rec     *telemetry.Recorder
+	pool    *parallel.Pool
 }
 
 func newEncoder(m *ir.Module, opt Options) (*encoder, error) {
@@ -246,6 +319,7 @@ func buildContainerTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) (*
 		return nil, nil, err
 	}
 	e.rec = rec
+	e.pool = opt.pool(rec)
 	container, err := e.encode()
 	if err != nil {
 		return nil, nil, err
@@ -285,7 +359,9 @@ func (e *encoder) encode() ([]byte, error) {
 	msp.SetAttr(telemetry.Int("bytes", int64(buf.Len())))
 	msp.End()
 
-	// Patternize: shape stream + per-op literal streams.
+	// Patternize: shape stream + per-op literal streams. A serial fold
+	// over the forest; the expensive entropy coding below is what fans
+	// out.
 	psp := e.rec.StartSpan("wire.patternize")
 	shapeIDs := map[string]int32{}
 	var shapeDefs [][]ir.Op
@@ -322,43 +398,55 @@ func (e *encoder) encode() ([]byte, error) {
 		telemetry.Int("shapes", int64(e.stats.Shapes)))
 	psp.End()
 
-	// Shape definitions, in first-occurrence order, then the operator
-	// (shape) stream itself. Each symbol stream passes through the MTF
-	// and Huffman stages inside writeSymbolStream.
+	// Entropy-code every symbol stream concurrently. Job order is
+	// canonical — index 0 is the shape stream, then the literal streams
+	// in opcode order — and the fan-in is ordered, so the assembled
+	// container is byte-identical to the serial path.
+	ops := litOps()
+	jobs := make([][]int32, 0, 1+len(ops))
+	jobs = append(jobs, shapeStream)
+	for _, op := range ops {
+		jobs = append(jobs, litStreams[op])
+	}
+	ssp := e.rec.StartSpan("wire.encode_streams", telemetry.Int("streams", int64(len(jobs))))
+	segs, err := parallel.Map(e.pool, "wire.stream", len(jobs), func(i int) ([]byte, error) {
+		if len(jobs[i]) == 0 {
+			return nil, nil
+		}
+		return encodeSymbolStream(jobs[i], e.opt)
+	})
+	ssp.End()
+	if err != nil {
+		return nil, err
+	}
+
+	// Operators section: shape definitions in first-occurrence order,
+	// then the shape-stream segment.
 	osp := e.rec.StartSpan("wire.operators")
 	opStart := buf.Len()
 	writeUvarint(bw, uint64(len(shapeDefs)))
-	for _, ops := range shapeDefs {
-		writeUvarint(bw, uint64(len(ops)))
-		for _, op := range ops {
+	for _, shapeOps := range shapeDefs {
+		writeUvarint(bw, uint64(len(shapeOps)))
+		for _, op := range shapeOps {
 			mustW(bw.WriteByte(byte(op)))
 		}
 	}
-	if err := e.writeSymbolStream(bw, shapeStream); err != nil {
-		osp.End()
-		return nil, err
-	}
+	writeSegment(bw, segs[0])
 	mustW(bw.Flush())
 	e.stats.OperatorBytes = buf.Len() - opStart
 	osp.SetAttr(telemetry.Int("bytes", int64(e.stats.OperatorBytes)))
 	osp.End()
 
-	// Literal streams, one per operator, in opcode order.
+	// Literals section: one segment per operator, in opcode order.
 	lsp := e.rec.StartSpan("wire.literals")
 	litStart := buf.Len()
-	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
-		if op.Lit() == ir.LitNone {
-			continue
-		}
+	for j, op := range ops {
 		stream := litStreams[op]
 		writeUvarint(bw, uint64(len(stream)))
 		if len(stream) == 0 {
 			continue
 		}
-		if err := e.writeSymbolStream(bw, stream); err != nil {
-			lsp.End()
-			return nil, err
-		}
+		writeSegment(bw, segs[j+1])
 	}
 	mustW(bw.Flush())
 	e.stats.LiteralBytes = buf.Len() - litStart
@@ -367,59 +455,107 @@ func (e *encoder) encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// writeSymbolStream MTF-codes (per options) one stream and Huffman-codes
-// the result. First-occurrence values follow as zigzag varints (the
-// paper's "1, 2, or 4-byte values, as appropriate" byte packing,
-// realized as varints so the LZ stage sees uniform framing).
-func (e *encoder) writeSymbolStream(bw *bitio.Writer, stream []int32) error {
-	var symbols []int
-	var firsts []int32
-	if e.opt.NoMTF {
+// writeSegment frames one coded stream segment with its byte length so
+// the decoder can slice all segments out up front and fan their
+// decoding across workers instead of parsing sequentially.
+func writeSegment(bw *bitio.Writer, seg []byte) {
+	writeUvarint(bw, uint64(len(seg)))
+	for _, b := range seg {
+		mustW(bw.WriteByte(b))
+	}
+}
+
+// streamScratch is the per-stream encoder state — output buffer, MTF
+// encoder, symbol/frequency scratch — recycled through scratchPool
+// across streams and across concurrent Compress calls, eliminating the
+// per-stream append-from-nil allocation churn.
+type streamScratch struct {
+	buf     bytes.Buffer
+	symbols []int
+	firsts  []int32
+	freqs   []int64
+	enc     mtf.Encoder
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(streamScratch) }}
+
+// encodeSymbolStream MTF-codes (per options) one stream and
+// Huffman-codes the result into a standalone byte-aligned segment.
+// First-occurrence values follow as zigzag varints (the paper's "1, 2,
+// or 4-byte values, as appropriate" byte packing, realized as varints
+// so the LZ stage sees uniform framing).
+func encodeSymbolStream(stream []int32, opt Options) ([]byte, error) {
+	s := scratchPool.Get().(*streamScratch)
+	defer scratchPool.Put(s)
+	s.buf.Reset()
+	bw := bitio.NewWriter(&s.buf)
+
+	symbols := s.symbols[:0]
+	firsts := s.firsts[:0]
+	if opt.NoMTF {
 		// Raw symbols: shift into non-negative space via zigzag.
-		symbols = make([]int, len(stream))
-		for i, v := range stream {
-			symbols[i] = int(zigzag(v))
+		for _, v := range stream {
+			symbols = append(symbols, int(zigzag(v)))
 		}
 	} else {
-		symbols, firsts = mtf.EncodeStream(stream)
+		s.enc.Reset()
+		symbols, firsts = mtf.AppendEncode(&s.enc, stream, symbols, firsts)
 	}
+	s.symbols, s.firsts = symbols, firsts // keep grown capacity pooled
+
 	// Value payloads for first occurrences.
 	writeUvarint(bw, uint64(len(firsts)))
 	for _, v := range firsts {
 		writeUvarint(bw, zigzag(v))
 	}
-	if e.opt.NoHuffman {
-		for _, s := range symbols {
-			writeUvarint(bw, uint64(s))
+	if opt.NoHuffman {
+		for _, sym := range symbols {
+			writeUvarint(bw, uint64(sym))
 		}
-		return nil
-	}
-	max := 0
-	for _, s := range symbols {
-		if s > max {
-			max = s
+	} else {
+		max := 0
+		for _, sym := range symbols {
+			if sym > max {
+				max = sym
+			}
+		}
+		if cap(s.freqs) < max+1 {
+			s.freqs = make([]int64, max+1)
+		}
+		freqs := s.freqs[:max+1]
+		for i := range freqs {
+			freqs[i] = 0
+		}
+		for _, sym := range symbols {
+			freqs[sym]++
+		}
+		code, err := huffman.Build(freqs, 0)
+		if err != nil {
+			return nil, fmt.Errorf("wire: huffman: %w", err)
+		}
+		if err := code.WriteLengths(bw); err != nil {
+			return nil, err
+		}
+		for _, sym := range symbols {
+			if err := code.Encode(bw, sym); err != nil {
+				return nil, err
+			}
 		}
 	}
-	freqs := make([]int64, max+1)
-	for _, s := range symbols {
-		freqs[s]++
-	}
-	code, err := huffman.Build(freqs, 0)
-	if err != nil {
-		return fmt.Errorf("wire: huffman: %w", err)
-	}
-	if err := code.WriteLengths(bw); err != nil {
-		return err
-	}
-	for _, s := range symbols {
-		if err := code.Encode(bw, s); err != nil {
-			return err
-		}
-	}
-	return nil
+	mustW(bw.Flush())
+	return append([]byte(nil), s.buf.Bytes()...), nil
 }
 
-func parseContainer(data []byte, opt Options) (*ir.Module, error) {
+// decodeSymbolStream reverses encodeSymbolStream on one standalone
+// segment.
+func decodeSymbolStream(seg []byte, count int, opt Options) ([]int32, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	return readSymbolStream(bitio.NewReader(bytes.NewReader(seg)), count, opt)
+}
+
+func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, error) {
 	br := bitio.NewReader(bytes.NewReader(data))
 	m := &ir.Module{}
 	var err error
@@ -527,20 +663,33 @@ func parseContainer(data []byte, opt Options) (*ir.Module, error) {
 	for _, n := range treeCounts {
 		totalTrees += n
 	}
-	shapeStream, err := readSymbolStream(br, totalTrees, opt)
-	if err != nil {
-		return nil, fmt.Errorf("%w: shape stream: %v", ErrCorrupt, err)
-	}
-	br.Align()
 
-	// Literal streams. First pass over shapes per tree to know how many
-	// literals of each opcode we need... the stream lengths are stored,
-	// so read them directly.
-	litStreams := map[ir.Op][]int32{}
-	for op := ir.Op(1); int(op) < ir.NumOps; op++ {
-		if op.Lit() == ir.LitNone {
-			continue
+	// Slice out every coded stream segment, then decode them all
+	// concurrently — the decode-side mirror of the encoder's fan-out.
+	readSeg := func() ([]byte, error) {
+		n, err := readUvarint(br)
+		if err != nil || n > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: segment length", ErrCorrupt)
 		}
+		seg := make([]byte, n)
+		for i := range seg {
+			if seg[i], err = br.ReadByte(); err != nil {
+				return nil, fmt.Errorf("%w: segment bytes", ErrCorrupt)
+			}
+		}
+		return seg, nil
+	}
+	type streamSeg struct {
+		op    ir.Op // zero for the shape stream
+		count int
+		seg   []byte
+	}
+	shapeSeg, err := readSeg()
+	if err != nil {
+		return nil, err
+	}
+	segs := []streamSeg{{count: totalTrees, seg: shapeSeg}}
+	for _, op := range litOps() {
 		n, err := readUvarint(br)
 		if err != nil || n > 1<<26 {
 			return nil, fmt.Errorf("%w: literal stream size for %s", ErrCorrupt, op)
@@ -548,11 +697,29 @@ func parseContainer(data []byte, opt Options) (*ir.Module, error) {
 		if n == 0 {
 			continue
 		}
-		vals, err := readSymbolStream(br, int(n), opt)
+		seg, err := readSeg()
 		if err != nil {
-			return nil, fmt.Errorf("%w: literal stream for %s: %v", ErrCorrupt, op, err)
+			return nil, err
 		}
-		litStreams[op] = vals
+		segs = append(segs, streamSeg{op: op, count: int(n), seg: seg})
+	}
+	decoded, err := parallel.Map(pool, "wire.parse_stream", len(segs), func(i int) ([]int32, error) {
+		vals, derr := decodeSymbolStream(segs[i].seg, segs[i].count, opt)
+		if derr != nil {
+			if segs[i].op == 0 {
+				return nil, fmt.Errorf("%w: shape stream: %v", ErrCorrupt, derr)
+			}
+			return nil, fmt.Errorf("%w: literal stream for %s: %v", ErrCorrupt, segs[i].op, derr)
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	shapeStream := decoded[0]
+	litStreams := map[ir.Op][]int32{}
+	for i := 1; i < len(segs); i++ {
+		litStreams[segs[i].op] = decoded[i]
 	}
 
 	// Rebuild trees.

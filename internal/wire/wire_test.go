@@ -201,7 +201,7 @@ func TestDecompressCorrupt(t *testing.T) {
 	if _, err := Decompress(nil); err == nil {
 		t.Error("nil input accepted")
 	}
-	if _, err := Decompress([]byte("WIR2xxxx")); err == nil {
+	if _, err := Decompress([]byte("WIR1xxxx")); err == nil {
 		t.Error("bad magic accepted")
 	}
 	bad := append([]byte(nil), good...)
