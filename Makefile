@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt vet
+.PHONY: build test bench bench-baseline check fmt vet attrib
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,20 @@ test:
 bench:
 	BENCH_METRICS=BENCH_pipeline.json $(GO) test -bench=. -benchmem .
 
+# Regenerate the committed short-mode baseline the `check` regression
+# gate compares against. Run this (and commit the result) after an
+# intentional size change.
+bench-baseline:
+	BENCH_METRICS=BENCH_baseline.json $(GO) test -short -run='^$$' -bench='WireCompress|BriscCompress|Batch' -benchtime=1x .
+
+# Byte-attribution audit: compscope exits nonzero unless every byte of
+# each artifact is accounted for, so this target fails on any
+# attribution drift. The hot mode additionally joins static bytes with
+# interpreter dispatch counts.
+attrib:
+	$(GO) run ./cmd/compscope report examples/modules/*.mc
+	$(GO) run ./cmd/compscope hot examples/modules/fib.mc
+
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -23,8 +37,12 @@ vet:
 
 # Everything CI would run: formatting, vet, build, race-enabled tests
 # (which include the Workers=1 vs Workers=N determinism suites and the
-# shared-pool stress tests), plus one short-mode race-enabled pass over
-# the parallel-pipeline benchmarks.
+# shared-pool stress tests), one short-mode race-enabled pass over the
+# parallel-pipeline benchmarks gated against the committed baseline
+# (timing-derived speedup metrics are excluded — only deterministic
+# size metrics gate), and the byte-attribution audit.
 check: fmt vet build
 	$(GO) test -race ./...
-	$(GO) test -race -short -run='^$$' -bench='WireCompress|BriscCompress|Batch' -benchtime=1x .
+	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='WireCompress|BriscCompress|Batch' -benchtime=1x .
+	$(GO) run ./cmd/benchdiff -threshold 5 -ignore 'speedup' BENCH_baseline.json /tmp/BENCH_check.json
+	$(MAKE) attrib

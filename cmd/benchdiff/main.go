@@ -1,0 +1,171 @@
+// Command benchdiff compares two telemetry JSON snapshots (the
+// BENCH_pipeline.json format written by `make bench` and the
+// experiments harness) and reports per-metric deltas, ranked by
+// relative change. With -threshold it exits nonzero when any compared
+// metric moved past the limit — the regression gate `make check` runs
+// against the committed baseline.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 5 -ignore 'speedup' baseline.json current.json
+//
+// Timing-derived metrics (wall-clock speedups, span durations) are
+// machine-dependent and should be excluded from gating via -ignore;
+// byte counts and other size metrics are deterministic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/telemetry"
+)
+
+type row struct {
+	key      string
+	old, new float64
+	pct      float64 // relative change in percent; NaN when old == 0
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "exit nonzero if any compared metric changes by more than this percent (0 = report only)")
+	ignore := flag.String("ignore", "", "regexp of metric names to exclude from gating (still reported)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-ignore regexp] old.json new.json")
+		os.Exit(2)
+	}
+	var ignoreRe *regexp.Regexp
+	if *ignore != "" {
+		var err error
+		if ignoreRe, err = regexp.Compile(*ignore); err != nil {
+			fatal(fmt.Errorf("bad -ignore: %w", err))
+		}
+	}
+	oldSnap := readSnapshot(flag.Arg(0))
+	newSnap := readSnapshot(flag.Arg(1))
+
+	oldM := metrics(oldSnap)
+	newM := metrics(newSnap)
+	var rows []row
+	var onlyOld, onlyNew []string
+	for k, ov := range oldM {
+		nv, ok := newM[k]
+		if !ok {
+			onlyOld = append(onlyOld, k)
+			continue
+		}
+		r := row{key: k, old: ov, new: nv}
+		switch {
+		case ov == nv:
+			r.pct = 0
+		case ov == 0:
+			r.pct = math.NaN()
+		default:
+			r.pct = 100 * (nv - ov) / math.Abs(ov)
+		}
+		rows = append(rows, r)
+	}
+	for k := range newM {
+		if _, ok := oldM[k]; !ok {
+			onlyNew = append(onlyNew, k)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ai, aj := rankMag(rows[i].pct), rankMag(rows[j].pct)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].key < rows[j].key
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric\told\tnew\tdelta\n")
+	failed := false
+	for _, r := range rows {
+		gated := ignoreRe == nil || !ignoreRe.MatchString(r.key)
+		mark := ""
+		if *threshold > 0 && gated && rankMag(r.pct) > *threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		if !gated {
+			mark = "  (ignored)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s%s\n", r.key, num(r.old), num(r.new), pctStr(r.pct), mark)
+	}
+	tw.Flush()
+	for _, k := range onlyOld {
+		fmt.Printf("only in %s: %s\n", flag.Arg(0), k)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("only in %s: %s\n", flag.Arg(1), k)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: metrics moved more than %.1f%% against %s\n", *threshold, flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+// rankMag is the ranking/gating magnitude of a relative change: NaN
+// (appeared from zero) ranks and gates as infinite.
+func rankMag(pct float64) float64 {
+	if math.IsNaN(pct) {
+		return math.Inf(1)
+	}
+	return math.Abs(pct)
+}
+
+func pctStr(pct float64) string {
+	if math.IsNaN(pct) {
+		return "new!=0"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// metrics folds a snapshot's gauges and counters into one namespace
+// (they never collide: the recorder keys them separately by
+// convention).
+func metrics(s telemetry.Snapshot) map[string]float64 {
+	out := make(map[string]float64, len(s.Gauges)+len(s.Counters))
+	for k, v := range s.Counters {
+		out[k] = float64(v)
+	}
+	for k, v := range s.Gauges {
+		out[k] = v
+	}
+	return out
+}
+
+func readSnapshot(path string) telemetry.Snapshot {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return snap
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package attrib
+
+import (
+	"fmt"
+
+	"repro/internal/brisc"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Artifact bundles an attribution report with the low-level inspection
+// it was built from, for consumers (the hot join) that need per-unit
+// detail beyond the report's aggregates. Exactly one of Wire/Brisc is
+// non-nil, matching Report.Kind.
+type Artifact struct {
+	Report *Report
+	Wire   *wire.Inspection
+	Brisc  *brisc.Inspection
+}
+
+// Analyze dispatches on the artifact's magic, inspects it, and builds
+// the attribution report. The report's Check invariant has already
+// passed when Analyze returns nil error.
+func Analyze(source string, data []byte) (*Artifact, error) {
+	switch {
+	case len(data) >= 4 && string(data[:4]) == "WIR2":
+		insp, err := wire.Inspect(data)
+		if err != nil {
+			return nil, err
+		}
+		r, err := wireReport(source, insp)
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{Report: r, Wire: insp}, nil
+	case len(data) >= 4 && string(data[:4]) == "BRS1":
+		insp, err := brisc.Inspect(data)
+		if err != nil {
+			return nil, err
+		}
+		r, err := briscReport(source, insp)
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{Report: r, Brisc: insp}, nil
+	default:
+		return nil, fmt.Errorf("attrib: %s: not a WIR2 or BRS1 artifact", source)
+	}
+}
+
+func opName(op int) string { return vm.Opcode(op).Name() }

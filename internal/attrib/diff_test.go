@@ -1,0 +1,173 @@
+package attrib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+const diffBase = `
+int sum(int a, int b) { return a + b; }
+int main(void) {
+	putint(sum(1, 2));
+	return 0;
+}
+`
+
+// diffGrown is diffBase plus a function stuffed with distinct 32-bit
+// constants, so the CNSTI literal stream is the dominant growth.
+const diffGrown = `
+int sum(int a, int b) { return a + b; }
+int noise(void) {
+	int s = 0;
+	s += 100001; s += 200003; s += 300007; s += 400009;
+	s += 500011; s += 600013; s += 700019; s += 800023;
+	s += 900029; s += 1000031; s += 1100033; s += 1200037;
+	return s;
+}
+int main(void) {
+	putint(sum(1, 2));
+	putint(noise());
+	return 0;
+}
+`
+
+func wireArtifact(t *testing.T, name, src string) []byte {
+	t.Helper()
+	mod, err := cc.Compile(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.Compress(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDiffStreamGrown: growing one literal stream must surface that
+// stream at the top of the ranked delta output.
+func TestDiffStreamGrown(t *testing.T) {
+	oldRep, err := WireReport("base", wireArtifact(t, "base", diffBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRep, err := WireReport("grown", wireArtifact(t, "grown", diffGrown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(oldRep, newRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NewTotal <= d.OldTotal {
+		t.Fatalf("grown artifact not larger: %d vs %d", d.NewTotal, d.OldTotal)
+	}
+	// Ranked: |delta| non-increasing.
+	for i := 1; i < len(d.Streams); i++ {
+		if abs(d.Streams[i].D()) > abs(d.Streams[i-1].D()) {
+			t.Fatalf("stream deltas not ranked: %+v before %+v", d.Streams[i-1], d.Streams[i])
+		}
+	}
+	// The distinct-constant stream must have grown, and be the top
+	// literal-stream mover.
+	var cnsti *Delta
+	for i := range d.Streams {
+		if d.Streams[i].Name == "CNSTI" {
+			cnsti = &d.Streams[i]
+			break
+		}
+	}
+	if cnsti == nil || cnsti.D() <= 0 {
+		t.Fatalf("CNSTI stream did not grow: %+v", cnsti)
+	}
+	for _, s := range d.Streams {
+		if s.Name == "CNSTI" {
+			break
+		}
+		if s.Name != "shape" && abs(s.D()) > 0 && s.D() > cnsti.D() {
+			t.Fatalf("literal stream %s outranks the grown CNSTI stream", s.Name)
+		}
+	}
+	out := FormatDiffString(d)
+	if !strings.Contains(out, "CNSTI") {
+		t.Errorf("diff output does not mention the grown stream:\n%s", out)
+	}
+}
+
+// TestDiffDictDropped: compressing the same program with pattern
+// learning disabled must report the old artifact's learned entries as
+// dropped, ranked and rendered.
+func TestDiffDictDropped(t *testing.T) {
+	mod, err := cc.Compile("sieve", workload.Kernels()["sieve"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Generate(mod, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := brisc.Compress(prog, brisc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := brisc.Compress(prog, brisc.Options{NoCombine: true, NoSpecialize: true, NoEPI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRep, err := BriscReport("full", full.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRep, err := BriscReport("bare", bare.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(learnedDict(oldRep.Dict)) == 0 {
+		t.Skip("no patterns adopted on this input")
+	}
+	d, err := Diff(oldRep, newRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.DictDropped) == 0 {
+		t.Fatal("no dropped dictionary entries reported")
+	}
+	for i := 1; i < len(d.DictDropped); i++ {
+		a := d.DictDropped[i-1].StreamBytes + d.DictDropped[i-1].EntryBytes
+		b := d.DictDropped[i].StreamBytes + d.DictDropped[i].EntryBytes
+		if b > a {
+			t.Fatal("dropped entries not ranked by bytes")
+		}
+	}
+	out := FormatDiffString(d)
+	if !strings.Contains(out, "dict dropped:") {
+		t.Errorf("diff output missing dropped entries:\n%s", out)
+	}
+}
+
+// TestDiffKindMismatch: wire-vs-brisc diffs are refused.
+func TestDiffKindMismatch(t *testing.T) {
+	w, err := WireReport("w", wireArtifact(t, "w", diffBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, _ := cc.Compile("b", diffBase)
+	prog, _ := codegen.Generate(mod, codegen.Options{})
+	obj, err := brisc.Compress(prog, brisc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BriscReport("b", obj.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diff(w, b); err == nil {
+		t.Fatal("diffing mismatched kinds succeeded")
+	}
+}

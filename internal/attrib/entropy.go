@@ -1,0 +1,50 @@
+package attrib
+
+import "math"
+
+// order0Bits returns the order-0 (memoryless) entropy of the symbol
+// sequence in bits: n·H where H = −Σ p·log2 p over the empirical
+// symbol distribution — the size an ideal context-free coder
+// approaches, per the paper's Huffman-stage discussion.
+func order0Bits(syms []int) float64 {
+	if len(syms) == 0 {
+		return 0
+	}
+	freq := map[int]int{}
+	for _, s := range syms {
+		freq[s]++
+	}
+	n := float64(len(syms))
+	bits := 0.0
+	for _, c := range freq {
+		p := float64(c) / n
+		bits -= float64(c) * math.Log2(p)
+	}
+	return bits
+}
+
+// order1Bits returns the order-1 entropy in bits: each symbol charged
+// −log2 p(s | prev) under the empirical bigram distribution, with the
+// first symbol charged at order-0. This is the size bound for a
+// one-symbol-of-context Markov coder (the model BRISC's follower
+// tables approximate).
+func order1Bits(syms []int) float64 {
+	if len(syms) == 0 {
+		return 0
+	}
+	if len(syms) == 1 {
+		return order0Bits(syms)
+	}
+	bigram := map[[2]int]int{}
+	ctx := map[int]int{}
+	for i := 1; i < len(syms); i++ {
+		bigram[[2]int{syms[i-1], syms[i]}]++
+		ctx[syms[i-1]]++
+	}
+	bits := order0Bits(syms[:1])
+	for pair, c := range bigram {
+		p := float64(c) / float64(ctx[pair[0]])
+		bits -= float64(c) * math.Log2(p)
+	}
+	return bits
+}

@@ -1,0 +1,134 @@
+package attrib
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/brisc"
+)
+
+// HotEntry joins one dictionary entry's static footprint with its
+// dynamic execution count. Density (dispatches per static byte) is the
+// ranking signal for biasing pattern selection toward hot code: a
+// high-density entry earns its table bytes at run time, a zero-density
+// one is pure size-only value.
+type HotEntry struct {
+	Pid         int
+	Pattern     string
+	Learned     bool
+	StaticUnits int
+	StaticBytes int
+	DynCount    int64 // units executed (interpreter trace)
+	Density     float64
+}
+
+// HotOp joins one VM opcode's static occurrence count with the
+// interpreter's dispatch counter.
+type HotOp struct {
+	Name     string
+	Static   int64
+	Dispatch int64
+}
+
+// HotReport is the static-times-dynamic view of one BRISC artifact.
+type HotReport struct {
+	Source   string
+	Entries  []HotEntry // ranked by density, then dynamic count
+	Ops      []HotOp    // ranked by dispatch count
+	TotalDyn int64      // units executed
+}
+
+// Hot joins a BRISC inspection with runtime data: unitCounts maps code
+// offsets (as delivered by Interp.Trace) to execution counts, and
+// dispatch maps VM opcode names to the interpreter's per-opcode
+// dispatch counters (brisc.interp.dispatch.*).
+func Hot(source string, insp *brisc.Inspection, unitCounts map[int32]int64, dispatch map[string]int64) *HotReport {
+	agg := map[int]*HotEntry{}
+	var total int64
+	for _, u := range insp.Units {
+		e := agg[u.Pid]
+		if e == nil {
+			d := insp.Dict[u.Pid]
+			e = &HotEntry{Pid: u.Pid, Pattern: d.Pattern, Learned: d.Learned}
+			agg[u.Pid] = e
+		}
+		e.StaticUnits++
+		e.StaticBytes += int(u.Len)
+		n := unitCounts[u.Off]
+		e.DynCount += n
+		total += n
+	}
+	hr := &HotReport{Source: source, TotalDyn: total}
+	for _, e := range agg {
+		e.Density = float64(e.DynCount) / float64(e.StaticBytes)
+		hr.Entries = append(hr.Entries, *e)
+	}
+	sort.Slice(hr.Entries, func(i, j int) bool {
+		a, b := hr.Entries[i], hr.Entries[j]
+		if a.Density != b.Density {
+			return a.Density > b.Density
+		}
+		if a.DynCount != b.DynCount {
+			return a.DynCount > b.DynCount
+		}
+		return a.Pid < b.Pid
+	})
+	for op, static := range staticOps(insp) {
+		hr.Ops = append(hr.Ops, HotOp{Name: op, Static: static, Dispatch: dispatch[op]})
+	}
+	sort.Slice(hr.Ops, func(i, j int) bool {
+		if hr.Ops[i].Dispatch != hr.Ops[j].Dispatch {
+			return hr.Ops[i].Dispatch > hr.Ops[j].Dispatch
+		}
+		return hr.Ops[i].Name < hr.Ops[j].Name
+	})
+	return hr
+}
+
+func staticOps(insp *brisc.Inspection) map[string]int64 {
+	out := map[string]int64{}
+	for op, n := range insp.OpStatic {
+		if n > 0 {
+			out[opName(op)] = n
+		}
+	}
+	return out
+}
+
+// FormatHot renders the joined static/dynamic ranking.
+func FormatHot(w io.Writer, hr *HotReport) {
+	fmt.Fprintf(w, "%s  %d units executed\n", hr.Source, hr.TotalDyn)
+	fmt.Fprintf(w, "  dictionary entries by dynamic density (executions per static byte):\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  entry\tstatic units\tstatic bytes\texecuted\tdensity\tpattern\n")
+	shown := 0
+	for _, e := range hr.Entries {
+		fmt.Fprintf(tw, "  %d\t%d\t%d\t%d\t%.2f\t%s\n",
+			e.Pid, e.StaticUnits, e.StaticBytes, e.DynCount, e.Density, e.Pattern)
+		if shown++; shown >= 15 {
+			break
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "  opcode dispatch (static occurrences vs dynamic dispatches):\n")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  opcode\tstatic\tdispatched\n")
+	shown = 0
+	for _, op := range hr.Ops {
+		fmt.Fprintf(tw, "  %s\t%d\t%d\n", op.Name, op.Static, op.Dispatch)
+		if shown++; shown >= 15 {
+			break
+		}
+	}
+	tw.Flush()
+}
+
+// FormatHotString renders the hot report to a string.
+func FormatHotString(hr *HotReport) string {
+	var buf bytes.Buffer
+	FormatHot(&buf, hr)
+	return buf.String()
+}

@@ -1,0 +1,208 @@
+package brisc
+
+// Byte-exact attribution of a serialized BRISC object: Inspect parses
+// the image, verifies the parse is canonical (re-serializing
+// reproduces the input byte for byte), partitions the file into named
+// sections — down to one section per learned dictionary entry — and
+// statically walks the code stream unit by unit, the same linear
+// Markov decode the JIT performs, recording each unit's byte range,
+// pattern id, and what the unit's instructions would cost encoded with
+// base patterns only. internal/attrib turns this into the P-vs-W
+// dictionary economics and hot-spot reports.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Section is one contiguous byte range of a serialized BRISC object.
+type Section struct {
+	Name  string // e.g. "meta.funcs", "dict[37]", "markov", "code"
+	Class string // "header", "metadata", "dictionary", "tables", "blocks", "code"
+	Start int
+	Len   int
+}
+
+// UnitInfo describes one decoded unit of the code stream. Units
+// partition the stream: the first starts at offset 0 and each next
+// unit starts where the previous ended.
+type UnitInfo struct {
+	Off     int32 // byte offset in Object.Code
+	Len     int32 // encoded bytes (opcode byte(s) + operand nibbles)
+	Pid     int   // dictionary entry used
+	Escape  bool  // escape-coded (255 + varint pid) instead of a context index
+	Instrs  int   // instructions the pattern expands to
+	BaseLen int32 // bytes the same instructions cost with base patterns only
+}
+
+// DictInfo describes one dictionary entry's cost model: EntryBytes is
+// its exact serialized size in the image (zero for the implicit base
+// set) and ModelW the paper's decoder working-set estimate W.
+type DictInfo struct {
+	Pid        int
+	Pattern    string
+	Instrs     int
+	Learned    bool
+	EntryBytes int
+	ModelW     int
+}
+
+// Inspection is the full byte attribution of one BRISC image.
+type Inspection struct {
+	Obj       *Object
+	FileBytes int
+	Sections  []Section
+	Units     []UnitInfo
+	Dict      []DictInfo
+	// OpStatic counts, per VM opcode, how many instructions of that
+	// opcode the code stream expands to — the static side of the
+	// dispatch-counter join.
+	OpStatic []int64
+}
+
+// Inspect attributes every byte of a serialized BRISC object.
+func Inspect(data []byte) (*Inspection, error) {
+	o, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(o.Bytes(), data) {
+		return nil, fmt.Errorf("%w: non-canonical serialization, cannot attribute", ErrCorrupt)
+	}
+	insp := &Inspection{Obj: o, FileBytes: len(data), OpStatic: make([]int64, vm.NumOpcodes)}
+	insp.buildSections()
+	if err := insp.walkUnits(); err != nil {
+		return nil, err
+	}
+	insp.buildDict()
+	return insp, insp.checkPartition()
+}
+
+// buildSections recomputes each component's serialized extent with the
+// same append helpers Bytes uses, so section lengths are exact by
+// construction.
+func (insp *Inspection) buildSections() {
+	o := insp.Obj
+	pos := 0
+	add := func(name, class string, n int) {
+		insp.Sections = append(insp.Sections, Section{Name: name, Class: class, Start: pos, Len: n})
+		pos += n
+	}
+	add("magic", "header", len(objMagic))
+	add("meta.name", "metadata", len(appendString(nil, o.Name)))
+	var b []byte
+	b = appendUvarint(nil, uint64(o.DataSize))
+	b = appendUvarint(b, uint64(len(o.Globals)))
+	for _, g := range o.Globals {
+		b = appendString(b, g.Name)
+		b = appendUvarint(b, uint64(g.Addr))
+		b = appendUvarint(b, uint64(g.Size))
+		b = appendUvarint(b, uint64(len(g.Init)))
+		b = append(b, g.Init...)
+	}
+	add("meta.globals", "metadata", len(b))
+	b = appendUvarint(nil, uint64(len(o.Funcs)))
+	for _, f := range o.Funcs {
+		b = appendString(b, f.Name)
+		b = appendUvarint(b, uint64(f.EntryBlock))
+		b = appendUvarint(b, uint64(f.Frame))
+	}
+	add("meta.funcs", "metadata", len(b))
+	add("meta.passes", "metadata", len(appendUvarint(nil, uint64(o.Passes))))
+	add("dict.count", "dictionary", len(appendUvarint(nil, uint64(len(o.Dict)-vm.NumOpcodes))))
+	for i, p := range o.Dict[vm.NumOpcodes:] {
+		add(fmt.Sprintf("dict[%d]", vm.NumOpcodes+i), "dictionary", len(appendPattern(nil, p)))
+	}
+	add("markov", "tables", len(o.tableBytes()))
+	add("blocks", "blocks", len(o.blockBytes()))
+	add("code.len", "code", uvarintLen(uint64(len(o.Code))))
+	add("code", "code", len(o.Code))
+}
+
+// walkUnits linearly Markov-decodes the code stream (the JIT's walk)
+// and records per-unit extents, pattern use, and base-encoding cost.
+func (insp *Inspection) walkUnits() error {
+	o := insp.Obj
+	blockSet := make(map[int32]bool, len(o.Blocks))
+	for _, off := range o.Blocks {
+		blockSet[off] = true
+	}
+	off := int32(0)
+	ctx := 0
+	for int(off) < len(o.Code) {
+		if blockSet[off] {
+			ctx = 0
+		}
+		pid, vals, next, err := o.decodeUnit(off, ctx)
+		if err != nil {
+			return err
+		}
+		instrs, err := o.Dict[pid].apply(vals)
+		if err != nil {
+			return err
+		}
+		base := 0
+		for _, ins := range instrs {
+			bp := basePattern(ins.Op)
+			base += bp.encodedSize(bp.extract([]vm.Instr{ins}))
+			insp.OpStatic[ins.Op]++
+		}
+		insp.Units = append(insp.Units, UnitInfo{
+			Off: off, Len: next - off, Pid: pid,
+			Escape: o.Code[off] == 255,
+			Instrs: len(instrs), BaseLen: int32(base),
+		})
+		ctx = pid + 1
+		off = next
+	}
+	return nil
+}
+
+func (insp *Inspection) buildDict() {
+	o := insp.Obj
+	insp.Dict = make([]DictInfo, len(o.Dict))
+	for pid, p := range o.Dict {
+		d := DictInfo{
+			Pid:     pid,
+			Pattern: p.String(),
+			Instrs:  len(p.Seq),
+			Learned: pid >= vm.NumOpcodes,
+			ModelW:  tableCostW(p),
+		}
+		if d.Learned {
+			d.EntryBytes = len(appendPattern(nil, p))
+		}
+		insp.Dict[pid] = d
+	}
+}
+
+// checkPartition enforces the attribution invariants: sections are
+// contiguous and sum to the file size, and units are contiguous and
+// sum to the code stream size.
+func (insp *Inspection) checkPartition() error {
+	pos, sum := 0, 0
+	for _, s := range insp.Sections {
+		if s.Start != pos {
+			return fmt.Errorf("brisc: attribution gap at byte %d (section %q starts at %d)", pos, s.Name, s.Start)
+		}
+		pos = s.Start + s.Len
+		sum += s.Len
+	}
+	if sum != insp.FileBytes {
+		return fmt.Errorf("brisc: attributed %d bytes, file has %d", sum, insp.FileBytes)
+	}
+	var upos, usum int32
+	for _, u := range insp.Units {
+		if u.Off != upos {
+			return fmt.Errorf("brisc: unit gap at code offset %d (unit starts at %d)", upos, u.Off)
+		}
+		upos = u.Off + u.Len
+		usum += u.Len
+	}
+	if int(usum) != len(insp.Obj.Code) {
+		return fmt.Errorf("brisc: units cover %d bytes, code stream has %d", usum, len(insp.Obj.Code))
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package brisc
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestInspectPartition: sections must partition the serialized image
+// exactly, units must partition the code stream, and the per-section
+// class sums must agree with SizeBreakdown.
+func TestInspectPartition(t *testing.T) {
+	for _, k := range []string{"fib", "sieve"} {
+		prog := compileProg(t, k, workload.Kernels()[k])
+		obj, err := Compress(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := obj.Bytes()
+		insp, err := Inspect(data)
+		if err != nil {
+			t.Fatalf("%s: Inspect: %v", k, err)
+		}
+		if insp.FileBytes != len(data) {
+			t.Errorf("%s: FileBytes %d, image %d", k, insp.FileBytes, len(data))
+		}
+		sb := obj.Size()
+		byClass := map[string]int{}
+		for _, s := range insp.Sections {
+			byClass[s.Class] += s.Len
+		}
+		if got := byClass["dictionary"]; got != sb.DictBytes {
+			t.Errorf("%s: dictionary %d, SizeBreakdown %d", k, got, sb.DictBytes)
+		}
+		if got := byClass["tables"]; got != sb.TableBytes {
+			t.Errorf("%s: tables %d, SizeBreakdown %d", k, got, sb.TableBytes)
+		}
+		if got := byClass["blocks"]; got != sb.BlockBytes {
+			t.Errorf("%s: blocks %d, SizeBreakdown %d", k, got, sb.BlockBytes)
+		}
+		// Every unit's base cost must be at least its encoded cost
+		// minus nothing pathological: base patterns never beat the
+		// chosen encoding by construction of the greedy selector, but
+		// the assertion we rely on downstream is just positivity.
+		for _, u := range insp.Units {
+			if u.Len <= 0 || u.BaseLen <= 0 || u.Instrs <= 0 {
+				t.Fatalf("%s: degenerate unit %+v", k, u)
+			}
+		}
+		if len(insp.Dict) != len(obj.Dict) {
+			t.Fatalf("%s: %d dict infos for %d entries", k, len(insp.Dict), len(obj.Dict))
+		}
+		for pid, d := range insp.Dict {
+			if d.Learned != (pid >= vm.NumOpcodes) {
+				t.Errorf("%s: dict[%d] learned=%v", k, pid, d.Learned)
+			}
+			if d.Learned && d.EntryBytes <= 0 {
+				t.Errorf("%s: learned dict[%d] has no serialized bytes", k, pid)
+			}
+		}
+		// Static opcode counts must cover at least one opcode.
+		var total int64
+		for _, n := range insp.OpStatic {
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("%s: no static opcode occurrences", k)
+		}
+	}
+}

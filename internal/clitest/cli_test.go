@@ -3,6 +3,7 @@
 package clitest
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -32,7 +33,8 @@ func tools(t *testing.T) string {
 		}
 		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator),
 			"repro/cmd/mcc", "repro/cmd/wirec", "repro/cmd/briscc",
-			"repro/cmd/briscrun", "repro/cmd/experiments")
+			"repro/cmd/briscrun", "repro/cmd/experiments",
+			"repro/cmd/compscope", "repro/cmd/benchdiff")
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {
 			buildErr = err
@@ -263,6 +265,122 @@ func TestExperimentsQuickTable(t *testing.T) {
 			t.Errorf("variants table missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// TestCompscopeReport: the X-ray must fully account for both artifact
+// kinds compiled from source, and for a serialized artifact loaded by
+// magic, and -json must emit parseable attribution gauges.
+func TestCompscopeReport(t *testing.T) {
+	src := writeSample(t)
+	out, code := run(t, "compscope", "report", src)
+	if code != 0 {
+		t.Fatalf("compscope report exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"(wire)", "(brisc)", "100.0%", "streams", "functions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	obj := filepath.Join(t.TempDir(), "app.wire")
+	if out, code := run(t, "wirec", "-c", src, "-o", obj); code != 0 {
+		t.Fatalf("wirec -c exited %d:\n%s", code, out)
+	}
+	jsonFile := filepath.Join(t.TempDir(), "attrib.json")
+	out, code = run(t, "compscope", "report", "-json", jsonFile, obj)
+	if code != 0 {
+		t.Fatalf("compscope report on artifact exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wir2 artifact") || !strings.Contains(out, "100.0%") {
+		t.Errorf("artifact report incomplete:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-json output is not a snapshot: %v", err)
+	}
+	if snap.Gauges["attrib.wir2.total_bytes"] <= 0 {
+		t.Errorf("missing attrib.wir2.total_bytes gauge in %v", snap.Gauges)
+	}
+}
+
+// TestCompscopeDiff: diffing a program against a grown variant must
+// rank the movement and report the size change.
+func TestCompscopeDiff(t *testing.T) {
+	oldSrc := writeSample(t)
+	grown := strings.Replace(sample, "int main",
+		"int pad(int x) { return x * 100003 + 900029; }\nint main", 1)
+	newSrc := filepath.Join(t.TempDir(), "grown.mc")
+	if err := os.WriteFile(newSrc, []byte(grown), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "compscope", "diff", oldSrc, newSrc)
+	if code != 0 {
+		t.Fatalf("compscope diff exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"total", "streams"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompscopeHot: the dynamic join must run the program (its output
+// appears) and rank dictionary entries by execution density.
+func TestCompscopeHot(t *testing.T) {
+	src := writeSample(t)
+	out, code := run(t, "compscope", "hot", src)
+	if code != 0 {
+		t.Fatalf("compscope hot exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "55") {
+		t.Errorf("program output missing from hot run:\n%s", out)
+	}
+	for _, want := range []string{"units executed", "density", "opcode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hot report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBenchdiffGate: the regression gate must pass identical
+// snapshots, fail a regressed one past the threshold, and honor
+// -ignore for timing-derived metrics.
+func TestBenchdiffGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `{"gauges":{"bench.X.bytes":1000,"bench.Y.speedup":2.0}}`)
+	same := write("same.json", `{"gauges":{"bench.X.bytes":1000,"bench.Y.speedup":1.0}}`)
+	worse := write("worse.json", `{"gauges":{"bench.X.bytes":1100,"bench.Y.speedup":2.0}}`)
+
+	out, code := run(t, "benchdiff", "-threshold", "5", "-ignore", "speedup", base, same)
+	if code != 0 {
+		t.Fatalf("identical gated metrics exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "(ignored)") {
+		t.Errorf("ignored metric not marked:\n%s", out)
+	}
+	out, code = run(t, "benchdiff", "-threshold", "5", "-ignore", "speedup", base, worse)
+	if code != 1 {
+		t.Fatalf("regressed metrics exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regression not marked:\n%s", out)
+	}
+	out, code = run(t, "benchdiff", base, worse)
+	if code != 0 {
+		t.Fatalf("report-only mode exited %d:\n%s", code, out)
+	}
+	_ = out
 }
 
 func TestExamplesRun(t *testing.T) {

@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestConcurrentSinkRecording drives a shared traced pool from several
+// goroutines at once — the batch-mode shape, where every pipeline
+// records spans, counters, and histogram samples into one recorder
+// wired to both a JSONL trace and a Collector. Run under -race (make
+// check does), this pins down that the sink fan-out is safe when pool
+// workers and submitting goroutines record concurrently.
+func TestConcurrentSinkRecording(t *testing.T) {
+	rec := telemetry.New()
+	var buf bytes.Buffer
+	jsonl := telemetry.NewJSONL(&buf).Anchor(rec)
+	coll := telemetry.NewCollector()
+	rec.AttachSink(jsonl)
+	rec.AttachSink(coll)
+
+	pool := NewTraced(4, rec)
+	const (
+		pipelines = 8
+		tasks     = 32
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < pipelines; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sp := rec.StartSpan("pipeline", telemetry.Int("id", int64(p)))
+			defer sp.End()
+			_, err := Map(pool, "stage", tasks, func(i int) (int, error) {
+				rec.Add("tasks.done", 1)
+				rec.Observe("task.size", float64(i))
+				rec.SetGauge("last.index", float64(i))
+				return i * i, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := rec.Close(); err != nil {
+		t.Fatalf("recorder close: %v", err)
+	}
+
+	const want = pipelines * tasks
+	if got := rec.Counter("tasks.done"); got != want {
+		t.Errorf("tasks.done = %d, want %d", got, want)
+	}
+	if h := rec.Histogram("task.size"); h.Count != want {
+		t.Errorf("task.size samples = %d, want %d", h.Count, want)
+	}
+	if coll.Counters()["tasks.done"] != want {
+		t.Errorf("collector counter = %d, want %d", coll.Counters()["tasks.done"], want)
+	}
+	// Every pipeline span must have reached both sinks; worker spans
+	// arrive only for tasks that landed on a pool goroutine, so compare
+	// the two sinks against each other rather than a fixed count.
+	events, err := telemetry.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("trace round-trip: %v", err)
+	}
+	spanLines := 0
+	for _, e := range events {
+		if e.Type == "span" {
+			spanLines++
+		}
+	}
+	if got := len(coll.Spans()); spanLines != got {
+		t.Errorf("JSONL has %d span lines, collector %d spans", spanLines, got)
+	}
+	pipeSpans := 0
+	for _, sr := range coll.Spans() {
+		if sr.Name == "pipeline" {
+			pipeSpans++
+		}
+	}
+	if pipeSpans != pipelines {
+		t.Errorf("collector saw %d pipeline spans, want %d", pipeSpans, pipelines)
+	}
+}

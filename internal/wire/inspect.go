@@ -1,0 +1,407 @@
+package wire
+
+// Byte-exact attribution of a WIR2 artifact: Inspect re-walks the
+// container (after undoing the final stage) and partitions every byte
+// into named sections — metadata, shape definitions, and one framed
+// segment per entropy-coded stream — while recording per-stream bit
+// accounting (first-occurrence values, Huffman table, payload, padding)
+// and the coded symbols themselves. internal/attrib builds its reports
+// on top of this; the partition invariant (sections are contiguous and
+// sum exactly to the container size) is checked here, so a mismatch is
+// an Inspect error, never a silently wrong report.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/arith"
+	"repro/internal/bitio"
+	"repro/internal/flatezip"
+	"repro/internal/huffman"
+	"repro/internal/ir"
+	"repro/internal/mtf"
+)
+
+// Section is one contiguous byte range of a WIR2 container.
+type Section struct {
+	Name  string // e.g. "metadata", "shape-defs", "stream[shape]", "stream[CNSTI]"
+	Class string // "metadata", "operators", or "literals"
+	Start int
+	Len   int
+}
+
+// StreamInfo is the bit-level accounting of one coded symbol stream.
+// The framed range [Start, Start+Len) covers the count and length
+// varints plus the segment; within the segment,
+//
+//	FirstsBytes*8 + TableBits + PayloadBits + PadBits == SegBytes*8.
+type StreamInfo struct {
+	Name        string // "shape" or the literal opcode name
+	Op          ir.Op  // OpInvalid for the shape stream
+	Count       int    // symbols coded
+	Start, Len  int    // framed byte range in the container
+	SegBytes    int    // the coded segment proper
+	FirstsBytes int    // first-occurrence block: count varint + zigzag varints
+	TableBits   int64  // serialized Huffman code lengths
+	PayloadBits int64  // entropy-coded symbol bits
+	PadBits     int64  // flush padding to the byte boundary
+
+	Symbols []int   // coded symbols: MTF indices (or zigzagged values with NoMTF)
+	SymBits []uint8 // exact encoded bit length of each symbol
+	Firsts  []int32 // first-occurrence values in consumption order
+}
+
+// Inspection is the full byte attribution of one WIR2 artifact.
+// Sections is an exact partition of the container: contiguous from 0
+// and summing to ContainerBytes (verified by Inspect).
+type Inspection struct {
+	Opt            Options
+	FileBytes      int // the artifact, including header and final stage
+	ContainerBytes int // after undoing the final stage
+	Sections       []Section
+	Streams        []StreamInfo // index 0 is the shape stream
+
+	// Decoded structure for per-function attribution.
+	ModuleName  string
+	FuncNames   []string
+	TreeCounts  []int
+	Shapes      [][]ir.Op
+	ShapeStream []int32 // decoded shape id per tree, module order
+}
+
+// Inspect attributes every byte of a WIR2 artifact.
+func Inspect(data []byte) (*Inspection, error) {
+	if len(data) < 5 || !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	opt, err := decodeOpts(data[4])
+	if err != nil {
+		return nil, err
+	}
+	var container []byte
+	switch opt.Final {
+	case FinalLZ:
+		container, err = flatezip.Decompress(data[5:])
+	case FinalArith:
+		container, err = arith.Decompress(data[5:], arith.Order1)
+	case FinalNone:
+		container = data[5:]
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: final stage: %v", ErrCorrupt, err)
+	}
+	insp := &Inspection{Opt: opt, FileBytes: len(data), ContainerBytes: len(container)}
+	if err := insp.walk(container); err != nil {
+		return nil, err
+	}
+	if err := insp.checkPartition(); err != nil {
+		return nil, err
+	}
+	return insp, nil
+}
+
+// checkPartition enforces the attribution invariant: sections are
+// contiguous from offset 0 and sum exactly to the container size.
+func (insp *Inspection) checkPartition() error {
+	pos, sum := 0, 0
+	for _, s := range insp.Sections {
+		if s.Start != pos {
+			return fmt.Errorf("wire: attribution gap at byte %d (section %q starts at %d)", pos, s.Name, s.Start)
+		}
+		pos = s.Start + s.Len
+		sum += s.Len
+	}
+	if sum != insp.ContainerBytes {
+		return fmt.Errorf("wire: attributed %d bytes, container has %d", sum, insp.ContainerBytes)
+	}
+	for _, st := range insp.Streams {
+		bits := int64(st.FirstsBytes)*8 + st.TableBits + st.PayloadBits + st.PadBits
+		if bits != int64(st.SegBytes)*8 {
+			return fmt.Errorf("wire: stream %s: attributed %d bits, segment has %d", st.Name, bits, int64(st.SegBytes)*8)
+		}
+	}
+	return nil
+}
+
+// icursor walks the container byte stream. Every field the encoder
+// emits is flushed to a byte boundary, so a plain byte cursor mirrors
+// the bitio writer exactly.
+type icursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *icursor) byte() (byte, error) {
+	if c.pos >= len(c.data) {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrCorrupt, c.pos)
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *icursor) uv() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := c.byte()
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+		}
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func (c *icursor) str() (string, error) {
+	n, err := c.uv()
+	if err != nil || n > 1<<20 {
+		return "", fmt.Errorf("%w: string", ErrCorrupt)
+	}
+	if c.pos+int(n) > len(c.data) {
+		return "", fmt.Errorf("%w: string bytes", ErrCorrupt)
+	}
+	s := string(c.data[c.pos : c.pos+int(n)])
+	c.pos += int(n)
+	return s, nil
+}
+
+func (c *icursor) skip(n int) error {
+	if n < 0 || c.pos+n > len(c.data) {
+		return fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	c.pos += n
+	return nil
+}
+
+func (insp *Inspection) walk(container []byte) error {
+	c := &icursor{data: container}
+	section := func(name, class string, start int) {
+		insp.Sections = append(insp.Sections, Section{Name: name, Class: class, Start: start, Len: c.pos - start})
+	}
+
+	// Metadata: module name, externs, globals, function headers.
+	var err error
+	if insp.ModuleName, err = c.str(); err != nil {
+		return err
+	}
+	nExterns, err := c.uv()
+	if err != nil || nExterns > 1<<16 {
+		return fmt.Errorf("%w: externs", ErrCorrupt)
+	}
+	for i := uint64(0); i < nExterns; i++ {
+		if _, err := c.str(); err != nil {
+			return err
+		}
+	}
+	nGlobals, err := c.uv()
+	if err != nil || nGlobals > 1<<20 {
+		return fmt.Errorf("%w: globals", ErrCorrupt)
+	}
+	for i := uint64(0); i < nGlobals; i++ {
+		if _, err := c.str(); err != nil {
+			return err
+		}
+		if _, err := c.uv(); err != nil { // size
+			return err
+		}
+		initLen, err := c.uv()
+		if err != nil || initLen > 1<<28 {
+			return fmt.Errorf("%w: global init", ErrCorrupt)
+		}
+		if err := c.skip(int(initLen)); err != nil {
+			return err
+		}
+	}
+	nFuncs, err := c.uv()
+	if err != nil || nFuncs > 1<<20 {
+		return fmt.Errorf("%w: functions", ErrCorrupt)
+	}
+	totalTrees := 0
+	for i := uint64(0); i < nFuncs; i++ {
+		name, err := c.str()
+		if err != nil {
+			return err
+		}
+		if _, err := c.uv(); err != nil { // params
+			return err
+		}
+		if _, err := c.uv(); err != nil { // frame
+			return err
+		}
+		nt, err := c.uv()
+		if err != nil || nt > 1<<24 {
+			return fmt.Errorf("%w: tree count", ErrCorrupt)
+		}
+		insp.FuncNames = append(insp.FuncNames, name)
+		insp.TreeCounts = append(insp.TreeCounts, int(nt))
+		totalTrees += int(nt)
+	}
+	section("metadata", "metadata", 0)
+
+	// Shape definitions.
+	defsStart := c.pos
+	nShapes, err := c.uv()
+	if err != nil || nShapes > 1<<24 {
+		return fmt.Errorf("%w: shape count", ErrCorrupt)
+	}
+	insp.Shapes = make([][]ir.Op, nShapes)
+	for i := range insp.Shapes {
+		n, err := c.uv()
+		if err != nil || n == 0 || n > 1<<16 {
+			return fmt.Errorf("%w: shape length", ErrCorrupt)
+		}
+		ops := make([]ir.Op, n)
+		for j := range ops {
+			b, err := c.byte()
+			if err != nil {
+				return err
+			}
+			ops[j] = ir.Op(b)
+		}
+		insp.Shapes[i] = ops
+	}
+	section("shape-defs", "operators", defsStart)
+
+	// Shape stream segment.
+	if err := insp.readStream(c, "shape", 0, "operators", totalTrees, false); err != nil {
+		return err
+	}
+	shape := &insp.Streams[0]
+	vals, err := streamValues(shape, insp.Opt)
+	if err != nil {
+		return fmt.Errorf("%w: shape stream: %v", ErrCorrupt, err)
+	}
+	insp.ShapeStream = vals
+
+	// Literal streams, one per literal-carrying opcode in canonical
+	// order. Empty streams still cost their count varint; that byte is
+	// attributed to a per-opcode section so the partition stays exact.
+	for _, op := range litOps() {
+		countStart := c.pos
+		n, err := c.uv()
+		if err != nil || n > 1<<26 {
+			return fmt.Errorf("%w: literal count for %s", ErrCorrupt, op)
+		}
+		if n == 0 {
+			section("empty["+op.String()+"]", "literals", countStart)
+			continue
+		}
+		c.pos = countStart // readStream re-reads the count varint
+		if err := insp.readStream(c, op.String(), op, "literals", int(n), true); err != nil {
+			return err
+		}
+	}
+	if c.pos != len(container) {
+		return fmt.Errorf("%w: %d trailing container bytes", ErrCorrupt, len(container)-c.pos)
+	}
+	return nil
+}
+
+// readStream consumes one framed stream — for literal streams the
+// count varint, then for all streams the segment length varint and the
+// segment — recording both the Section and the StreamInfo.
+func (insp *Inspection) readStream(c *icursor, name string, op ir.Op, class string, count int, withCount bool) error {
+	start := c.pos
+	if withCount {
+		if _, err := c.uv(); err != nil {
+			return err
+		}
+	}
+	segLen, err := c.uv()
+	if err != nil || segLen > uint64(len(c.data)) {
+		return fmt.Errorf("%w: segment length for %s", ErrCorrupt, name)
+	}
+	segStart := c.pos
+	if err := c.skip(int(segLen)); err != nil {
+		return fmt.Errorf("%w: segment bytes for %s", ErrCorrupt, name)
+	}
+	st := StreamInfo{
+		Name: name, Op: op, Count: count,
+		Start: start, Len: c.pos - start, SegBytes: int(segLen),
+	}
+	if err := decodeSegmentDetail(&st, c.data[segStart:c.pos], insp.Opt); err != nil {
+		return fmt.Errorf("%w: stream %s: %v", ErrCorrupt, name, err)
+	}
+	insp.Sections = append(insp.Sections, Section{Name: "stream[" + name + "]", Class: class, Start: start, Len: st.Len})
+	insp.Streams = append(insp.Streams, st)
+	return nil
+}
+
+// decodeSegmentDetail mirrors readSymbolStream but keeps the coded
+// symbols and the exact bit cost of every component.
+func decodeSegmentDetail(st *StreamInfo, seg []byte, opt Options) error {
+	br := bitio.NewReader(bytes.NewReader(seg))
+	nFirsts, err := readUvarint(br)
+	if err != nil || nFirsts > uint64(st.Count) {
+		return fmt.Errorf("firsts count")
+	}
+	st.Firsts = make([]int32, nFirsts)
+	for i := range st.Firsts {
+		v, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		st.Firsts[i] = unzigzag(v)
+	}
+	st.FirstsBytes = int(br.BitsRead() / 8)
+
+	st.Symbols = make([]int, st.Count)
+	st.SymBits = make([]uint8, st.Count)
+	if opt.NoHuffman {
+		for i := range st.Symbols {
+			before := br.BitsRead()
+			v, err := readUvarint(br)
+			if err != nil {
+				return err
+			}
+			st.Symbols[i] = int(v)
+			st.SymBits[i] = uint8(br.BitsRead() - before)
+		}
+		st.PayloadBits = br.BitsRead() - int64(st.FirstsBytes)*8
+	} else {
+		tableStart := br.BitsRead()
+		code, err := huffman.ReadLengths(br)
+		if err != nil {
+			return err
+		}
+		st.TableBits = br.BitsRead() - tableStart
+		for i := range st.Symbols {
+			s, err := code.Decode(br)
+			if err != nil {
+				return err
+			}
+			st.Symbols[i] = s
+			st.SymBits[i] = code.CodeLen(s)
+		}
+		st.PayloadBits = br.BitsRead() - tableStart - st.TableBits
+	}
+	st.PadBits = int64(len(seg))*8 - br.BitsRead()
+	if st.PadBits < 0 || st.PadBits > 7 {
+		return fmt.Errorf("segment over/underrun (%d pad bits)", st.PadBits)
+	}
+	return nil
+}
+
+// streamValues decodes a stream's coded symbols back to values (the
+// inverse of the MTF or zigzag stage).
+func streamValues(st *StreamInfo, opt Options) ([]int32, error) {
+	if opt.NoMTF {
+		out := make([]int32, len(st.Symbols))
+		for i, s := range st.Symbols {
+			out[i] = unzigzag(uint64(s))
+		}
+		return out, nil
+	}
+	out, ok := mtf.DecodeStream(st.Symbols, st.Firsts)
+	if !ok {
+		return nil, fmt.Errorf("mtf decode failed")
+	}
+	return out, nil
+}

@@ -55,6 +55,14 @@ type Options struct {
 	NoHuffman bool       // emit MTF indices as varints instead
 	Final     FinalCoder // last stage
 
+	// Debug enables internal consistency verification: Compress checks
+	// that the per-stage byte attributions (metadata + operators +
+	// literals) sum exactly to the container size and returns an error
+	// on a mismatch instead of shipping a silently mis-attributed
+	// artifact. The flag never changes the output bytes and is not
+	// serialized into the options byte.
+	Debug bool
+
 	// Workers bounds the per-stream encode fan-out: 0 means one worker
 	// per CPU (GOMAXPROCS), 1 forces the serial path. The knob never
 	// changes the artifact — compressed bytes are identical for every
@@ -324,7 +332,31 @@ func buildContainerTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) (*
 	if err != nil {
 		return nil, nil, err
 	}
+	if opt.Debug {
+		if debugTamper != nil {
+			debugTamper(&e.stats)
+		}
+		if err := checkStageSum(e.stats, len(container)); err != nil {
+			return nil, nil, err
+		}
+	}
 	return e, container, nil
+}
+
+// debugTamper, when non-nil, mutates the stage stats before the Debug
+// verification runs — a test hook proving the check actually fires on
+// a corrupted attribution.
+var debugTamper func(*Stats)
+
+// checkStageSum is the Debug-mode invariant: every container byte is
+// attributed to exactly one stage.
+func checkStageSum(st Stats, container int) error {
+	sum := st.MetadataBytes + st.OperatorBytes + st.LiteralBytes
+	if sum != container {
+		return fmt.Errorf("wire: stage attribution mismatch: metadata %d + operators %d + literals %d = %d, container %d",
+			st.MetadataBytes, st.OperatorBytes, st.LiteralBytes, sum, container)
+	}
+	return nil
 }
 
 func (e *encoder) encode() ([]byte, error) {
