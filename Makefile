@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test bench bench-baseline check fmt vet attrib
+# Per-target budget for the short fuzz pass `check` runs.
+FUZZTIME ?= 3s
+
+.PHONY: build test bench bench-baseline check fmt vet attrib fuzz-short
 
 build:
 	$(GO) build ./...
@@ -32,17 +35,30 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Short coverage-guided fuzz pass over every untrusted-input decoder,
+# seeded from the example modules. FUZZTIME bounds each target; bump it
+# for a longer local hunt (e.g. make fuzz-short FUZZTIME=2m).
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecompress$$' -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -run='^$$' -fuzz='^FuzzOpenIndexed$$' -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/brisc/
+	$(GO) test -run='^$$' -fuzz='^FuzzRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/flatezip/
+	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/cc/
+
 vet:
 	$(GO) vet ./...
 
 # Everything CI would run: formatting, vet, build, race-enabled tests
-# (which include the Workers=1 vs Workers=N determinism suites and the
-# shared-pool stress tests), one short-mode race-enabled pass over the
+# (which include the Workers=1 vs Workers=N determinism suites, the
+# shared-pool stress tests, and the fault-injection sweep over every
+# artifact format), a short fuzz pass over the untrusted-input
+# decoders, one short-mode race-enabled pass over the
 # parallel-pipeline benchmarks gated against the committed baseline
 # (timing-derived speedup metrics are excluded — only deterministic
 # size metrics gate), and the byte-attribution audit.
 check: fmt vet build
 	$(GO) test -race ./...
+	$(MAKE) fuzz-short
 	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='WireCompress|BriscCompress|Batch' -benchtime=1x .
 	$(GO) run ./cmd/benchdiff -threshold 5 -ignore 'speedup' BENCH_baseline.json /tmp/BENCH_check.json
 	$(MAKE) attrib

@@ -8,6 +8,11 @@
 //	briscrun -jit file.brisc      JIT to native code, then run
 //	briscrun -time file.brisc     report execution statistics
 //
+// Resource limits (untrusted objects):
+//
+//	-max-steps n   abort after n executed instructions
+//	-timeout d     abort after wall-clock duration d (e.g. 2s)
+//
 // Observability (shared across the tools):
 //
 //	-metrics             telemetry summary on stderr
@@ -23,6 +28,7 @@ import (
 	"runtime"
 
 	"repro/internal/brisc"
+	"repro/internal/guard"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
@@ -31,6 +37,8 @@ func main() {
 	jit := flag.Bool("jit", false, "JIT to native code before running")
 	cache := flag.Bool("cache", false, "interpret with the decoded-unit cache (faster, larger working set)")
 	timing := flag.Bool("time", false, "report execution statistics")
+	maxSteps := flag.Int64("max-steps", 0, "abort after executing this many instructions (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort after this wall-clock duration, e.g. 2s (0 = unlimited)")
 	workers := flag.Int("workers", 0, "cap runtime parallelism (GOMAXPROCS); 0 = one per CPU")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
@@ -52,7 +60,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Flush traces/metrics even on the error path, so governor trap
+	// counters reach the summary when a limit kills the run.
+	cleanup = func() { tool.Close() }
 	rec := tool.Rec
+
+	limits := guard.Limits{MaxSteps: *maxSteps}
+	if *timeout > 0 {
+		limits = limits.WithTimeout(*timeout)
+	}
 	// -time renders through the telemetry summary sink (one format
 	// across the CLIs); give it a private recorder when no telemetry
 	// flag created one.
@@ -76,6 +92,9 @@ func main() {
 		}
 		m := vm.NewMachine(prog, 0, os.Stdout)
 		m.SetRecorder(rec)
+		if err := m.SetLimits(limits); err != nil {
+			fatal(err)
+		}
 		sp := rec.StartSpan("briscrun.run", telemetry.String("mode", "jit"))
 		code, err = m.Run(0)
 		sp.End()
@@ -88,6 +107,9 @@ func main() {
 			it.EnableCache()
 		}
 		it.SetRecorder(rec)
+		if err := it.SetLimits(limits); err != nil {
+			fatal(err)
+		}
 		sp := rec.StartSpan("briscrun.run", telemetry.String("mode", "interp"))
 		code, err = it.Run(0)
 		sp.End()
@@ -107,7 +129,14 @@ func main() {
 	os.Exit(int(code))
 }
 
+// cleanup flushes telemetry before a fatal exit; set once StartTool
+// succeeds.
+var cleanup func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "briscrun:", err)
+	if cleanup != nil {
+		cleanup()
+	}
 	os.Exit(1)
 }

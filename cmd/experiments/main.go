@@ -128,6 +128,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		tool.Close() // flush any trace/metrics gathered before the failure
 		os.Exit(1)
 	}
 	if *metricsOut != "" {

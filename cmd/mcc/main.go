@@ -11,6 +11,8 @@
 //	-no-imm      de-tuned variant: no immediate instructions
 //	-no-regdisp  de-tuned variant: no register-displacement addressing
 //	-stats       print code-size statistics
+//	-max-steps   abort -run after this many executed instructions
+//	-timeout     abort -run after this wall-clock duration (e.g. 2s)
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/codegen"
 	"repro/internal/flatezip"
+	"repro/internal/guard"
 	"repro/internal/native"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
@@ -35,6 +38,8 @@ func main() {
 	noRegDisp := flag.Bool("no-regdisp", false, "variant: remove register-displacement addressing")
 	optimize := flag.Bool("O", false, "run the peephole optimizer")
 	stats := flag.Bool("stats", false, "print code-size statistics")
+	maxSteps := flag.Int64("max-steps", 0, "abort -run after executing this many instructions (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort -run after this wall-clock duration, e.g. 2s (0 = unlimited)")
 	workers := flag.Int("workers", 0, "cap runtime parallelism (GOMAXPROCS); 0 = one per CPU")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
@@ -57,6 +62,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Flush traces/metrics even on the error path, so governor trap
+	// counters reach the summary when a limit kills the run.
+	cleanup = func() { tool.Close() }
 	rec := tool.Rec
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -97,8 +105,15 @@ func main() {
 		fmt.Printf("gzipped variable:    %d bytes\n", gz)
 	}
 	if *run {
+		limits := guard.Limits{MaxSteps: *maxSteps}
+		if *timeout > 0 {
+			limits = limits.WithTimeout(*timeout)
+		}
 		m := vm.NewMachine(prog, 0, os.Stdout)
 		m.SetRecorder(rec)
+		if err := m.SetLimits(limits); err != nil {
+			fatal(err)
+		}
 		sp = rec.StartSpan("mcc.run")
 		code, err := m.Run(0)
 		sp.End()
@@ -116,7 +131,14 @@ func main() {
 	}
 }
 
+// cleanup flushes telemetry before a fatal exit; set once StartTool
+// succeeds.
+var cleanup func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcc:", err)
+	if cleanup != nil {
+		cleanup()
+	}
 	os.Exit(1)
 }

@@ -9,6 +9,11 @@
 //	wirec -c file.mc -stats            per-stage size report
 //	wirec -c file.mc -no-mtf|-no-huff|-final=lz|arith|none   ablations
 //
+// Robustness (untrusted objects):
+//
+//	-timeout d     abandon -d after wall-clock duration d (e.g. 2s)
+//	-max-bytes n   reject objects whose declared container size exceeds n
+//
 // Observability (shared across the tools):
 //
 //	-metrics             per-stage telemetry summary on stderr
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/telemetry"
@@ -38,6 +44,8 @@ func main() {
 	final := flag.String("final", "lz", "final stage: lz, arith, none")
 	indexed := flag.Bool("indexed", false, "function-at-a-time random-access format")
 	fn := flag.String("func", "", "with -d on an indexed object: load only this function")
+	maxBytes := flag.Uint64("max-bytes", 0, "cap the declared decompressed container size in bytes (0 = keep the 1 GiB default)")
+	timeout := flag.Duration("timeout", 0, "abort -d after this wall-clock duration, e.g. 2s (0 = unlimited)")
 	workers := flag.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = serial; output is identical either way")
 	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
@@ -118,51 +126,58 @@ func main() {
 			}
 		}
 	case *decompress != "":
+		if *maxBytes > 0 {
+			wire.MaxContainerBytes = *maxBytes
+		}
 		data, err := os.ReadFile(*decompress)
 		if err != nil {
 			fatal(err)
 		}
-		if *indexed {
-			r, err := wire.OpenIndexed(data)
-			if err != nil {
-				fatal(err)
-			}
-			r.Rec = rec
-			if *fn != "" {
-				f, err := r.LoadFunction(*fn)
+		err = guardWall(*timeout, func() error {
+			if *indexed {
+				r, err := wire.OpenIndexed(data)
 				if err != nil {
-					fatal(err)
+					return err
+				}
+				r.Rec = rec
+				if *fn != "" {
+					f, err := r.LoadFunction(*fn)
+					if err != nil {
+						return err
+					}
+					if *dumpIR {
+						for _, t := range f.Trees {
+							fmt.Println(t)
+						}
+					}
+					fmt.Fprintf(os.Stderr, "loaded %s: %d trees, touched %d of %d bytes\n",
+						*fn, len(f.Trees), r.BytesTouched, len(data))
+					return nil
+				}
+				mod, err := r.LoadAll()
+				if err != nil {
+					return err
 				}
 				if *dumpIR {
-					for _, t := range f.Trees {
-						fmt.Println(t)
-					}
+					fmt.Print(mod.String())
 				}
-				fmt.Fprintf(os.Stderr, "loaded %s: %d trees, touched %d of %d bytes\n",
-					*fn, len(f.Trees), r.BytesTouched, len(data))
-				closeTool(tool)
-				return
+				fmt.Fprintf(os.Stderr, "decompressed %s: %d functions\n", mod.Name, len(mod.Functions))
+				return nil
 			}
-			mod, err := r.LoadAll()
+			mod, err := wire.DecompressParallel(data, *workers, rec)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if *dumpIR {
 				fmt.Print(mod.String())
+			} else {
+				fmt.Fprintf(os.Stderr, "decompressed %s: %d functions, %d trees, %d globals\n",
+					mod.Name, len(mod.Functions), mod.NumTrees(), len(mod.Globals))
 			}
-			fmt.Fprintf(os.Stderr, "decompressed %s: %d functions\n", mod.Name, len(mod.Functions))
-			closeTool(tool)
-			return
-		}
-		mod, err := wire.DecompressParallel(data, *workers, rec)
+			return nil
+		})
 		if err != nil {
 			fatal(err)
-		}
-		if *dumpIR {
-			fmt.Print(mod.String())
-		} else {
-			fmt.Fprintf(os.Stderr, "decompressed %s: %d functions, %d trees, %d globals\n",
-				mod.Name, len(mod.Functions), mod.NumTrees(), len(mod.Globals))
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: wirec -c file.mc [-o out.wire] | wirec -d file.wire")
@@ -175,6 +190,23 @@ func main() {
 func closeTool(tool *telemetry.Tool) {
 	if err := tool.Close(); err != nil {
 		fatal(err)
+	}
+}
+
+// guardWall runs f under the -timeout wall-clock watchdog. A hostile
+// wire object must not hang the tool, so on expiry the decode is
+// abandoned (the process is about to exit; the goroutine dies with it).
+func guardWall(d time.Duration, f func() error) error {
+	if d <= 0 {
+		return f()
+	}
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("decode exceeded -timeout %s", d)
 	}
 }
 

@@ -1,6 +1,10 @@
 package brisc
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzParse: the object parser must never panic on arbitrary bytes,
 // and a parsed object's interpreter must fail cleanly rather than
@@ -10,6 +14,21 @@ func FuzzParse(f *testing.F) {
 	if obj, err := Compress(prog, Options{}); err == nil {
 		f.Add(obj.Bytes())
 		f.Add(EncodeDict(obj.LearnedDict()))
+	}
+	// Real artifacts from the shared example modules widen the corpus;
+	// a missing tree just leaves the inline seeds.
+	if files, _ := filepath.Glob(filepath.Join("..", "..", "examples", "modules", "*.mc")); len(files) > 0 {
+		for _, p := range files {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				continue
+			}
+			mprog := compileProg(f, filepath.Base(p), string(src))
+			if obj, err := Compress(mprog, Options{}); err == nil {
+				f.Add(obj.Bytes())
+				f.Add(EncodeDict(obj.LearnedDict()))
+			}
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte("BRS1"))

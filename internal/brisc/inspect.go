@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/integrity"
 	"repro/internal/vm"
 )
 
@@ -90,7 +91,16 @@ func (insp *Inspection) buildSections() {
 		insp.Sections = append(insp.Sections, Section{Name: name, Class: class, Start: pos, Len: n})
 		pos += n
 	}
+	// Per-section framing overhead: the length varint ("header" class)
+	// before each section and the CRC32C trailer ("integrity" class)
+	// after it.
+	frameLen := func(name string, n int) { add(name+".len", "header", uvarintLen(uint64(n))) }
+	frameCRC := func(name string) { add(name+".crc", "integrity", integrity.ChecksumLen) }
+
 	add("magic", "header", len(objMagic))
+	add("version", "header", 1)
+
+	frameLen("meta", len(o.metaBytes()))
 	add("meta.name", "metadata", len(appendString(nil, o.Name)))
 	var b []byte
 	b = appendUvarint(nil, uint64(o.DataSize))
@@ -111,14 +121,26 @@ func (insp *Inspection) buildSections() {
 	}
 	add("meta.funcs", "metadata", len(b))
 	add("meta.passes", "metadata", len(appendUvarint(nil, uint64(o.Passes))))
+	frameCRC("meta")
+
+	frameLen("dict", len(o.dictBytes()))
 	add("dict.count", "dictionary", len(appendUvarint(nil, uint64(len(o.Dict)-vm.NumOpcodes))))
 	for i, p := range o.Dict[vm.NumOpcodes:] {
 		add(fmt.Sprintf("dict[%d]", vm.NumOpcodes+i), "dictionary", len(appendPattern(nil, p)))
 	}
+	frameCRC("dict")
+
+	frameLen("markov", len(o.tableBytes()))
 	add("markov", "tables", len(o.tableBytes()))
+	frameCRC("markov")
+
+	frameLen("blocks", len(o.blockBytes()))
 	add("blocks", "blocks", len(o.blockBytes()))
-	add("code.len", "code", uvarintLen(uint64(len(o.Code))))
+	frameCRC("blocks")
+
+	frameLen("code", len(o.Code))
 	add("code", "code", len(o.Code))
+	frameCRC("code")
 }
 
 // walkUnits linearly Markov-decodes the code stream (the JIT's walk)

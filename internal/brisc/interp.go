@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/guard"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
@@ -29,6 +30,13 @@ type Interp struct {
 	Units    int64 // units decoded
 	ExitCode int32
 	Halted   bool
+
+	// Depth tracks nested activations (CALL increments, returns
+	// decrement) for the governor's call-depth limit.
+	Depth int
+
+	// limits bounds every Run; install with SetLimits.
+	limits guard.Limits
 
 	blockSet map[int32]bool
 	ctx      int
@@ -97,6 +105,7 @@ func (it *Interp) Reset() {
 	it.Units = 0
 	it.Halted = false
 	it.ExitCode = 0
+	it.Depth = 0
 	if it.cache != nil {
 		it.cache = make(map[int32]*cachedUnit)
 	}
@@ -157,19 +166,48 @@ func (it *Interp) FlushTelemetry() {
 	}
 }
 
-// Run interprets until halt/exit, an error, or maxSteps instructions
-// (0 = unlimited), returning the exit code.
+// SetLimits installs resource limits honored by every subsequent Run.
+// The memory limit is validated against the interpreter's memory
+// immediately; a violation returns a *guard.TrapError.
+func (it *Interp) SetLimits(l guard.Limits) error {
+	g := guard.New("brisc", l, ErrOutOfSteps)
+	if err := g.CheckMem(len(it.Mem)); err != nil {
+		return err
+	}
+	it.limits = l
+	return nil
+}
+
+// Run interprets until halt/exit, an error, or a resource limit
+// (maxSteps, 0 = unlimited, merges with any SetLimits step bound),
+// returning the exit code. A limit violation returns a
+// *guard.TrapError, which still matches ErrOutOfSteps for the step
+// limit.
 func (it *Interp) Run(maxSteps int64) (int32, error) {
 	defer it.FlushTelemetry()
+	l := it.limits
+	if maxSteps > 0 && (l.MaxSteps == 0 || maxSteps < l.MaxSteps) {
+		l.MaxSteps = maxSteps
+	}
+	g := guard.New("brisc", l, ErrOutOfSteps)
 	for !it.Halted {
-		if maxSteps > 0 && it.Steps >= maxSteps {
-			return 0, fmt.Errorf("%w: %d", ErrOutOfSteps, maxSteps)
+		if err := g.Check(it.Steps, it.Depth, int64(it.PC)); err != nil {
+			it.recordTrap(err)
+			return 0, err
 		}
 		if err := it.StepUnit(); err != nil {
 			return 0, err
 		}
 	}
 	return it.ExitCode, nil
+}
+
+// recordTrap bumps the telemetry counter for a governor trap.
+func (it *Interp) recordTrap(err error) {
+	var trap *guard.TrapError
+	if it.rec != nil && errors.As(err, &trap) {
+		it.rec.Add("brisc.governor."+trap.Limit, 1)
+	}
 }
 
 // EnableCache turns on the decoded-unit cache (see the cache field).
@@ -342,10 +380,14 @@ func (it *Interp) exec(ins vm.Instr, next int32) (bool, error) {
 		return it.jumpBlock(ins.Target)
 	case vm.CALL:
 		r[vm.RegRA] = next
+		it.Depth++
 		return it.jumpBlock(ins.Target)
 	case vm.RJR:
 		it.PC = r[ins.Rs1]
 		it.ctx = 0
+		if it.Depth > 0 {
+			it.Depth--
+		}
 		return true, nil
 	case vm.ENTER:
 		r[vm.RegSP] -= ins.Imm
@@ -360,6 +402,9 @@ func (it *Interp) exec(ins vm.Instr, next int32) (bool, error) {
 		r[vm.RegRA] = ra
 		it.PC = ra
 		it.ctx = 0
+		if it.Depth > 0 {
+			it.Depth--
+		}
 		return true, nil
 	case vm.TRAP:
 		return false, it.trap(ins.Imm)
@@ -367,7 +412,7 @@ func (it *Interp) exec(ins vm.Instr, next int32) (bool, error) {
 		it.Halted = true
 		it.ExitCode = r[vm.RegArg0]
 	default:
-		return false, fmt.Errorf("brisc: illegal opcode %d", ins.Op)
+		return false, fmt.Errorf("%w: illegal opcode %d", ErrCorrupt, ins.Op)
 	}
 	return false, nil
 }
@@ -434,7 +479,7 @@ func (it *Interp) trap(id int32) error {
 		it.Halted = true
 		it.ExitCode = arg
 	default:
-		return fmt.Errorf("brisc: unknown trap %d", id)
+		return fmt.Errorf("%w: unknown trap %d", ErrCorrupt, id)
 	}
 	it.Regs[vm.RegArg0] = 0
 	return nil

@@ -64,7 +64,10 @@ func JITTraced(o *Object, rec *telemetry.Recorder) (*vm.Program, error) {
 			if f != vm.FTgt {
 				continue
 			}
-			b := getField(*ins, fi)
+			b, err := fieldAt(*ins, fi)
+			if err != nil {
+				return nil, err
+			}
 			if b < 0 || int(b) >= len(blockInstr) {
 				return nil, fmt.Errorf("%w: block target %d out of range", ErrCorrupt, b)
 			}

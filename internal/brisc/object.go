@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/integrity"
 	"repro/internal/vm"
 )
 
@@ -33,10 +34,42 @@ type Object struct {
 	Passes int
 }
 
-// ErrCorrupt reports a malformed serialized object.
-var ErrCorrupt = errors.New("brisc: corrupt object")
+// Error taxonomy for malformed serialized objects. All of these match
+// ErrCorrupt (and their integrity.* kind) under errors.Is.
+var (
+	// ErrCorrupt reports a malformed serialized object.
+	ErrCorrupt = integrity.Alias("brisc: corrupt object", integrity.ErrCorrupt)
+	// ErrTruncated reports input that ends before its declared structure.
+	ErrTruncated = integrity.Alias("brisc: truncated object", integrity.ErrTruncated, ErrCorrupt)
+	// ErrVersion reports an object version this decoder does not speak.
+	ErrVersion = integrity.Alias("brisc: unsupported object version", integrity.ErrVersion, ErrCorrupt)
+	// ErrTooLarge reports a declared section size above its cap.
+	ErrTooLarge = integrity.Alias("brisc: declared size exceeds cap", integrity.ErrTooLarge, ErrCorrupt)
+)
 
 var objMagic = [4]byte{'B', 'R', 'S', '1'}
+
+// objFormatVersion is the serialized-object revision written after the
+// magic. Version 2 framed every section with a length and a CRC32C
+// trailer, verified before the section is parsed.
+const objFormatVersion = 2
+
+// retag maps an integrity-layer error onto this package's taxonomy so
+// callers can match either family under errors.Is.
+func retag(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, integrity.ErrTruncated):
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	case errors.Is(err, integrity.ErrTooLarge):
+		return fmt.Errorf("%w: %v", ErrTooLarge, err)
+	case errors.Is(err, integrity.ErrVersion):
+		return fmt.Errorf("%w: %v", ErrVersion, err)
+	default:
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+}
 
 // SizeBreakdown itemizes an object's serialized size. CodeBytes is the
 // in-memory interpretable payload; the paper's "code size" comparisons
@@ -60,7 +93,10 @@ func (s SizeBreakdown) CodeSize() int {
 	return s.CodeBytes + s.DictBytes + s.TableBytes + s.BlockBytes
 }
 
-// Size serializes the object and itemizes section sizes.
+// Size serializes the object and itemizes section sizes. The section
+// fields count content bytes only; TotalBytes additionally counts the
+// magic, version byte, and per-section framing (length varint + CRC32C
+// trailer), matching len(Bytes()).
 func (o *Object) Size() SizeBreakdown {
 	var sb SizeBreakdown
 	sb.NumPatterns = len(o.Dict) - vm.NumOpcodes
@@ -70,8 +106,9 @@ func (o *Object) Size() SizeBreakdown {
 	sb.TableBytes = len(o.tableBytes())
 	sb.BlockBytes = len(o.blockBytes())
 	sb.MetaBytes = len(o.metaBytes())
-	sb.TotalBytes = len(objMagic) + sb.MetaBytes + sb.DictBytes + sb.TableBytes +
-		sb.BlockBytes + uvarintLen(uint64(len(o.Code))) + sb.CodeBytes
+	frame := func(n int) int { return uvarintLen(uint64(n)) + n + integrity.ChecksumLen }
+	sb.TotalBytes = len(objMagic) + 1 + frame(sb.MetaBytes) + frame(sb.DictBytes) +
+		frame(sb.TableBytes) + frame(sb.BlockBytes) + frame(sb.CodeBytes)
 	return sb
 }
 
@@ -180,22 +217,35 @@ func (o *Object) dictBytes() []byte {
 
 var dictMagic = [4]byte{'B', 'R', 'D', '1'}
 
-// EncodeDict serializes a trained dictionary (learned patterns only).
+// EncodeDict serializes a trained dictionary (learned patterns only):
+// magic, version, count, patterns, CRC32C trailer.
 func EncodeDict(dict []Pattern) []byte {
 	b := append([]byte(nil), dictMagic[:]...)
+	b = append(b, objFormatVersion)
 	b = appendUvarint(b, uint64(len(dict)))
 	for _, p := range dict {
 		b = appendPattern(b, p)
 	}
-	return b
+	return integrity.AppendChecksum(b, b)
 }
 
-// DecodeDict reverses EncodeDict.
+// DecodeDict reverses EncodeDict, verifying the trailer checksum before
+// parsing.
 func DecodeDict(data []byte) ([]Pattern, error) {
 	if len(data) < 4 || !bytes.Equal(data[:4], dictMagic[:]) {
 		return nil, fmt.Errorf("%w: bad dictionary magic", ErrCorrupt)
 	}
-	r := &byteReader{data: data, pos: 4}
+	body, err := integrity.SplitChecksum(data, "dictionary")
+	if err != nil {
+		return nil, retag(err)
+	}
+	if len(body) < 5 {
+		return nil, fmt.Errorf("%w: missing dictionary version", ErrTruncated)
+	}
+	if body[4] != objFormatVersion {
+		return nil, fmt.Errorf("%w: dictionary version %d (decoder speaks %d)", ErrVersion, body[4], objFormatVersion)
+	}
+	r := &byteReader{data: body, pos: 5}
 	n, err := r.uv()
 	if err != nil || n > 1<<20 {
 		return nil, fmt.Errorf("%w: dictionary count", ErrCorrupt)
@@ -208,7 +258,7 @@ func DecodeDict(data []byte) ([]Pattern, error) {
 		}
 		dict = append(dict, p)
 	}
-	if r.pos != len(data) {
+	if r.pos != len(body) {
 		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
 	}
 	return dict, nil
@@ -237,117 +287,183 @@ func (o *Object) blockBytes() []byte {
 	return b
 }
 
-// Bytes serializes the object.
+// appendFrame frames one section: length varint, content, CRC32C
+// trailer. The decoder verifies the checksum before parsing the
+// section.
+func appendFrame(dst, section []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(section)))
+	dst = append(dst, section...)
+	return integrity.AppendChecksum(dst, section)
+}
+
+// Bytes serializes the object: magic, version, then five framed
+// sections (metadata, dictionary, Markov tables, block table, code).
 func (o *Object) Bytes() []byte {
 	var out []byte
 	out = append(out, objMagic[:]...)
-	out = append(out, o.metaBytes()...)
-	out = append(out, o.dictBytes()...)
-	out = append(out, o.tableBytes()...)
-	out = append(out, o.blockBytes()...)
-	out = appendUvarint(out, uint64(len(o.Code)))
-	out = append(out, o.Code...)
+	out = append(out, objFormatVersion)
+	out = appendFrame(out, o.metaBytes())
+	out = appendFrame(out, o.dictBytes())
+	out = appendFrame(out, o.tableBytes())
+	out = appendFrame(out, o.blockBytes())
+	out = appendFrame(out, o.Code)
 	return out
 }
 
-// Parse deserializes an object produced by Bytes.
+// Parse deserializes an object produced by Bytes. Every section's
+// CRC32C trailer is verified before that section is parsed.
 func Parse(data []byte) (*Object, error) {
-	if len(data) < 4 || !bytes.Equal(data[:4], objMagic[:]) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	if !bytes.Equal(data[:4], objMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	r := &byteReader{data: data, pos: 4}
+	if len(data) < 5 {
+		return nil, fmt.Errorf("%w: missing version byte", ErrTruncated)
+	}
+	if data[4] != objFormatVersion {
+		return nil, fmt.Errorf("%w: version %d (decoder speaks %d)", ErrVersion, data[4], objFormatVersion)
+	}
+	r := &byteReader{data: data, pos: 5}
+	readFrame := func(what string, max uint64) (*byteReader, error) {
+		n, err := r.uv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s frame length", ErrCorrupt, what)
+		}
+		if err := integrity.CheckSize(what+" section", n, max); err != nil {
+			return nil, retag(err)
+		}
+		if n > uint64(len(data)) || r.pos+int(n)+integrity.ChecksumLen > len(data) {
+			return nil, fmt.Errorf("%w: %s section", ErrTruncated, what)
+		}
+		framed := data[r.pos : r.pos+int(n)+integrity.ChecksumLen]
+		r.pos += int(n) + integrity.ChecksumLen
+		sec, err := integrity.SplitChecksum(framed, what+" section")
+		if err != nil {
+			return nil, retag(err)
+		}
+		return &byteReader{data: sec}, nil
+	}
+	done := func(what string, sub *byteReader) error {
+		if sub.pos != len(sub.data) {
+			return fmt.Errorf("%w: %d trailing bytes in %s section", ErrCorrupt, len(sub.data)-sub.pos, what)
+		}
+		return nil
+	}
+
 	o := &Object{}
-	var err error
-	if o.Name, err = r.str(); err != nil {
+
+	// Metadata: name, data segment, globals, function table, passes.
+	rm, err := readFrame("metadata", 1<<28)
+	if err != nil {
 		return nil, err
 	}
-	ds, err := r.uv()
+	if o.Name, err = rm.str(); err != nil {
+		return nil, err
+	}
+	ds, err := rm.uv()
 	if err != nil || ds > 1<<31 {
 		return nil, fmt.Errorf("%w: data size", ErrCorrupt)
 	}
 	o.DataSize = int(ds)
-	ng, err := r.uv()
+	ng, err := rm.uv()
 	if err != nil || ng > 1<<20 {
 		return nil, fmt.Errorf("%w: globals count", ErrCorrupt)
 	}
 	for i := uint64(0); i < ng; i++ {
 		var g vm.GlobalData
-		if g.Name, err = r.str(); err != nil {
+		if g.Name, err = rm.str(); err != nil {
 			return nil, err
 		}
-		addr, err := r.uv()
+		addr, err := rm.uv()
 		if err != nil {
 			return nil, err
 		}
-		size, err := r.uv()
+		size, err := rm.uv()
 		if err != nil || size > 1<<28 {
 			return nil, fmt.Errorf("%w: global size", ErrCorrupt)
 		}
-		il, err := r.uv()
+		il, err := rm.uv()
 		if err != nil || il > size {
 			return nil, fmt.Errorf("%w: global init", ErrCorrupt)
 		}
 		g.Addr, g.Size = int32(addr), int(size)
-		if g.Init, err = r.bytes(int(il)); err != nil {
+		if g.Init, err = rm.bytes(int(il)); err != nil {
 			return nil, err
 		}
 		o.Globals = append(o.Globals, g)
 	}
-	nf, err := r.uv()
+	nf, err := rm.uv()
 	if err != nil || nf > 1<<20 {
 		return nil, fmt.Errorf("%w: function count", ErrCorrupt)
 	}
 	for i := uint64(0); i < nf; i++ {
 		var f ObjFunc
-		if f.Name, err = r.str(); err != nil {
+		if f.Name, err = rm.str(); err != nil {
 			return nil, err
 		}
-		eb, err := r.uv()
+		eb, err := rm.uv()
 		if err != nil {
 			return nil, err
 		}
-		fr, err := r.uv()
+		fr, err := rm.uv()
 		if err != nil {
 			return nil, err
 		}
 		f.EntryBlock, f.Frame = int32(eb), int32(fr)
 		o.Funcs = append(o.Funcs, f)
 	}
-	passes, err := r.uv()
+	passes, err := rm.uv()
 	if err != nil {
 		return nil, err
 	}
 	o.Passes = int(passes)
+	if err := done("metadata", rm); err != nil {
+		return nil, err
+	}
 
 	// Dictionary: implicit base set plus learned entries.
+	rd, err := readFrame("dictionary", 1<<26)
+	if err != nil {
+		return nil, err
+	}
 	for op := 0; op < vm.NumOpcodes; op++ {
 		o.Dict = append(o.Dict, basePattern(vm.Opcode(op)))
 	}
-	nLearned, err := r.uv()
+	nLearned, err := rd.uv()
 	if err != nil || nLearned > 1<<20 {
 		return nil, fmt.Errorf("%w: dictionary count", ErrCorrupt)
 	}
 	for i := uint64(0); i < nLearned; i++ {
-		p, err := readPattern(r)
+		p, err := readPattern(rd)
 		if err != nil {
 			return nil, err
 		}
 		o.Dict = append(o.Dict, p)
 	}
+	if err := done("dictionary", rd); err != nil {
+		return nil, err
+	}
 
-	nCtx, err := r.uv()
+	// Markov follower tables.
+	rt, err := readFrame("tables", 1<<26)
+	if err != nil {
+		return nil, err
+	}
+	nCtx, err := rt.uv()
 	if err != nil || nCtx != uint64(len(o.Dict))+1 {
 		return nil, fmt.Errorf("%w: context count %d (dict %d)", ErrCorrupt, nCtx, len(o.Dict))
 	}
 	o.Contexts = make([][]int, nCtx)
 	for ci := range o.Contexts {
-		n, err := r.uv()
+		n, err := rt.uv()
 		if err != nil || n > 255 {
 			return nil, fmt.Errorf("%w: context table size", ErrCorrupt)
 		}
 		tbl := make([]int, n)
 		for j := range tbl {
-			pid, err := r.uv()
+			pid, err := rt.uv()
 			if err != nil || pid >= uint64(len(o.Dict)) {
 				return nil, fmt.Errorf("%w: follower pattern id", ErrCorrupt)
 			}
@@ -355,27 +471,39 @@ func Parse(data []byte) (*Object, error) {
 		}
 		o.Contexts[ci] = tbl
 	}
+	if err := done("tables", rt); err != nil {
+		return nil, err
+	}
 
-	nBlocks, err := r.uv()
+	// Block-offset table.
+	rb, err := readFrame("blocks", 1<<27)
+	if err != nil {
+		return nil, err
+	}
+	nBlocks, err := rb.uv()
 	if err != nil || nBlocks > 1<<26 {
 		return nil, fmt.Errorf("%w: block count", ErrCorrupt)
 	}
 	prev := int32(0)
 	for i := uint64(0); i < nBlocks; i++ {
-		d, err := r.uv()
+		d, err := rb.uv()
 		if err != nil {
 			return nil, err
 		}
 		prev += int32(d)
 		o.Blocks = append(o.Blocks, prev)
 	}
-	codeLen, err := r.uv()
-	if err != nil || codeLen > 1<<30 {
-		return nil, fmt.Errorf("%w: code length", ErrCorrupt)
-	}
-	if o.Code, err = r.bytes(int(codeLen)); err != nil {
+	if err := done("blocks", rb); err != nil {
 		return nil, err
 	}
+
+	// Code stream: the frame content is the code itself.
+	rc, err := readFrame("code", 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	o.Code = rc.data
+
 	if r.pos != len(data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.pos)
 	}

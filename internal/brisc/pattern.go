@@ -133,22 +133,34 @@ func (p Pattern) numUnfixed() int {
 	return n
 }
 
-// getField extracts operand field fi (in Fields() order) of an
-// instruction. Register slots are mapped per opcode family; FTgt reads
-// Target and FImm reads Imm.
-func getField(ins vm.Instr, fi int) int32 {
+// fieldAt extracts operand field fi (in Fields() order) of an
+// instruction, returning ErrCorrupt when fi is out of range. Use this
+// on the Parse/decode path, where the field index may derive from
+// untrusted input.
+func fieldAt(ins vm.Instr, fi int) (int32, error) {
 	fields := ins.Op.Fields()
 	if fi < 0 || fi >= len(fields) {
-		panic(fmt.Sprintf("brisc: field %d out of range for %s", fi, ins.Op.Name()))
+		return 0, fmt.Errorf("%w: field %d out of range for %s", ErrCorrupt, fi, ins.Op.Name())
 	}
 	switch fields[fi] {
 	case vm.FImm:
-		return ins.Imm
+		return ins.Imm, nil
 	case vm.FTgt:
-		return ins.Target
+		return ins.Target, nil
 	default:
-		return int32(regField(ins, regSlot(ins.Op, fi)))
+		return int32(regField(ins, regSlot(ins.Op, fi))), nil
 	}
+}
+
+// getField is fieldAt for encoder-internal callers, where an
+// out-of-range index is a programming bug, not bad input — it panics
+// rather than returning an error. Decode paths must use fieldAt.
+func getField(ins vm.Instr, fi int) int32 {
+	v, err := fieldAt(ins, fi)
+	if err != nil {
+		panic(fmt.Sprintf("brisc: field %d out of range for %s", fi, ins.Op.Name()))
+	}
+	return v
 }
 
 // setField writes operand field fi of an instruction.
@@ -292,7 +304,7 @@ func (p Pattern) apply(vals []int32) ([]vm.Instr, error) {
 				setField(&out[i], f, pi.Val[f])
 			} else {
 				if vi >= len(vals) {
-					return nil, fmt.Errorf("brisc: operand underflow applying %s", p)
+					return nil, fmt.Errorf("%w: operand underflow applying %s", ErrCorrupt, p)
 				}
 				setField(&out[i], f, vals[vi])
 				vi++
@@ -300,7 +312,7 @@ func (p Pattern) apply(vals []int32) ([]vm.Instr, error) {
 		}
 	}
 	if vi != len(vals) {
-		return nil, fmt.Errorf("brisc: %d extra operands applying %s", len(vals)-vi, p)
+		return nil, fmt.Errorf("%w: %d extra operands applying %s", ErrCorrupt, len(vals)-vi, p)
 	}
 	return out, nil
 }

@@ -1,10 +1,22 @@
 package cc
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzCompile: the front end must return errors, never panic, on
 // arbitrary source text.
 func FuzzCompile(f *testing.F) {
+	// Real example modules anchor the corpus in valid programs.
+	if files, _ := filepath.Glob(filepath.Join("..", "..", "examples", "modules", "*.mc")); len(files) > 0 {
+		for _, p := range files {
+			if src, err := os.ReadFile(p); err == nil {
+				f.Add(string(src))
+			}
+		}
+	}
 	f.Add(`int main(void) { return 0; }`)
 	f.Add(`struct S { int x; }; int main(void) { struct S s; s.x = 1; return s.x; }`)
 	f.Add(`int f(int a) { return a > 0 ? a : -a; }`)

@@ -23,10 +23,26 @@ import (
 	"repro/internal/brisc"
 	"repro/internal/cc"
 	"repro/internal/codegen"
+	"repro/internal/guard"
 	"repro/internal/ir"
 	"repro/internal/vm"
 	"repro/internal/wire"
 )
+
+// Resource governance, re-exported from internal/guard so callers can
+// bound untrusted execution through the façade alone. All three
+// engines (vm, irexec, brisc) honor the same Limits and report
+// violations as a *TrapError that matches ErrLimit under errors.Is.
+type (
+	// Limits bounds one execution: steps, memory, call depth, deadline.
+	Limits = guard.Limits
+	// TrapError reports which limit fired, where, and after how many
+	// executed instructions.
+	TrapError = guard.TrapError
+)
+
+// ErrLimit is the common sentinel every TrapError matches.
+var ErrLimit = guard.ErrLimit
 
 // Program is a compiled MiniC translation unit, held as tree IR (the
 // wire format's substrate). Native code is generated on demand.
@@ -89,6 +105,15 @@ func RunNative(prog *vm.Program, out io.Writer, maxSteps int64) (int32, error) {
 	return m.Run(maxSteps)
 }
 
+// RunNativeLimits executes a VM program under resource limits.
+func RunNativeLimits(prog *vm.Program, out io.Writer, l Limits) (int32, error) {
+	m := vm.NewMachine(prog, 0, out)
+	if err := m.SetLimits(l); err != nil {
+		return 0, err
+	}
+	return m.Run(0)
+}
+
 // Run compiles and executes the program natively.
 func (p *Program) Run(out io.Writer, maxSteps int64) (int32, error) {
 	np, err := p.Native()
@@ -104,6 +129,15 @@ func RunBRISC(obj *brisc.Object, out io.Writer, maxSteps int64) (int32, error) {
 	return it.Run(maxSteps)
 }
 
+// RunBRISCLimits interprets a BRISC object under resource limits.
+func RunBRISCLimits(obj *brisc.Object, out io.Writer, l Limits) (int32, error) {
+	it := brisc.NewInterp(obj, 0, out)
+	if err := it.SetLimits(l); err != nil {
+		return 0, err
+	}
+	return it.Run(0)
+}
+
 // RunJIT translates a BRISC object to native code and executes it.
 func RunJIT(obj *brisc.Object, out io.Writer, maxSteps int64) (int32, error) {
 	np, err := brisc.JIT(obj)
@@ -111,4 +145,14 @@ func RunJIT(obj *brisc.Object, out io.Writer, maxSteps int64) (int32, error) {
 		return 0, err
 	}
 	return RunNative(np, out, maxSteps)
+}
+
+// RunJITLimits translates a BRISC object to native code and executes it
+// under resource limits.
+func RunJITLimits(obj *brisc.Object, out io.Writer, l Limits) (int32, error) {
+	np, err := brisc.JIT(obj)
+	if err != nil {
+		return 0, err
+	}
+	return RunNativeLimits(np, out, l)
 }

@@ -37,14 +37,19 @@ func SetRecorder(r *telemetry.Recorder) { rec = r }
 func Recorder() *telemetry.Recorder { return rec }
 
 // measureNamed times f like measure and publishes the per-iteration
-// mean as a span and a histogram observation under the given name.
-func measureNamed(name string, f func()) time.Duration {
+// mean as a span and a histogram observation under the given name. An
+// error from f aborts the measurement and is reported to the caller
+// rather than panicking mid-experiment.
+func measureNamed(name string, f func() error) (time.Duration, error) {
 	sp := rec.StartSpan("experiments.measure", telemetry.String("what", name))
-	d := measure(f)
+	d, err := measure(f)
 	sp.SetAttr(telemetry.Int("mean_ns", d.Nanoseconds()))
 	sp.End()
+	if err != nil {
+		return 0, fmt.Errorf("experiments: measuring %s: %w", name, err)
+	}
 	rec.Observe("experiments.measure."+name+".mean_ns", float64(d.Nanoseconds()))
-	return d
+	return d, nil
 }
 
 // buildNative compiles one workload preset to a linked VM program.
@@ -137,13 +142,17 @@ func briscSizeRow(name string, prog *vm.Program, opt brisc.Options) (BriscRow, *
 		return BriscRow{}, nil, err
 	}
 	sb := obj.Size()
+	mbps, err := measureJITThroughput(name, obj)
+	if err != nil {
+		return BriscRow{}, nil, err
+	}
 	row := BriscRow{
 		Benchmark:    name,
 		NativeBytes:  len(nat),
 		GzipRatio:    float64(len(gz)) / float64(len(nat)),
 		BriscRatio:   float64(sb.CodeSize()) / float64(len(nat)),
 		DictPatterns: sb.NumPatterns,
-		JITMBps:      measureJITThroughput(name, obj),
+		JITMBps:      mbps,
 	}
 	rec.SetGauge("experiments.brisc.ratio."+name, row.BriscRatio)
 	return row, obj, nil
@@ -151,34 +160,39 @@ func briscSizeRow(name string, prog *vm.Program, opt brisc.Options) (BriscRow, *
 
 // measureJITThroughput times brisc.JIT and reports MB of produced
 // (variable-encoded) code per second.
-func measureJITThroughput(name string, obj *brisc.Object) float64 {
+func measureJITThroughput(name string, obj *brisc.Object) (float64, error) {
 	jp, err := brisc.JIT(obj)
 	if err != nil {
-		return 0
+		return 0, err
 	}
 	outBytes := native.VariableSize(jp.Code)
-	elapsed := measureNamed(name+".jit", func() {
-		if _, err := brisc.JIT(obj); err != nil {
-			panic(err)
-		}
+	elapsed, err := measureNamed(name+".jit", func() error {
+		_, err := brisc.JIT(obj)
+		return err
 	})
+	if err != nil {
+		return 0, err
+	}
 	mbps := float64(outBytes) / 1e6 / elapsed.Seconds()
 	rec.SetGauge("experiments.jit_mbps."+name, mbps)
-	return mbps
+	return mbps, nil
 }
 
-// measure times f with enough repetitions for a stable reading.
-func measure(f func()) time.Duration {
+// measure times f with enough repetitions for a stable reading. The
+// first error aborts the repetition loop immediately.
+func measure(f func() error) (time.Duration, error) {
 	const minDuration = 30 * time.Millisecond
 	n := 1
 	for {
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			f()
+			if err := f(); err != nil {
+				return 0, err
+			}
 		}
 		elapsed := time.Since(start)
 		if elapsed >= minDuration {
-			return elapsed / time.Duration(n)
+			return elapsed / time.Duration(n), nil
 		}
 		if elapsed <= 0 {
 			n *= 100
@@ -223,15 +237,24 @@ func BriscTable(withTimings bool) ([]BriscRow, error) {
 			return nil, err
 		}
 		if withTimings {
-			nativeTime := measureNamed(name+".native_run", func() { mustRunVM(prog) })
-			jitTime := measureNamed(name+".jit_run", func() {
+			nativeTime, err := measureNamed(name+".native_run", func() error { return runVM(prog) })
+			if err != nil {
+				return nil, err
+			}
+			jitTime, err := measureNamed(name+".jit_run", func() error {
 				jp, err := brisc.JIT(obj)
 				if err != nil {
-					panic(err)
+					return err
 				}
-				mustRunVM(jp)
+				return runVM(jp)
 			})
-			interpTime := measureNamed(name+".interp_run", func() { mustRunInterp(obj) })
+			if err != nil {
+				return nil, err
+			}
+			interpTime, err := measureNamed(name+".interp_run", func() error { return runInterp(obj) })
+			if err != nil {
+				return nil, err
+			}
 			row.JITRunRatio = jitTime.Seconds() / nativeTime.Seconds()
 			row.InterpRatio = interpTime.Seconds() / nativeTime.Seconds()
 			rec.SetGauge("experiments.interp_penalty."+name, row.InterpRatio)
@@ -241,18 +264,16 @@ func BriscTable(withTimings bool) ([]BriscRow, error) {
 	return rows, nil
 }
 
-func mustRunVM(p *vm.Program) {
+func runVM(p *vm.Program) error {
 	m := vm.NewMachine(p, 0, io.Discard)
-	if _, err := m.Run(0); err != nil {
-		panic(err)
-	}
+	_, err := m.Run(0)
+	return err
 }
 
-func mustRunInterp(o *brisc.Object) {
+func runInterp(o *brisc.Object) error {
 	it := brisc.NewInterp(o, 0, io.Discard)
-	if _, err := it.Run(0); err != nil {
-		panic(err)
-	}
+	_, err := it.Run(0)
+	return err
 }
 
 // FormatBriscTable renders T2.
@@ -597,8 +618,14 @@ func InterpPenalty() ([]PenaltyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		nativeTime := measureNamed(name+".native_run", func() { mustRunVM(prog) })
-		interpTime := measureNamed(name+".interp_run", func() { mustRunInterp(obj) })
+		nativeTime, err := measureNamed(name+".native_run", func() error { return runVM(prog) })
+		if err != nil {
+			return nil, err
+		}
+		interpTime, err := measureNamed(name+".interp_run", func() error { return runInterp(obj) })
+		if err != nil {
+			return nil, err
+		}
 		penalty := interpTime.Seconds() / nativeTime.Seconds()
 		rec.SetGauge("experiments.interp_penalty."+name, penalty)
 		rows = append(rows, PenaltyRow{Kernel: name, Penalty: penalty})

@@ -14,11 +14,11 @@ package flatezip
 import (
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"repro/internal/bitio"
 	"repro/internal/huffman"
+	"repro/internal/integrity"
 )
 
 const (
@@ -38,7 +38,14 @@ const (
 var magic = [4]byte{'F', 'Z', '1', '\n'}
 
 // ErrCorrupt is returned when the input is not a valid flatezip stream.
-var ErrCorrupt = errors.New("flatezip: corrupt input")
+// It matches integrity.ErrCorrupt under errors.Is.
+var ErrCorrupt = integrity.Alias("flatezip: corrupt input", integrity.ErrCorrupt)
+
+// ErrTooLarge is returned by DecompressLimit when the stream's declared
+// raw size exceeds the caller's cap. It also matches ErrCorrupt and
+// integrity.ErrTooLarge.
+var ErrTooLarge = integrity.Alias("flatezip: declared size exceeds cap",
+	integrity.ErrTooLarge, ErrCorrupt)
 
 // DEFLATE length code table: code -> (base length, extra bits).
 var lengthBase = [29]int{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
@@ -235,6 +242,14 @@ func mustW(err error) {
 
 // Decompress reverses Compress.
 func Decompress(data []byte) ([]byte, error) {
+	return DecompressLimit(data, 0)
+}
+
+// DecompressLimit is Decompress with a decompression-bomb guard: the
+// stream's declared raw size is validated against max *before* the
+// output buffer is allocated, returning ErrTooLarge when it exceeds it.
+// A max of 0 applies only the built-in 2 GiB sanity cap.
+func DecompressLimit(data []byte, max uint64) ([]byte, error) {
 	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -245,6 +260,9 @@ func Decompress(data []byte) ([]byte, error) {
 	}
 	if rawSize > 1<<31 {
 		return nil, fmt.Errorf("%w: implausible size %d", ErrCorrupt, rawSize)
+	}
+	if max > 0 && rawSize > max {
+		return nil, fmt.Errorf("%w: declared %d > cap %d", ErrTooLarge, rawSize, max)
 	}
 	br := bitio.NewReader(r)
 	llCode, err := huffman.ReadLengths(br)

@@ -2,6 +2,8 @@ package flatezip
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -12,6 +14,15 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("hello hello hello"))
 	f.Add(bytes.Repeat([]byte{0}, 1000))
 	f.Add(Compress([]byte("seed object")))
+	// Example-module sources, raw and compressed, as realistic seeds.
+	if files, _ := filepath.Glob(filepath.Join("..", "..", "examples", "modules", "*.mc")); len(files) > 0 {
+		for _, p := range files {
+			if src, err := os.ReadFile(p); err == nil {
+				f.Add(src)
+				f.Add(Compress(src))
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		back, err := Decompress(Compress(data))
 		if err != nil {

@@ -1,0 +1,100 @@
+package guard
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestZeroGovNeverTraps(t *testing.T) {
+	var g Gov
+	for i := int64(0); i < 10_000; i++ {
+		if err := g.Check(i, int(i), i); err != nil {
+			t.Fatalf("zero governor trapped: %v", err)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	legacy := errors.New("legacy out of steps")
+	g := New("vm", Limits{MaxSteps: 100}, legacy)
+	if err := g.Check(99, 0, 12); err != nil {
+		t.Fatalf("under limit: %v", err)
+	}
+	err := g.Check(100, 0, 12)
+	if err == nil {
+		t.Fatal("at limit: want trap")
+	}
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		t.Fatalf("want *TrapError, got %T", err)
+	}
+	if trap.Engine != "vm" || trap.Limit != LimitSteps || trap.PC != 12 || trap.Steps != 100 {
+		t.Fatalf("trap fields: %+v", trap)
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatal("trap must match ErrLimit")
+	}
+	if !errors.Is(err, legacy) {
+		t.Fatal("steps trap must unwrap to the legacy sentinel")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	g := New("irexec", Limits{MaxCallDepth: 8}, nil)
+	if err := g.Check(1, 8, 0); err != nil {
+		t.Fatalf("at depth limit: %v", err)
+	}
+	err := g.Check(2, 9, 0)
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Limit != LimitDepth {
+		t.Fatalf("want depth trap, got %v", err)
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatal("depth trap must match ErrLimit")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	g := New("brisc", Limits{Deadline: time.Now().Add(-time.Second)}, nil)
+	// First poll happens at steps >= 0, so the very first check traps.
+	err := g.Check(0, 0, 0)
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Limit != LimitDeadline {
+		t.Fatalf("want deadline trap, got %v", err)
+	}
+}
+
+func TestDeadlinePollingInterval(t *testing.T) {
+	g := New("brisc", Limits{Deadline: time.Now().Add(time.Hour)}, nil)
+	for i := int64(0); i < 100_000; i++ {
+		if err := g.Check(i, 0, 0); err != nil {
+			t.Fatalf("future deadline trapped: %v", err)
+		}
+	}
+}
+
+func TestMemLimit(t *testing.T) {
+	g := New("vm", Limits{MaxMem: 1 << 20}, nil)
+	if err := g.CheckMem(1 << 20); err != nil {
+		t.Fatalf("at mem limit: %v", err)
+	}
+	err := g.CheckMem(1<<20 + 1)
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Limit != LimitMem {
+		t.Fatalf("want mem trap, got %v", err)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	l := Limits{MaxSteps: 5}.WithTimeout(time.Minute)
+	if l.Deadline.IsZero() || l.MaxSteps != 5 {
+		t.Fatalf("WithTimeout: %+v", l)
+	}
+	if !(Limits{}.Zero()) {
+		t.Fatal("zero Limits should report Zero")
+	}
+	if l.Zero() {
+		t.Fatal("non-zero Limits should not report Zero")
+	}
+}

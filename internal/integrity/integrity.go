@@ -1,0 +1,100 @@
+// Package integrity is the shared hardening layer for untrusted
+// artifacts: a typed error taxonomy every decoder surfaces through, and
+// CRC32C (Castagnoli) framing helpers the container formats use for
+// per-segment trailers. Decoders verify checksums and declared sizes
+// *before* entropy-decoding or allocating, so a corrupt or hostile
+// image fails fast with an errors.Is-able kind instead of decoding to
+// garbage or ballooning memory.
+//
+// Format packages alias their own sentinels onto these kinds with
+// Alias, so both errors.Is(err, wire.ErrCorrupt) and
+// errors.Is(err, integrity.ErrCorrupt) hold on the same error chain.
+package integrity
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The error taxonomy. Every decode failure in the repository maps onto
+// exactly one of these kinds (possibly through a package-local alias).
+var (
+	// ErrTruncated: the input ends before its declared structure does.
+	ErrTruncated = errors.New("integrity: truncated input")
+	// ErrCorrupt: the input is structurally invalid or fails a checksum.
+	ErrCorrupt = errors.New("integrity: corrupt input")
+	// ErrVersion: the container declares a format version this decoder
+	// does not speak.
+	ErrVersion = errors.New("integrity: unsupported format version")
+	// ErrTooLarge: a declared size exceeds the configured cap; the
+	// decoder refused before allocating.
+	ErrTooLarge = errors.New("integrity: declared size exceeds cap")
+)
+
+// aliasError lets a package-local sentinel match one or more taxonomy
+// kinds (and other sentinels) under errors.Is while keeping its own
+// message and identity.
+type aliasError struct {
+	msg   string
+	kinds []error
+}
+
+func (e *aliasError) Error() string { return e.msg }
+
+func (e *aliasError) Is(target error) bool {
+	for _, k := range e.kinds {
+		if errors.Is(k, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// Alias builds a sentinel error with the given message that
+// errors.Is-matches every listed kind (transitively, so aliases can
+// reference other aliases).
+func Alias(msg string, kinds ...error) error {
+	return &aliasError{msg: msg, kinds: kinds}
+}
+
+// crcTable is the Castagnoli polynomial table (CRC32C, hardware-
+// accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumLen is the byte size of a serialized checksum trailer.
+const ChecksumLen = 4
+
+// Checksum returns the CRC32C of data.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
+
+// AppendChecksum appends the little-endian CRC32C of payload to dst.
+func AppendChecksum(dst []byte, payload []byte) []byte {
+	return binary.LittleEndian.AppendUint32(dst, Checksum(payload))
+}
+
+// SplitChecksum splits data into payload and its trailing CRC32C,
+// verifying the checksum. It returns ErrTruncated when data cannot hold
+// a trailer and ErrCorrupt (tagged with what) on a mismatch.
+func SplitChecksum(data []byte, what string) ([]byte, error) {
+	if len(data) < ChecksumLen {
+		return nil, fmt.Errorf("%w: %s: no room for checksum trailer", ErrTruncated, what)
+	}
+	payload := data[:len(data)-ChecksumLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-ChecksumLen:])
+	if got := Checksum(payload); got != want {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch (got %08x, want %08x)", ErrCorrupt, what, got, want)
+	}
+	return payload, nil
+}
+
+// CheckSize validates a declared size against a cap before any
+// allocation, returning ErrTooLarge (tagged with what) on overflow.
+// A cap of 0 means unlimited.
+func CheckSize(what string, declared, cap uint64) error {
+	if cap > 0 && declared > cap {
+		return fmt.Errorf("%w: %s declares %d bytes (cap %d)", ErrTooLarge, what, declared, cap)
+	}
+	return nil
+}

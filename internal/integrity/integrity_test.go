@@ -1,0 +1,78 @@
+package integrity
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAliasMatchesAllKinds(t *testing.T) {
+	local := Alias("pkg: corrupt", ErrCorrupt)
+	specific := Alias("pkg: truncated", ErrTruncated, local)
+
+	if !errors.Is(local, ErrCorrupt) {
+		t.Fatal("alias should match its kind")
+	}
+	if !errors.Is(specific, ErrTruncated) {
+		t.Fatal("alias should match first kind")
+	}
+	if !errors.Is(specific, local) {
+		t.Fatal("alias should match another alias directly")
+	}
+	if !errors.Is(specific, ErrCorrupt) {
+		t.Fatal("alias should match transitively through another alias")
+	}
+	if errors.Is(local, ErrVersion) {
+		t.Fatal("alias must not match unrelated kinds")
+	}
+	if errors.Is(ErrCorrupt, local) {
+		t.Fatal("matching is one-directional")
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	payload := []byte("hello, checksummed world")
+	framed := AppendChecksum(append([]byte(nil), payload...), payload)
+	if len(framed) != len(payload)+ChecksumLen {
+		t.Fatalf("framed len = %d, want %d", len(framed), len(payload)+ChecksumLen)
+	}
+	got, err := SplitChecksum(framed, "test")
+	if err != nil {
+		t.Fatalf("SplitChecksum: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	payload := []byte("some segment bytes")
+	framed := AppendChecksum(append([]byte(nil), payload...), payload)
+	for i := range framed {
+		mut := append([]byte(nil), framed...)
+		mut[i] ^= 0x40
+		if _, err := SplitChecksum(mut, "seg"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestChecksumTruncated(t *testing.T) {
+	for n := 0; n < ChecksumLen; n++ {
+		if _, err := SplitChecksum(make([]byte, n), "seg"); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("len %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestCheckSize(t *testing.T) {
+	if err := CheckSize("container", 100, 100); err != nil {
+		t.Fatalf("at cap: %v", err)
+	}
+	if err := CheckSize("container", 5, 0); err != nil {
+		t.Fatalf("cap 0 means unlimited: %v", err)
+	}
+	err := CheckSize("container", 101, 100)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over cap: err = %v, want ErrTooLarge", err)
+	}
+}

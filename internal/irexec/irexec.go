@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/guard"
 	"repro/internal/ir"
 	"repro/internal/telemetry"
 )
@@ -42,8 +43,13 @@ type Machine struct {
 	funcs    map[string]*ir.Function
 	sp       int32
 	dataEnd  int32
-	maxSteps int64
 	halted   bool
+
+	// limits bounds every Run (install with SetLimits); gov is the
+	// per-run governor and depth the live call-nesting count.
+	limits guard.Limits
+	gov    guard.Gov
+	depth  int
 
 	// Telemetry: per-operator evaluation counts, published at Run exit.
 	rec          *telemetry.Recorder
@@ -108,20 +114,43 @@ func (mc *Machine) FlushTelemetry() {
 	}
 }
 
+// SetLimits installs resource limits honored by every subsequent Run.
+// The memory limit is validated against the machine's memory
+// immediately; a violation returns a *guard.TrapError.
+func (mc *Machine) SetLimits(l guard.Limits) error {
+	g := guard.New("irexec", l, ErrOutOfSteps)
+	if err := g.CheckMem(len(mc.Mem)); err != nil {
+		return err
+	}
+	mc.limits = l
+	return nil
+}
+
 // Run executes main with no arguments and returns its value as the
-// exit code. maxSteps bounds evaluated tree nodes (0 = 500M).
+// exit code. maxSteps bounds evaluated tree nodes (0 = 500M, merged
+// with any SetLimits step bound). A limit violation returns a
+// *guard.TrapError, which still matches ErrOutOfSteps for the step
+// limit.
 func (mc *Machine) Run(maxSteps int64) (int32, error) {
 	defer mc.FlushTelemetry()
 	if maxSteps <= 0 {
 		maxSteps = 500_000_000
 	}
-	mc.maxSteps = maxSteps
+	l := mc.limits
+	if l.MaxSteps == 0 || maxSteps < l.MaxSteps {
+		l.MaxSteps = maxSteps
+	}
+	mc.gov = guard.New("irexec", l, ErrOutOfSteps)
 	main := mc.funcs["main"]
 	if main == nil {
 		return 0, fmt.Errorf("irexec: no main function")
 	}
 	v, err := mc.call(main, nil)
 	if err != nil {
+		var trap *guard.TrapError
+		if mc.rec != nil && errors.As(err, &trap) {
+			mc.rec.Add("irexec.governor."+trap.Limit, 1)
+		}
 		return 0, err
 	}
 	if mc.halted {
@@ -145,7 +174,8 @@ func (mc *Machine) call(f *ir.Function, args []int32) (int32, error) {
 		return 0, fmt.Errorf("%w: stack overflow in %s", ErrMemFault, f.Name)
 	}
 	base := mc.sp
-	defer func() { mc.sp += size }()
+	mc.depth++
+	defer func() { mc.sp += size; mc.depth-- }()
 
 	labels := map[int64]int{}
 	for i, t := range f.Trees {
@@ -157,6 +187,12 @@ func (mc *Machine) call(f *ir.Function, args []int32) (int32, error) {
 	var pendingArgs []int32
 	pc := 0
 	for pc < len(f.Trees) {
+		// Statement dispatch counts as a step too: a LABELV/JUMPV-only
+		// loop never reaches eval, and must still hit the governor.
+		mc.Steps++
+		if err := mc.gov.Check(mc.Steps, mc.depth, int64(pc)); err != nil {
+			return 0, err
+		}
 		t := f.Trees[pc]
 		switch t.Op {
 		case ir.LABELV:
@@ -230,8 +266,8 @@ func (mc *Machine) eval(t *ir.Tree, fr *frame, pendingArgs *[]int32) (int32, err
 		mc.opCounts[t.Op]++
 	}
 	mc.Steps++
-	if mc.Steps > mc.maxSteps {
-		return 0, ErrOutOfSteps
+	if err := mc.gov.Check(mc.Steps, mc.depth, int64(mc.depth)); err != nil {
+		return 0, err
 	}
 	switch t.Op {
 	case ir.CNSTC, ir.CNSTS, ir.CNSTI:

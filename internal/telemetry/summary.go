@@ -27,6 +27,22 @@ func WriteSummary(w io.Writer, r *Recorder) {
 		fmt.Fprintf(w, "-- spans --\n")
 		writeSpanTree(w, spans)
 	}
+	// Robustness events lead the numeric sections: governor trap hits
+	// and corruption detections are what an operator scans for first
+	// when a run of untrusted input dies.
+	traps := map[string]int64{}
+	for k, v := range counters {
+		if strings.Contains(k, ".governor.") || strings.Contains(k, ".corrupt") {
+			traps[k] = v
+		}
+	}
+	if len(traps) > 0 {
+		fmt.Fprintf(w, "-- traps --\n")
+		for _, k := range sortedKeys(traps) {
+			fmt.Fprintf(w, "%-42s %14d\n", k, traps[k])
+			delete(counters, k)
+		}
+	}
 	if len(counters) > 0 {
 		fmt.Fprintf(w, "-- counters --\n")
 		for _, k := range sortedKeys(counters) {

@@ -267,6 +267,32 @@ func TestWriteSummary(t *testing.T) {
 	}
 }
 
+// Governor and corruption counters route to a dedicated traps section
+// ahead of the general counters, and are not double-printed.
+func TestWriteSummaryTraps(t *testing.T) {
+	r := New()
+	r.Add("vm.governor.steps", 2)
+	r.Add("wire.corrupt", 1)
+	r.Add("bytes_out", 99)
+
+	var buf bytes.Buffer
+	WriteSummary(&buf, r)
+	out := buf.String()
+	trapsAt := strings.Index(out, "-- traps --")
+	countersAt := strings.Index(out, "-- counters --")
+	if trapsAt < 0 || countersAt < 0 || trapsAt > countersAt {
+		t.Fatalf("traps section missing or misplaced:\n%s", out)
+	}
+	for _, want := range []string{"vm.governor.steps", "wire.corrupt", "bytes_out"} {
+		if strings.Count(out, want) != 1 {
+			t.Errorf("%q should appear exactly once:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "vm.governor.steps") > countersAt {
+		t.Errorf("trap counter printed under counters, not traps:\n%s", out)
+	}
+}
+
 func TestWriteJSONSnapshot(t *testing.T) {
 	r := New()
 	sp := r.StartSpan("s", Int("n", 1))

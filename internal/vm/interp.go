@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/guard"
+	"repro/internal/integrity"
 	"repro/internal/telemetry"
 )
 
@@ -15,6 +17,10 @@ var (
 	ErrMemFault   = errors.New("vm: memory fault")
 	ErrDivByZero  = errors.New("vm: division by zero")
 	ErrBadPC      = errors.New("vm: pc out of range")
+	// ErrIllegal reports an illegal opcode or unknown trap — loaded code
+	// that is structurally invalid, so it also matches
+	// integrity.ErrCorrupt.
+	ErrIllegal = integrity.Alias("vm: illegal instruction", integrity.ErrCorrupt)
 )
 
 // DefaultMemSize is the default machine memory, sized like the paper's
@@ -33,6 +39,13 @@ type Machine struct {
 	Steps    int64
 	ExitCode int32
 	Halted   bool
+
+	// Depth tracks nested activations (CALL increments, returns
+	// decrement) for the governor's call-depth limit.
+	Depth int
+
+	// limits bounds every Run; install with SetLimits.
+	limits guard.Limits
 
 	// Trace, when non-nil, is invoked with the pc of every executed
 	// instruction (used by the paging/working-set experiments).
@@ -71,6 +84,7 @@ func (m *Machine) Reset() {
 	m.Steps = 0
 	m.ExitCode = 0
 	m.Halted = false
+	m.Depth = 0
 	m.flushedSteps = 0
 	for i := range m.opCounts {
 		m.opCounts[i] = 0
@@ -136,19 +150,47 @@ func (m *Machine) store8(addr, v int32) error {
 	return nil
 }
 
-// Run executes until HALT, an exit trap, an error, or maxSteps
-// instructions (0 = no limit). It returns the exit code.
+// SetLimits installs resource limits honored by every subsequent Run.
+// The memory limit is validated against the machine's memory
+// immediately; a violation returns a *guard.TrapError.
+func (m *Machine) SetLimits(l guard.Limits) error {
+	g := guard.New("vm", l, ErrOutOfSteps)
+	if err := g.CheckMem(len(m.Mem)); err != nil {
+		return err
+	}
+	m.limits = l
+	return nil
+}
+
+// Run executes until HALT, an exit trap, an error, or a resource limit
+// (maxSteps, 0 = no limit, merges with any SetLimits step bound). A
+// limit violation returns a *guard.TrapError, which still matches
+// ErrOutOfSteps for the step limit. It returns the exit code.
 func (m *Machine) Run(maxSteps int64) (int32, error) {
 	defer m.FlushTelemetry()
+	l := m.limits
+	if maxSteps > 0 && (l.MaxSteps == 0 || maxSteps < l.MaxSteps) {
+		l.MaxSteps = maxSteps
+	}
+	g := guard.New("vm", l, ErrOutOfSteps)
 	for !m.Halted {
-		if maxSteps > 0 && m.Steps >= maxSteps {
-			return 0, fmt.Errorf("%w: %d", ErrOutOfSteps, maxSteps)
+		if err := g.Check(m.Steps, m.Depth, int64(m.PC)); err != nil {
+			m.recordTrap(err)
+			return 0, err
 		}
 		if err := m.Step(); err != nil {
 			return 0, err
 		}
 	}
 	return m.ExitCode, nil
+}
+
+// recordTrap bumps the telemetry counter for a governor trap.
+func (m *Machine) recordTrap(err error) {
+	var trap *guard.TrapError
+	if m.rec != nil && errors.As(err, &trap) {
+		m.rec.Add("vm.governor."+trap.Limit, 1)
+	}
 }
 
 // Step executes one instruction.
@@ -276,8 +318,12 @@ func (m *Machine) Step() error {
 	case CALL:
 		r[RegRA] = next
 		next = ins.Target
+		m.Depth++
 	case RJR:
 		next = r[ins.Rs1]
+		if m.Depth > 0 {
+			m.Depth--
+		}
 	case ENTER:
 		r[RegSP] -= ins.Imm
 	case EXIT:
@@ -290,6 +336,9 @@ func (m *Machine) Step() error {
 		r[RegSP] += ins.Imm
 		r[RegRA] = ra
 		next = ra
+		if m.Depth > 0 {
+			m.Depth--
+		}
 	case TRAP:
 		if err := m.trap(ins.Imm); err != nil {
 			return err
@@ -298,7 +347,7 @@ func (m *Machine) Step() error {
 		m.Halted = true
 		m.ExitCode = r[RegArg0]
 	default:
-		return fmt.Errorf("vm: illegal opcode %d at pc %d", ins.Op, m.PC)
+		return fmt.Errorf("%w: illegal opcode %d at pc %d", ErrIllegal, ins.Op, m.PC)
 	}
 	m.PC = next
 	return nil
@@ -324,7 +373,7 @@ func (m *Machine) trap(id int32) error {
 		m.Halted = true
 		m.ExitCode = arg
 	default:
-		return fmt.Errorf("vm: unknown trap %d at pc %d", id, m.PC)
+		return fmt.Errorf("%w: unknown trap %d at pc %d", ErrIllegal, id, m.PC)
 	}
 	m.Regs[RegArg0] = 0
 	return nil

@@ -1,10 +1,26 @@
 package wire
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/cc"
 )
+
+// exampleSources reads the shared example modules so real artifacts
+// seed the corpus; an empty map (tree moved, partial checkout) just
+// leaves the inline seeds.
+func exampleSources() map[string]string {
+	files, _ := filepath.Glob(filepath.Join("..", "..", "examples", "modules", "*.mc"))
+	out := map[string]string{}
+	for _, p := range files {
+		if b, err := os.ReadFile(p); err == nil {
+			out[filepath.Base(p)] = string(b)
+		}
+	}
+	return out
+}
 
 // Fuzz targets: decoders must never panic on arbitrary bytes. Under
 // plain `go test` these run their seed corpus; `go test -fuzz` explores
@@ -23,6 +39,18 @@ int main(void) { return f(2, 3); }`)
 			f.Add(data)
 		}
 		if data, err := CompressIndexed(mod, opt); err == nil {
+			f.Add(data)
+		}
+	}
+	for name, src := range exampleSources() {
+		mod, err := cc.Compile(name, src)
+		if err != nil {
+			continue
+		}
+		if data, err := Compress(mod); err == nil {
+			f.Add(data)
+		}
+		if data, err := CompressIndexed(mod, Options{}); err == nil {
 			f.Add(data)
 		}
 	}

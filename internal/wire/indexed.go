@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/flatezip"
 	"repro/internal/huffman"
+	"repro/internal/integrity"
 	"repro/internal/ir"
 	"repro/internal/mtf"
 	"repro/internal/parallel"
@@ -272,19 +273,26 @@ func compressIndexed(m *ir.Module, opt Options, pool *parallel.Pool) ([]byte, er
 		return nil, err
 	}
 
-	// Assemble.
+	// Assemble. The prefix (magic through the chunk-length table) gets
+	// its own CRC32C and each chunk carries a trailing CRC32C — but no
+	// whole-file checksum, so partial loads still touch only the header
+	// plus the chunks they read.
 	var out []byte
 	out = append(out, idxMagic[:]...)
+	out = append(out, formatVersion)
 	out = append(out, encodeOpts(opt))
 	hc := finalStage(hdr.Bytes(), opt.Final)
 	out = appendUv(out, uint64(len(hc)))
 	out = append(out, hc...)
 	out = appendUv(out, uint64(len(chunks)))
 	for _, c := range chunks {
-		out = appendUv(out, uint64(len(c)))
+		// Framed chunk length includes the CRC trailer.
+		out = appendUv(out, uint64(len(c))+integrity.ChecksumLen)
 	}
+	out = integrity.AppendChecksum(out, out)
 	for _, c := range chunks {
 		out = append(out, c...)
+		out = integrity.AppendChecksum(out, c)
 	}
 	return out, nil
 }
@@ -410,14 +418,20 @@ type IndexedReader struct {
 // OpenIndexed parses the header of an indexed wire object without
 // touching any function chunk.
 func OpenIndexed(data []byte) (*IndexedReader, error) {
-	if len(data) < 5 || !bytes.Equal(data[:4], idxMagic[:]) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("%w: short indexed header", ErrTruncated)
+	}
+	if !bytes.Equal(data[:4], idxMagic[:]) {
 		return nil, fmt.Errorf("%w: bad indexed magic", ErrCorrupt)
 	}
-	opt, err := decodeOpts(data[4])
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("%w: indexed version %d (decoder speaks %d)", ErrVersion, data[4], formatVersion)
+	}
+	opt, err := decodeOpts(data[5])
 	if err != nil {
 		return nil, err
 	}
-	pos := 5
+	pos := 6
 	uv := func() (uint64, error) {
 		v, n := binary.Uvarint(data[pos:])
 		if n <= 0 {
@@ -432,31 +446,48 @@ func OpenIndexed(data []byte) (*IndexedReader, error) {
 	}
 	hcomp := data[pos : pos+int(hlen)]
 	pos += int(hlen)
-	hdr, err := unfinalStage(hcomp, opt.Final)
-	if err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
-	}
-	r := &IndexedReader{opt: opt, litCodes: map[ir.Op]*huffman.Code{}, BytesTouched: 5 + int(hlen)}
-	if err := r.parseHeader(hdr); err != nil {
-		return nil, err
-	}
+	r := &IndexedReader{opt: opt, litCodes: map[ir.Op]*huffman.Code{}}
+	// Bound the count before sizing the table: every chunk needs at
+	// least one length byte in the file, so a count beyond the file
+	// size is a lie (or a decompression bomb).
 	nChunks, err := uv()
-	if err != nil || nChunks != uint64(len(r.module.Functions)) {
+	if err != nil || nChunks > uint64(len(data)) {
 		return nil, fmt.Errorf("%w: chunk count", ErrCorrupt)
 	}
 	lens := make([]int, nChunks)
 	for i := range lens {
 		l, err := uv()
-		if err != nil || l > uint64(len(data)) {
+		if err != nil || l > uint64(len(data)) || l < integrity.ChecksumLen {
 			return nil, fmt.Errorf("%w: chunk length", ErrCorrupt)
 		}
 		lens[i] = int(l)
+	}
+	// The prefix checksum seals everything read so far — magic, version,
+	// options, compressed header, and the chunk-length table — before the
+	// header is entropy-decoded.
+	if pos+integrity.ChecksumLen > len(data) {
+		return nil, fmt.Errorf("%w: no room for prefix checksum", ErrTruncated)
+	}
+	if _, err := integrity.SplitChecksum(data[:pos+integrity.ChecksumLen], "indexed prefix"); err != nil {
+		return nil, retag(err)
+	}
+	pos += integrity.ChecksumLen
+	r.BytesTouched = pos
+	hdr, err := unfinalStage(hcomp, opt.Final)
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if err := r.parseHeader(hdr); err != nil {
+		return nil, err
+	}
+	if nChunks != uint64(len(r.module.Functions)) {
+		return nil, fmt.Errorf("%w: chunk count", ErrCorrupt)
 	}
 	r.chunks = make([][]byte, nChunks)
 	r.loaded = make([]bool, nChunks)
 	for i, l := range lens {
 		if pos+l > len(data) {
-			return nil, fmt.Errorf("%w: truncated chunk %d", ErrCorrupt, i)
+			return nil, fmt.Errorf("%w: truncated chunk %d", ErrTruncated, i)
 		}
 		r.chunks[i] = data[pos : pos+l]
 		pos += l
@@ -630,9 +661,14 @@ func (r *IndexedReader) LoadFunction(name string) (*ir.Function, error) {
 		telemetry.Int("chunk_bytes", int64(len(r.chunks[fi]))))
 	defer sp.End()
 	r.BytesTouched += len(r.chunks[fi])
+	// Verify the chunk's CRC trailer before any entropy decoding.
+	chunk, err := integrity.SplitChecksum(r.chunks[fi], "function chunk")
+	if err != nil {
+		return nil, retag(err)
+	}
 	f := r.module.Functions[fi]
 	count := r.treeCounts[fi]
-	br := bitio.NewReader(bytes.NewReader(r.chunks[fi]))
+	br := bitio.NewReader(bytes.NewReader(chunk))
 	shapeStream, err := readCodedStream(br, count, r.shapeCode, r.opt)
 	if err != nil {
 		return nil, fmt.Errorf("%w: shape stream for %s: %v", ErrCorrupt, name, err)

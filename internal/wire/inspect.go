@@ -12,12 +12,14 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/arith"
 	"repro/internal/bitio"
 	"repro/internal/flatezip"
 	"repro/internal/huffman"
+	"repro/internal/integrity"
 	"repro/internal/ir"
 	"repro/internal/mtf"
 )
@@ -71,24 +73,42 @@ type Inspection struct {
 
 // Inspect attributes every byte of a WIR2 artifact.
 func Inspect(data []byte) (*Inspection, error) {
-	if len(data) < 5 || !bytes.Equal(data[:4], magic[:]) {
+	if len(data) < 4 || !bytes.Equal(data[:4], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	opt, err := decodeOpts(data[4])
+	body, err := integrity.SplitChecksum(data, "wire object")
+	if err != nil {
+		return nil, retag(err)
+	}
+	if len(body) < 7 {
+		return nil, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	if body[4] != formatVersion {
+		return nil, fmt.Errorf("%w: version %d (decoder speaks %d)", ErrVersion, body[4], formatVersion)
+	}
+	opt, err := decodeOpts(body[5])
 	if err != nil {
 		return nil, err
 	}
+	declared, nsz := binary.Uvarint(body[6:])
+	if nsz <= 0 {
+		return nil, fmt.Errorf("%w: container size header", ErrCorrupt)
+	}
+	payload := body[6+nsz:]
 	var container []byte
 	switch opt.Final {
 	case FinalLZ:
-		container, err = flatezip.Decompress(data[5:])
+		container, err = flatezip.Decompress(payload)
 	case FinalArith:
-		container, err = arith.Decompress(data[5:], arith.Order1)
+		container, err = arith.Decompress(payload, arith.Order1)
 	case FinalNone:
-		container = data[5:]
+		container = payload
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: final stage: %v", ErrCorrupt, err)
+	}
+	if uint64(len(container)) != declared {
+		return nil, fmt.Errorf("%w: container is %d bytes, header declares %d", ErrCorrupt, len(container), declared)
 	}
 	insp := &Inspection{Opt: opt, FileBytes: len(data), ContainerBytes: len(container)}
 	if err := insp.walk(container); err != nil {
@@ -322,11 +342,20 @@ func (insp *Inspection) readStream(c *icursor, name string, op ir.Op, class stri
 	if err := c.skip(int(segLen)); err != nil {
 		return fmt.Errorf("%w: segment bytes for %s", ErrCorrupt, name)
 	}
+	segEnd := c.pos
+	// The per-segment CRC32C trailer belongs to the stream's framed
+	// range (so the partition stays exact) but not to SegBytes.
+	if err := c.skip(integrity.ChecksumLen); err != nil {
+		return fmt.Errorf("%w: segment checksum for %s", ErrTruncated, name)
+	}
+	if _, err := integrity.SplitChecksum(c.data[segStart:c.pos], "stream segment"); err != nil {
+		return retag(err)
+	}
 	st := StreamInfo{
 		Name: name, Op: op, Count: count,
 		Start: start, Len: c.pos - start, SegBytes: int(segLen),
 	}
-	if err := decodeSegmentDetail(&st, c.data[segStart:c.pos], insp.Opt); err != nil {
+	if err := decodeSegmentDetail(&st, c.data[segStart:segEnd], insp.Opt); err != nil {
 		return fmt.Errorf("%w: stream %s: %v", ErrCorrupt, name, err)
 	}
 	insp.Sections = append(insp.Sections, Section{Name: "stream[" + name + "]", Class: class, Start: start, Len: st.Len})

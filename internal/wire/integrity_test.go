@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/integrity"
+	"repro/internal/ir"
+)
+
+func integrityTestModule(t testing.TB) *ir.Module {
+	t.Helper()
+	mod, err := cc.Compile("integ", `
+int g = 42;
+int twice(int x) { return x + x; }
+int main(void) { return twice(g); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestEveryByteFlipDetected: the whole-file CRC means no single-byte
+// corruption of a wire object can decode silently — every flip must
+// surface a typed error.
+func TestEveryByteFlipDetected(t *testing.T) {
+	data, err := Compress(integrityTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x10
+		_, err := Decompress(bad)
+		if err == nil {
+			t.Fatalf("flip at byte %d decoded silently", i)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: untyped error: %v", i, err)
+		}
+	}
+}
+
+// TestTruncationSweep: every prefix of a wire object must be rejected
+// with a typed error.
+func TestTruncationSweep(t *testing.T) {
+	data, err := Compress(integrityTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		_, err := Decompress(data[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d of %d decoded silently", cut, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: untyped error: %v", cut, err)
+		}
+	}
+}
+
+// TestVersionByteRejected rewrites the version byte and reseals the
+// file CRC, so the error must come from the version check itself.
+func TestVersionByteRejected(t *testing.T) {
+	data, err := Compress(integrityTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte(nil), data[:len(data)-integrity.ChecksumLen]...)
+	body[4] = 99
+	bad := integrity.AppendChecksum(body, body)
+	_, err = Decompress(bad)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 99 not rejected as ErrVersion: %v", err)
+	}
+	if !errors.Is(err, integrity.ErrVersion) || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version error misses taxonomy aliases: %v", err)
+	}
+}
+
+// TestIndexedVersionByteRejected: the indexed header checks its
+// version before the prefix CRC, so a plain byte rewrite suffices.
+func TestIndexedVersionByteRejected(t *testing.T) {
+	data, err := CompressIndexed(integrityTestModule(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[4] = 99
+	_, err = OpenIndexed(bad)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("indexed version 99 not rejected as ErrVersion: %v", err)
+	}
+}
+
+// TestContainerSizeCap: a declared container size beyond the
+// configured cap must be rejected before decompression allocates.
+func TestContainerSizeCap(t *testing.T) {
+	data, err := Compress(integrityTestModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := MaxContainerBytes
+	defer func() { MaxContainerBytes = old }()
+	MaxContainerBytes = 8 // far below any real container
+	_, err = Decompress(data)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("container above cap not rejected as ErrTooLarge: %v", err)
+	}
+	if !errors.Is(err, integrity.ErrTooLarge) {
+		t.Fatalf("cap error misses shared taxonomy: %v", err)
+	}
+	MaxContainerBytes = old
+	if _, err := Decompress(data); err != nil {
+		t.Fatalf("restored cap rejects valid object: %v", err)
+	}
+}
+
+// TestIndexedChunkCorruption flips bytes across the chunk region and
+// demands typed errors from the per-chunk CRC on load.
+func TestIndexedChunkCorruption(t *testing.T) {
+	data, err := CompressIndexed(integrityTestModule(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunks sit at the tail; walk the last third of the file.
+	for off := 2 * len(data) / 3; off < len(data); off++ {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x08
+		r, err := OpenIndexed(bad)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("offset %d: untyped open error: %v", off, err)
+			}
+			continue
+		}
+		if _, err := r.LoadAll(); err == nil {
+			t.Fatalf("flip at byte %d loaded silently", off)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("offset %d: untyped load error: %v", off, err)
+		}
+	}
+}
+
+// TestRoundTripAfterHardening: the v2 container must still reproduce
+// the module exactly on the happy path.
+func TestRoundTripAfterHardening(t *testing.T) {
+	mod := integrityTestModule(t)
+	for _, opt := range []Options{{}, {NoMTF: true}, {Final: FinalArith}, {Final: FinalNone}} {
+		data, err := CompressOpts(mod, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decompress(data)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opt, err)
+		}
+		if back.String() != mod.String() {
+			t.Fatalf("opts %+v: module changed across round trip", opt)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/flatezip"
 	"repro/internal/huffman"
+	"repro/internal/integrity"
 	"repro/internal/ir"
 	"repro/internal/mtf"
 	"repro/internal/parallel"
@@ -87,8 +89,31 @@ func (opt Options) pool(rec *telemetry.Recorder) *parallel.Pool {
 
 var magic = [4]byte{'W', 'I', 'R', '2'}
 
-// ErrCorrupt reports a malformed wire object.
-var ErrCorrupt = errors.New("wire: corrupt input")
+// formatVersion is the container format revision written after the
+// magic. Version 2 added the declared-size header, the whole-file
+// CRC32C trailer, and per-segment CRC32C trailers.
+const formatVersion = 2
+
+// Error taxonomy for malformed wire objects. All of these match
+// ErrCorrupt (and their integrity.* kind) under errors.Is, so callers
+// can test broadly or narrowly.
+var (
+	// ErrCorrupt reports a malformed wire object.
+	ErrCorrupt = integrity.Alias("wire: corrupt input", integrity.ErrCorrupt)
+	// ErrTruncated reports input that ends before its declared structure.
+	ErrTruncated = integrity.Alias("wire: truncated input", integrity.ErrTruncated, ErrCorrupt)
+	// ErrVersion reports a container version this decoder does not speak.
+	ErrVersion = integrity.Alias("wire: unsupported format version", integrity.ErrVersion, ErrCorrupt)
+	// ErrTooLarge reports a declared size above the configured cap; the
+	// decoder refused before allocating.
+	ErrTooLarge = integrity.Alias("wire: declared size exceeds cap", integrity.ErrTooLarge, ErrCorrupt)
+)
+
+// MaxContainerBytes caps the declared (decompressed) container size a
+// decoder will honor, guarding against decompression bombs: the check
+// runs before the final-stage output buffer is allocated. 0 disables
+// the cap.
+var MaxContainerBytes uint64 = 1 << 30
 
 // litOps returns the literal-carrying opcodes in canonical opcode
 // order. Every per-opcode stream map on the encode or decode path must
@@ -149,14 +174,18 @@ func CompressTraced(m *ir.Module, opt Options, rec *telemetry.Recorder) ([]byte,
 	return out, nil
 }
 
-// finalize frames a container with the wire header and runs the final
-// compression stage.
+// finalize frames a container with the wire header — magic, version,
+// options, declared container size — runs the final compression stage,
+// and seals the whole file with a CRC32C trailer.
 func finalize(container []byte, opt Options, rec *telemetry.Recorder) ([]byte, error) {
 	sp := rec.StartSpan("wire.final", telemetry.Int("bytes_in", int64(len(container))))
 	defer sp.End()
 	var out bytes.Buffer
 	out.Write(magic[:])
+	out.WriteByte(formatVersion)
 	out.WriteByte(encodeOpts(opt))
+	var szb [binary.MaxVarintLen64]byte
+	out.Write(szb[:binary.PutUvarint(szb[:], uint64(len(container)))])
 	switch opt.Final {
 	case FinalLZ:
 		out.Write(flatezip.Compress(container))
@@ -167,8 +196,9 @@ func finalize(container []byte, opt Options, rec *telemetry.Recorder) ([]byte, e
 	default:
 		return nil, fmt.Errorf("wire: unknown final coder %d", opt.Final)
 	}
-	sp.SetAttr(telemetry.Int("bytes_out", int64(out.Len())))
-	return out.Bytes(), nil
+	sealed := integrity.AppendChecksum(out.Bytes(), out.Bytes())
+	sp.SetAttr(telemetry.Int("bytes_out", int64(len(sealed))))
+	return sealed, nil
 }
 
 // Decompress reconstructs the module from a wire object.
@@ -187,20 +217,44 @@ func DecompressTraced(data []byte, rec *telemetry.Recorder) (*ir.Module, error) 
 func DecompressParallel(data []byte, workers int, rec *telemetry.Recorder) (*ir.Module, error) {
 	sp := rec.StartSpan("wire.decompress", telemetry.Int("bytes_in", int64(len(data))))
 	defer sp.End()
-	if len(data) < 5 || !bytes.Equal(data[:4], magic[:]) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	opt, err := decodeOpts(data[4])
+	// Verify the whole-file checksum before any entropy decoding, so a
+	// flipped bit anywhere fails here instead of feeding the coders.
+	body, err := integrity.SplitChecksum(data, "wire object")
+	if err != nil {
+		return nil, retag(err)
+	}
+	if len(body) < 7 {
+		return nil, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	if body[4] != formatVersion {
+		return nil, fmt.Errorf("%w: version %d (decoder speaks %d)", ErrVersion, body[4], formatVersion)
+	}
+	opt, err := decodeOpts(body[5])
 	if err != nil {
 		return nil, err
 	}
 	opt.Workers = workers
-	payload := data[5:]
+	declared, nsz := binary.Uvarint(body[6:])
+	if nsz <= 0 {
+		return nil, fmt.Errorf("%w: container size header", ErrCorrupt)
+	}
+	// Bomb guard: validate the declared container size against the cap
+	// before the final stage allocates its output buffer.
+	if err := integrity.CheckSize("container", declared, MaxContainerBytes); err != nil {
+		return nil, retag(err)
+	}
+	payload := body[6+nsz:]
 	fsp := rec.StartSpan("wire.unfinal")
 	var container []byte
 	switch opt.Final {
 	case FinalLZ:
-		container, err = flatezip.Decompress(payload)
+		container, err = flatezip.DecompressLimit(payload, declared)
 	case FinalArith:
 		container, err = arith.Decompress(payload, arith.Order1)
 	case FinalNone:
@@ -211,6 +265,9 @@ func DecompressParallel(data []byte, workers int, rec *telemetry.Recorder) (*ir.
 	if err != nil {
 		return nil, fmt.Errorf("%w: final stage: %v", ErrCorrupt, err)
 	}
+	if uint64(len(container)) != declared {
+		return nil, fmt.Errorf("%w: container is %d bytes, header declares %d", ErrCorrupt, len(container), declared)
+	}
 	psp := rec.StartSpan("wire.parse")
 	m, err := parseContainer(container, opt, opt.pool(rec))
 	psp.End()
@@ -218,6 +275,23 @@ func DecompressParallel(data []byte, workers int, rec *telemetry.Recorder) (*ir.
 		sp.SetAttr(telemetry.Int("trees", int64(m.NumTrees())))
 	}
 	return m, err
+}
+
+// retag maps an integrity-layer error onto this package's taxonomy so
+// callers can match either family under errors.Is.
+func retag(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, integrity.ErrTruncated):
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	case errors.Is(err, integrity.ErrTooLarge):
+		return fmt.Errorf("%w: %v", ErrTooLarge, err)
+	case errors.Is(err, integrity.ErrVersion):
+		return fmt.Errorf("%w: %v", ErrVersion, err)
+	default:
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
 }
 
 func encodeOpts(opt Options) byte {
@@ -489,10 +563,17 @@ func (e *encoder) encode() ([]byte, error) {
 
 // writeSegment frames one coded stream segment with its byte length so
 // the decoder can slice all segments out up front and fan their
-// decoding across workers instead of parsing sequentially.
+// decoding across workers instead of parsing sequentially. A CRC32C
+// trailer follows the bytes (not counted in the length) so each segment
+// is verified before it is entropy-decoded.
 func writeSegment(bw *bitio.Writer, seg []byte) {
 	writeUvarint(bw, uint64(len(seg)))
 	for _, b := range seg {
+		mustW(bw.WriteByte(b))
+	}
+	var crc [integrity.ChecksumLen]byte
+	binary.LittleEndian.PutUint32(crc[:], integrity.Checksum(seg))
+	for _, b := range crc {
 		mustW(bw.WriteByte(b))
 	}
 }
@@ -703,11 +784,16 @@ func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, 
 		if err != nil || n > uint64(len(data)) {
 			return nil, fmt.Errorf("%w: segment length", ErrCorrupt)
 		}
-		seg := make([]byte, n)
-		for i := range seg {
-			if seg[i], err = br.ReadByte(); err != nil {
-				return nil, fmt.Errorf("%w: segment bytes", ErrCorrupt)
+		framed := make([]byte, n+integrity.ChecksumLen)
+		for i := range framed {
+			if framed[i], err = br.ReadByte(); err != nil {
+				return nil, fmt.Errorf("%w: segment bytes", ErrTruncated)
 			}
+		}
+		// Verify the segment trailer before the stream is entropy-decoded.
+		seg, err := integrity.SplitChecksum(framed, "stream segment")
+		if err != nil {
+			return nil, retag(err)
 		}
 		return seg, nil
 	}
