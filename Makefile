@@ -17,11 +17,17 @@ test:
 bench:
 	BENCH_METRICS=BENCH_pipeline.json $(GO) test -bench=. -benchmem .
 
+# Benchmarks snapshotted into the committed baseline and re-run by the
+# `check` regression gate: the parallel-pipeline encoders plus the
+# serial fast-path decode/dispatch micro-benchmarks.
+GATED_BENCH = WireCompress|BriscCompress|Batch|WireDecompress|RawDecode|InterpDispatch
+
 # Regenerate the committed short-mode baseline the `check` regression
 # gate compares against. Run this (and commit the result) after an
-# intentional size change.
+# intentional size change. Built -race like the check run itself so
+# allocation counts compare like with like.
 bench-baseline:
-	BENCH_METRICS=BENCH_baseline.json $(GO) test -short -run='^$$' -bench='WireCompress|BriscCompress|Batch' -benchtime=1x .
+	BENCH_METRICS=BENCH_baseline.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=1x .
 
 # Byte-attribution audit: compscope exits nonzero unless every byte of
 # each artifact is accounted for, so this target fails on any
@@ -44,6 +50,8 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/brisc/
 	$(GO) test -run='^$$' -fuzz='^FuzzRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/flatezip/
 	$(GO) test -run='^$$' -fuzz='^FuzzCompile$$' -fuzztime=$(FUZZTIME) ./internal/cc/
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeVsSlow$$' -fuzztime=$(FUZZTIME) ./internal/huffman/
+	$(GO) test -run='^$$' -fuzz='^FuzzMTFDiff$$' -fuzztime=$(FUZZTIME) ./internal/mtf/
 
 vet:
 	$(GO) vet ./...
@@ -53,12 +61,14 @@ vet:
 # shared-pool stress tests, and the fault-injection sweep over every
 # artifact format), a short fuzz pass over the untrusted-input
 # decoders, one short-mode race-enabled pass over the
-# parallel-pipeline benchmarks gated against the committed baseline
-# (timing-derived speedup metrics are excluded — only deterministic
-# size metrics gate), and the byte-attribution audit.
+# parallel-pipeline and fast-path benchmarks gated against the
+# committed baseline (timing-derived metrics — wall-clock speedups,
+# per-second rates, allocation byte totals that track GC timing — are
+# excluded; deterministic size, symbol, step, and allocation-count
+# metrics gate), and the byte-attribution audit.
 check: fmt vet build
 	$(GO) test -race ./...
 	$(MAKE) fuzz-short
-	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='WireCompress|BriscCompress|Batch' -benchtime=1x .
-	$(GO) run ./cmd/benchdiff -threshold 5 -ignore 'speedup' BENCH_baseline.json /tmp/BENCH_check.json
+	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=1x .
+	$(GO) run ./cmd/benchdiff -threshold 5 -ignore 'speedup|steps/s|bytes/op' BENCH_baseline.json /tmp/BENCH_check.json
 	$(MAKE) attrib

@@ -1,0 +1,131 @@
+package codecomp
+
+// Golden artifact-identity suite: the fast-path work (table-driven
+// Huffman, word-at-a-time bit I/O, predecoded BRISC dispatch) must
+// never change a single output byte. Each entry pins the SHA-256 of a
+// compressed artifact built from a deterministic input; regenerate with
+//
+//	UPDATE_ARTIFACT_HASHES=1 go test -run TestArtifactGolden .
+//
+// only after an *intentional* format change, and say so in the commit.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/brisc"
+	"repro/internal/cc"
+	"repro/internal/codegen"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+const goldenPath = "testdata/artifact_hashes.json"
+
+func buildArtifacts(t *testing.T) map[string][]byte {
+	t.Helper()
+	arts := map[string][]byte{}
+	for _, p := range []workload.Profile{workload.Lcc, workload.Gcc, workload.Wep} {
+		mod, err := cc.Compile(p.Name, workload.Generate(p))
+		if err != nil {
+			t.Fatalf("compile %s: %v", p.Name, err)
+		}
+		wb, err := wire.Compress(mod)
+		if err != nil {
+			t.Fatalf("wire %s: %v", p.Name, err)
+		}
+		arts["wir2/"+p.Name] = wb
+		wx, err := wire.CompressIndexed(mod, wire.Options{})
+		if err != nil {
+			t.Fatalf("wirx %s: %v", p.Name, err)
+		}
+		arts["wirx/"+p.Name] = wx
+		prog, err := codegen.Generate(mod, codegen.Options{})
+		if err != nil {
+			t.Fatalf("codegen %s: %v", p.Name, err)
+		}
+		obj, err := brisc.Compress(prog, brisc.Options{})
+		if err != nil {
+			t.Fatalf("brisc %s: %v", p.Name, err)
+		}
+		arts["brs1/"+p.Name] = obj.Bytes()
+	}
+	for name, src := range workload.Kernels() {
+		mod, err := cc.Compile(name, src)
+		if err != nil {
+			t.Fatalf("compile kernel %s: %v", name, err)
+		}
+		wb, err := wire.Compress(mod)
+		if err != nil {
+			t.Fatalf("wire kernel %s: %v", name, err)
+		}
+		arts["wir2/kernel-"+name] = wb
+		prog, err := codegen.Generate(mod, codegen.Options{})
+		if err != nil {
+			t.Fatalf("codegen kernel %s: %v", name, err)
+		}
+		obj, err := brisc.Compress(prog, brisc.Options{})
+		if err != nil {
+			t.Fatalf("brisc kernel %s: %v", name, err)
+		}
+		arts["brs1/kernel-"+name] = obj.Bytes()
+	}
+	return arts
+}
+
+func TestArtifactGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workloads are slow; run without -short")
+	}
+	arts := buildArtifacts(t)
+	got := map[string]string{}
+	for k, v := range arts {
+		sum := sha256.Sum256(v)
+		got[k] = hex.EncodeToString(sum[:])
+	}
+	if os.Getenv("UPDATE_ARTIFACT_HASHES") != "" {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d hashes to %s", len(got), goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with UPDATE_ARTIFACT_HASHES=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] == "" {
+			t.Errorf("%s: artifact no longer produced", k)
+			continue
+		}
+		if got[k] != want[k] {
+			t.Errorf("%s: artifact bytes changed: %s != golden %s", k, got[k][:16], want[k][:16])
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: artifact missing from golden file (regenerate)", k)
+		}
+	}
+}

@@ -7,17 +7,22 @@ package codecomp
 // numbers behind every table row.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
+	"repro/internal/bitio"
 	"repro/internal/brisc"
 	"repro/internal/cc"
 	"repro/internal/codegen"
 	"repro/internal/experiments"
 	"repro/internal/flatezip"
+	"repro/internal/huffman"
 	"repro/internal/ir"
+	"repro/internal/mtf"
 	"repro/internal/native"
 	"repro/internal/paging"
 	"repro/internal/telemetry"
@@ -60,6 +65,28 @@ func TestMain(m *testing.M) {
 func report(b *testing.B, v float64, unit string) {
 	b.ReportMetric(v, unit)
 	benchRec.SetGauge("bench."+b.Name()+"."+unit, v)
+}
+
+// allocTracked turns on -benchmem-style reporting for b and mirrors
+// the measured bytes/op and allocs/op into the BENCH_METRICS snapshot,
+// so allocation regressions gate through benchdiff like size metrics
+// do. Call it (deferred) at the top of every leaf benchmark:
+//
+//	defer allocTracked(b)()
+func allocTracked(b *testing.B) func() {
+	b.ReportAllocs()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	return func() {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		if b.N > 0 {
+			benchRec.SetGauge("bench."+b.Name()+".allocs/op",
+				float64(m1.Mallocs-m0.Mallocs)/float64(b.N))
+			benchRec.SetGauge("bench."+b.Name()+".bytes/op",
+				float64(m1.TotalAlloc-m0.TotalAlloc)/float64(b.N))
+		}
+	}
 }
 
 // modCache avoids recompiling the big workloads for every benchmark.
@@ -131,6 +158,7 @@ func benchTableWire(b *testing.B, p workload.Profile) {
 	conv := native.EncodeFixed(prog.Code)
 	var wb []byte
 	var err error
+	defer allocTracked(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wb, err = wire.Compress(mod)
@@ -157,6 +185,7 @@ func benchTableBrisc(b *testing.B, p workload.Profile) {
 	natBytes := native.VariableSize(prog.Code)
 	var obj *brisc.Object
 	var err error
+	defer allocTracked(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		obj, err = brisc.Compress(prog, brisc.Options{})
@@ -203,6 +232,7 @@ func BenchmarkTableVariants(b *testing.B) {
 				b.Fatal(err)
 			}
 			var obj *brisc.Object
+			defer allocTracked(b)()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				obj, err = brisc.Compress(prog, brisc.Options{})
@@ -236,6 +266,7 @@ int main(void) { return salt(3, 4); }`
 	}
 	dict := benchObject(b, workload.Gcc).LearnedDict()
 	var obj *brisc.Object
+	defer allocTracked(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		obj, err = brisc.CompressWithDict(prog, dict, brisc.Options{})
@@ -258,6 +289,7 @@ func BenchmarkInterpPenalty(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name+"/native", func(b *testing.B) {
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				m := vm.NewMachine(prog, 0, io.Discard)
 				if _, err := m.Run(0); err != nil {
@@ -266,6 +298,7 @@ func BenchmarkInterpPenalty(b *testing.B) {
 			}
 		})
 		b.Run(name+"/interp", func(b *testing.B) {
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				it := brisc.NewInterp(obj, 0, io.Discard)
 				if _, err := it.Run(0); err != nil {
@@ -285,6 +318,7 @@ func BenchmarkJITThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(native.VariableSize(jp.Code)))
+	defer allocTracked(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := brisc.JIT(obj); err != nil {
@@ -307,6 +341,7 @@ func BenchmarkJITRunPenalty(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name+"/native", func(b *testing.B) {
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				m := vm.NewMachine(prog, 0, io.Discard)
 				if _, err := m.Run(0); err != nil {
@@ -315,6 +350,7 @@ func BenchmarkJITRunPenalty(b *testing.B) {
 			}
 		})
 		b.Run(name+"/jitted", func(b *testing.B) {
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				m := vm.NewMachine(jp, 0, io.Discard)
 				if _, err := m.Run(0); err != nil {
@@ -341,6 +377,7 @@ func BenchmarkWorkingSet(b *testing.B) {
 		offsets[i+1] = offsets[i] + int64(native.VariableSize([]vm.Instr{ins}))
 	}
 	var natPages, briscPages int
+	defer allocTracked(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		natSim := paging.NewSimulator(paging.Config{PageSize: 1024})
@@ -383,6 +420,7 @@ func BenchmarkPagingScenario(b *testing.B) {
 	const page = 4096
 	budget := (native.VariableSize(prog.Code)/page + 1) / 2 // half the native image
 	var natMs, briscMs float64
+	defer allocTracked(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := paging.Config{PageSize: page, ResidentPages: budget}
@@ -423,6 +461,7 @@ func BenchmarkWireAblations(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var out []byte
 			var err error
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				out, err = wire.CompressOpts(mod, v.opt)
 				if err != nil {
@@ -447,6 +486,7 @@ func BenchmarkPeepholeAblation(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var obj *brisc.Object
 			var err error
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				obj, err = brisc.Compress(v.prog, brisc.Options{})
 				if err != nil {
@@ -502,6 +542,7 @@ func BenchmarkWireCompress(b *testing.B) {
 		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
 			var out []byte
 			var err error
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				out, err = wire.CompressOpts(mod, wire.Options{Workers: w})
 				if err != nil {
@@ -521,6 +562,7 @@ func BenchmarkBriscCompress(b *testing.B) {
 		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
 			var obj *brisc.Object
 			var err error
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				obj, err = brisc.Compress(prog, brisc.Options{Workers: w})
 				if err != nil {
@@ -543,6 +585,7 @@ func BenchmarkBatch(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		w := w
 		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.BatchCompress(corpus, w); err != nil {
 					b.Fatal(err)
@@ -553,6 +596,162 @@ func BenchmarkBatch(b *testing.B) {
 	}
 	if nsPerOp[1] > 0 && nsPerOp[4] > 0 {
 		report(b, nsPerOp[1]/nsPerOp[4], "speedup-x4")
+	}
+}
+
+// ---- serial fast-path micro-benchmarks (decode + dispatch) ----
+
+// BenchmarkWireDecompress measures single-artifact decompression: the
+// wire client's only job is to decode fast, so this is the headline
+// MB/s (of compressed input) number for the serial hot path.
+func BenchmarkWireDecompress(b *testing.B) {
+	p := workload.Gcc
+	if testing.Short() {
+		p = workload.Wep
+	}
+	mod := benchModule(b, p)
+	data, err := wire.Compress(mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			defer allocTracked(b)()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecompressParallel(data, w, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			report(b, float64(len(data)), "bytes")
+		})
+	}
+}
+
+// rawDecodeStream builds the deterministic synthetic symbol stream the
+// raw-decode micro-benchmarks share: mostly small recency-friendly
+// values with a 4096-wide tail so both the array and sliding MTF paths
+// and the deep Huffman codes get exercised.
+func rawDecodeStream() []int32 {
+	const n = 1 << 16
+	syms := make([]int32, n)
+	seed := uint32(0x9e3779b9)
+	for i := range syms {
+		seed = seed*1664525 + 1013904223
+		v := seed >> 16
+		if i%5 == 0 {
+			syms[i] = int32(v % 4096)
+		} else {
+			syms[i] = int32(v % 37)
+		}
+	}
+	return syms
+}
+
+// bitsSink defeats dead-code elimination in BenchmarkRawDecode/Bits.
+var bitsSink uint64
+
+// BenchmarkRawDecode isolates the serial decode primitives: Huffman
+// symbol decoding, MTF stream decoding, and raw bit extraction.
+func BenchmarkRawDecode(b *testing.B) {
+	syms := rawDecodeStream()
+	indices, firsts := mtf.EncodeStream(syms)
+	max := 0
+	for _, s := range indices {
+		if s > max {
+			max = s
+		}
+	}
+	freqs := make([]int64, max+1)
+	for _, s := range indices {
+		freqs[s]++
+	}
+	code, err := huffman.Build(freqs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bw := bitio.NewWriter(&buf)
+	for _, s := range indices {
+		if err := code.Encode(bw, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	coded := buf.Bytes()
+
+	b.Run("Huffman", func(b *testing.B) {
+		b.SetBytes(int64(len(coded)))
+		defer allocTracked(b)()
+		for i := 0; i < b.N; i++ {
+			br := bitio.NewReader(bytes.NewReader(coded))
+			for j := 0; j < len(indices); j++ {
+				if _, err := code.Decode(br); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b, float64(len(indices)), "symbols")
+	})
+	b.Run("MTF", func(b *testing.B) {
+		defer allocTracked(b)()
+		for i := 0; i < b.N; i++ {
+			if _, ok := mtf.DecodeStream(indices, firsts); !ok {
+				b.Fatal("mtf decode failed")
+			}
+		}
+		report(b, float64(len(indices)), "symbols")
+	})
+	b.Run("Bits", func(b *testing.B) {
+		b.SetBytes(int64(len(coded)))
+		defer allocTracked(b)()
+		for i := 0; i < b.N; i++ {
+			br := bitio.NewReader(bytes.NewReader(coded))
+			var sum uint64
+			for {
+				v, err := br.ReadBits(13)
+				if err != nil {
+					break
+				}
+				sum += v
+			}
+			bitsSink = sum
+		}
+	})
+}
+
+// BenchmarkInterpDispatch measures the BRISC interpreter's dispatch
+// loop: full kernel runs, reported in executed steps per second. The
+// step count itself is deterministic and gates in benchdiff; steps/s
+// is timing-derived and excluded.
+func BenchmarkInterpDispatch(b *testing.B) {
+	for _, name := range []string{"sieve", "matmul"} {
+		prog := kernelProgram(b, name)
+		obj, err := brisc.Compress(prog, brisc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var steps int64
+			defer allocTracked(b)()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := brisc.NewInterp(obj, 0, io.Discard)
+				if _, err := it.Run(0); err != nil {
+					b.Fatal(err)
+				}
+				steps = it.Steps
+			}
+			b.StopTimer()
+			report(b, float64(steps), "steps")
+			if ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N); ns > 0 {
+				report(b, float64(steps)/ns*1e9, "steps/s")
+			}
+		})
 	}
 }
 
@@ -571,6 +770,7 @@ func BenchmarkBriscAblations(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var obj *brisc.Object
 			var err error
+			defer allocTracked(b)()
 			for i := 0; i < b.N; i++ {
 				obj, err = brisc.Compress(prog, v.opt)
 				if err != nil {

@@ -9,6 +9,11 @@
 //
 //	benchdiff old.json new.json
 //	benchdiff -threshold 5 -ignore 'speedup' baseline.json current.json
+//	benchdiff -only 'bench.BenchmarkWire' old.json new.json
+//
+// -only restricts the comparison to metrics whose names match the
+// regexp (the mirror of -ignore), and a geometric-mean summary of the
+// relative changes is printed after the table.
 //
 // Timing-derived metrics (wall-clock speedups, span durations) are
 // machine-dependent and should be excluded from gating via -ignore;
@@ -37,9 +42,10 @@ type row struct {
 func main() {
 	threshold := flag.Float64("threshold", 0, "exit nonzero if any compared metric changes by more than this percent (0 = report only)")
 	ignore := flag.String("ignore", "", "regexp of metric names to exclude from gating (still reported)")
+	only := flag.String("only", "", "regexp of metric names to compare; everything else is dropped")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-ignore regexp] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-ignore regexp] [-only regexp] old.json new.json")
 		os.Exit(2)
 	}
 	var ignoreRe *regexp.Regexp
@@ -49,11 +55,30 @@ func main() {
 			fatal(fmt.Errorf("bad -ignore: %w", err))
 		}
 	}
+	var onlyRe *regexp.Regexp
+	if *only != "" {
+		var err error
+		if onlyRe, err = regexp.Compile(*only); err != nil {
+			fatal(fmt.Errorf("bad -only: %w", err))
+		}
+	}
 	oldSnap := readSnapshot(flag.Arg(0))
 	newSnap := readSnapshot(flag.Arg(1))
 
 	oldM := metrics(oldSnap)
 	newM := metrics(newSnap)
+	if onlyRe != nil {
+		for k := range oldM {
+			if !onlyRe.MatchString(k) {
+				delete(oldM, k)
+			}
+		}
+		for k := range newM {
+			if !onlyRe.MatchString(k) {
+				delete(newM, k)
+			}
+		}
+	}
 	var rows []row
 	var onlyOld, onlyNew []string
 	for k, ov := range oldM {
@@ -104,6 +129,20 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s%s\n", r.key, num(r.old), num(r.new), pctStr(r.pct), mark)
 	}
 	tw.Flush()
+	// Geometric mean of the new/old ratios across every compared metric
+	// with well-defined logs — the one-line "did this change move the
+	// suite" summary.
+	var logSum float64
+	var logN int
+	for _, r := range rows {
+		if r.old > 0 && r.new > 0 {
+			logSum += math.Log(r.new / r.old)
+			logN++
+		}
+	}
+	if logN > 0 {
+		fmt.Printf("geomean: %+.2f%% across %d metrics\n", 100*(math.Exp(logSum/float64(logN))-1), logN)
+	}
 	for _, k := range onlyOld {
 		fmt.Printf("only in %s: %s\n", flag.Arg(0), k)
 	}

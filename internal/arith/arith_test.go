@@ -118,6 +118,7 @@ func TestQuickLongAdaptive(t *testing.T) {
 }
 
 func BenchmarkCompressOrder0(b *testing.B) {
+	b.ReportAllocs()
 	src := []byte(strings.Repeat("int salt(int j, int i) { if (j > 0) { pepper(i, j); j--; } return j; }\n", 200))
 	b.SetBytes(int64(len(src)))
 	for i := 0; i < b.N; i++ {
@@ -126,6 +127,7 @@ func BenchmarkCompressOrder0(b *testing.B) {
 }
 
 func BenchmarkCompressOrder1(b *testing.B) {
+	b.ReportAllocs()
 	src := []byte(strings.Repeat("int salt(int j, int i) { if (j > 0) { pepper(i, j); j--; } return j; }\n", 200))
 	b.SetBytes(int64(len(src)))
 	for i := 0; i < b.N; i++ {

@@ -7,9 +7,19 @@
 // top three bits of the first output byte (0b101xxxxx). This matches the
 // canonical-Huffman convention in internal/huffman, where codes compare
 // lexicographically as left-justified bit strings.
+//
+// Both directions run on a 64-bit accumulator: the Writer packs bits
+// left-justified into a word and spills completed bytes to an internal
+// slab (handed to the underlying io.Writer on Flush or when the slab
+// fills), and the Reader refills its word from an internal byte slab —
+// either the caller's slice (NewReaderBytes) or a read-ahead buffer over
+// an io.Reader. The Reader therefore consumes from the underlying
+// io.Reader ahead of the bit position; do not interleave direct reads of
+// the underlying reader with Reader use.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 )
@@ -18,15 +28,27 @@ import (
 // single call supports (64 bits).
 var ErrOverflow = errors.New("bitio: bit count out of range")
 
+// writerSpill is the slab size at which the Writer hands accumulated
+// bytes to the underlying io.Writer ahead of Flush.
+const writerSpill = 32 << 10
+
+// readerSlab is the read-ahead buffer size for io.Reader-backed Readers.
+const readerSlab = 4 << 10
+
 // Writer accumulates bits MSB-first and flushes whole bytes to an
 // underlying io.Writer. The zero value is not usable; use NewWriter.
+//
+// Invariant: acc holds nacc valid bits left-justified (bit 63 is the
+// oldest pending bit) and every bit below them is zero, so Flush can pad
+// by rounding nacc up. nacc stays below 8 between calls — completed
+// bytes are spilled to buf eagerly.
 type Writer struct {
-	w      io.Writer
-	cur    byte // partially filled byte
-	nbits  uint // number of bits used in cur (0..7)
-	count  int64
-	outbuf [1]byte
-	err    error
+	w     io.Writer
+	acc   uint64
+	nacc  uint
+	count int64
+	buf   []byte
+	err   error
 }
 
 // NewWriter returns a Writer that emits packed bytes to w.
@@ -34,26 +56,44 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
 }
 
+// spill moves completed bytes from the accumulator into the slab and
+// hands the slab to the underlying writer once it is large enough.
+func (bw *Writer) spill() {
+	for bw.nacc >= 8 {
+		bw.buf = append(bw.buf, byte(bw.acc>>56))
+		bw.acc <<= 8
+		bw.nacc -= 8
+	}
+	if len(bw.buf) >= writerSpill {
+		bw.drain()
+	}
+}
+
+// drain writes the slab to the underlying writer.
+func (bw *Writer) drain() {
+	if bw.err != nil || len(bw.buf) == 0 {
+		return
+	}
+	if _, err := bw.w.Write(bw.buf); err != nil {
+		bw.err = err
+	}
+	bw.buf = bw.buf[:0]
+}
+
 // WriteBit appends a single bit (any nonzero b counts as 1).
 func (bw *Writer) WriteBit(b uint) error {
 	if bw.err != nil {
 		return bw.err
 	}
-	bw.cur <<= 1
 	if b != 0 {
-		bw.cur |= 1
+		bw.acc |= 1 << (63 - bw.nacc)
 	}
-	bw.nbits++
+	bw.nacc++
 	bw.count++
-	if bw.nbits == 8 {
-		bw.outbuf[0] = bw.cur
-		if _, err := bw.w.Write(bw.outbuf[:]); err != nil {
-			bw.err = err
-			return err
-		}
-		bw.cur, bw.nbits = 0, 0
+	if bw.nacc == 8 {
+		bw.spill()
 	}
-	return nil
+	return bw.err
 }
 
 // WriteBits appends the low n bits of v, most significant first.
@@ -61,12 +101,31 @@ func (bw *Writer) WriteBits(v uint64, n uint) error {
 	if n > 64 {
 		return ErrOverflow
 	}
-	for i := int(n) - 1; i >= 0; i-- {
-		if err := bw.WriteBit(uint(v>>uint(i)) & 1); err != nil {
-			return err
-		}
+	if bw.err != nil {
+		return bw.err
 	}
-	return nil
+	if n == 0 {
+		return nil
+	}
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	bw.count += int64(n)
+	if bw.nacc+n <= 64 {
+		bw.acc |= v << (64 - bw.nacc - n)
+		bw.nacc += n
+		bw.spill()
+		return bw.err
+	}
+	// The value straddles the accumulator: top bits exactly fill it,
+	// the k overflow bits start a fresh word. nacc < 8 here, so k < 8.
+	k := n - (64 - bw.nacc)
+	bw.acc |= v >> k
+	bw.nacc = 64
+	bw.spill()
+	bw.acc = v << (64 - k)
+	bw.nacc = k
+	return bw.err
 }
 
 // WriteByte appends 8 bits.
@@ -74,70 +133,183 @@ func (bw *Writer) WriteByte(b byte) error {
 	return bw.WriteBits(uint64(b), 8)
 }
 
+// WriteBytes appends len(p) whole bytes. When the stream is
+// byte-aligned this is a single slab append.
+func (bw *Writer) WriteBytes(p []byte) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.nacc == 0 {
+		bw.buf = append(bw.buf, p...)
+		bw.count += 8 * int64(len(p))
+		if len(bw.buf) >= writerSpill {
+			bw.drain()
+		}
+		return bw.err
+	}
+	for _, b := range p {
+		if err := bw.WriteBits(uint64(b), 8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // BitsWritten reports the total number of bits accepted so far,
 // including any bits still buffered in the current partial byte.
 func (bw *Writer) BitsWritten() int64 { return bw.count }
 
-// Flush pads the current partial byte with zero bits and writes it.
-// It is safe to call Flush when the stream is already byte-aligned.
+// Flush pads the current partial byte with zero bits and writes all
+// buffered bytes to the underlying writer. It is safe to call Flush
+// when the stream is already byte-aligned, and writing may continue
+// after a Flush.
 func (bw *Writer) Flush() error {
 	if bw.err != nil {
 		return bw.err
 	}
-	if bw.nbits == 0 {
-		return nil
+	if bw.nacc > 0 {
+		// Low accumulator bits are already zero (see invariant), so
+		// rounding up to a whole byte is the padding.
+		bw.nacc = (bw.nacc + 7) &^ 7
+		bw.spill()
 	}
-	bw.cur <<= 8 - bw.nbits
-	bw.outbuf[0] = bw.cur
-	if _, err := bw.w.Write(bw.outbuf[:]); err != nil {
-		bw.err = err
-		return err
-	}
-	bw.cur, bw.nbits = 0, 0
-	return nil
+	bw.drain()
+	return bw.err
 }
 
-// Reader consumes bits MSB-first from an underlying io.Reader.
+// Reader consumes bits MSB-first from an internal byte slab, refilling
+// a 64-bit accumulator a word at a time.
+//
+// Invariant: acc holds nacc valid bits left-justified (bit 63 is the
+// next bit to be read) and every bit below them is zero.
 type Reader struct {
-	r     io.Reader
-	cur   byte
-	nbits uint // bits remaining in cur
+	acc   uint64
+	nacc  uint
+	data  []byte // current slab; data[pos:] is not yet in acc
+	pos   int
 	count int64
-	inbuf [1]byte
+	r     io.Reader // nil when reading from a caller-supplied slice
+	buf   []byte    // read-ahead storage when r != nil
+	eof   bool
+	err   error // sticky non-EOF error from r
 }
 
-// NewReader returns a Reader that unpacks bits from r.
+// NewReader returns a Reader that unpacks bits from r. The Reader reads
+// ahead of the bit position; r must not be read directly afterwards.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: r}
 }
 
-// ReadBit returns the next bit (0 or 1). At end of input it returns
-// io.EOF (possibly io.ErrUnexpectedEOF from the underlying reader).
-func (br *Reader) ReadBit() (uint, error) {
-	if br.nbits == 0 {
-		if _, err := io.ReadFull(br.r, br.inbuf[:]); err != nil {
-			return 0, err
-		}
-		br.cur = br.inbuf[0]
-		br.nbits = 8
-	}
-	br.nbits--
-	br.count++
-	return uint(br.cur>>br.nbits) & 1, nil
+// NewReaderBytes returns a Reader that unpacks bits directly from data
+// without copying. This is the fast path for in-memory sources.
+func NewReaderBytes(data []byte) *Reader {
+	return &Reader{data: data}
 }
 
-// ReadBits reads n bits and returns them right-justified.
+// more pulls the next block of bytes from the underlying io.Reader into
+// the read-ahead slab. It reports whether any bytes became available.
+func (br *Reader) more() bool {
+	if br.r == nil || br.eof || br.err != nil {
+		return false
+	}
+	if br.buf == nil {
+		br.buf = make([]byte, readerSlab)
+	}
+	for {
+		n, err := br.r.Read(br.buf)
+		if err == io.EOF {
+			br.eof = true
+		} else if err != nil {
+			br.err = err
+		}
+		if n > 0 {
+			br.data, br.pos = br.buf[:n], 0
+			return true
+		}
+		if err != nil {
+			return false
+		}
+	}
+}
+
+// refill tops the accumulator up from the slab, a whole word at a time
+// when the accumulator is empty.
+func (br *Reader) refill() {
+	if br.nacc == 0 && len(br.data)-br.pos >= 8 {
+		br.acc = binary.BigEndian.Uint64(br.data[br.pos:])
+		br.pos += 8
+		br.nacc = 64
+		return
+	}
+	for br.nacc <= 56 {
+		if br.pos >= len(br.data) {
+			if !br.more() {
+				return
+			}
+		}
+		br.acc |= uint64(br.data[br.pos]) << (56 - br.nacc)
+		br.pos++
+		br.nacc += 8
+	}
+}
+
+// inputErr is the error reported when the accumulator cannot be
+// refilled: the underlying reader's error if it failed, io.EOF
+// otherwise.
+func (br *Reader) inputErr() error {
+	if br.err != nil {
+		return br.err
+	}
+	return io.EOF
+}
+
+// ReadBit returns the next bit (0 or 1). At end of input it returns
+// io.EOF (or the underlying reader's error).
+func (br *Reader) ReadBit() (uint, error) {
+	if br.nacc == 0 {
+		br.refill()
+		if br.nacc == 0 {
+			return 0, br.inputErr()
+		}
+	}
+	b := uint(br.acc >> 63)
+	br.acc <<= 1
+	br.nacc--
+	br.count++
+	return b, nil
+}
+
+// ReadBits reads n bits and returns them right-justified. On short
+// input it consumes whatever bits remain (reflected by BitsRead) and
+// returns an error.
 func (br *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		return 0, ErrOverflow
 	}
+	if n != 0 && br.nacc >= n {
+		v := br.acc >> (64 - n)
+		br.acc <<= n
+		br.nacc -= n
+		br.count += int64(n)
+		return v, nil
+	}
 	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := br.ReadBit()
-		if err != nil {
-			return 0, err
+	for n > 0 {
+		if br.nacc == 0 {
+			br.refill()
+			if br.nacc == 0 {
+				return 0, br.inputErr()
+			}
 		}
-		v = v<<1 | uint64(b)
+		take := n
+		if take > br.nacc {
+			take = br.nacc
+		}
+		v = v<<take | br.acc>>(64-take)
+		br.acc <<= take
+		br.nacc -= take
+		br.count += int64(take)
+		n -= take
 	}
 	return v, nil
 }
@@ -148,11 +320,74 @@ func (br *Reader) ReadByte() (byte, error) {
 	return byte(v), err
 }
 
+// ReadBytes fills p with the next len(p)*8 bits. When the stream is
+// byte-aligned the bulk of the copy bypasses the accumulator. On short
+// input it fills what it can and returns an error.
+func (br *Reader) ReadBytes(p []byte) error {
+	if br.nacc%8 != 0 {
+		for i := range p {
+			v, err := br.ReadBits(8)
+			if err != nil {
+				return err
+			}
+			p[i] = byte(v)
+		}
+		return nil
+	}
+	i := 0
+	for i < len(p) && br.nacc >= 8 {
+		p[i] = byte(br.acc >> 56)
+		br.acc <<= 8
+		br.nacc -= 8
+		br.count += 8
+		i++
+	}
+	for i < len(p) {
+		if br.pos >= len(br.data) {
+			if !br.more() {
+				return br.inputErr()
+			}
+		}
+		n := copy(p[i:], br.data[br.pos:])
+		br.pos += n
+		br.count += 8 * int64(n)
+		i += n
+	}
+	return nil
+}
+
+// Peek returns the next n bits (n <= 56) right-justified without
+// consuming them, plus the number of bits actually available. Past end
+// of input the missing low bits read as zero; callers must not Skip
+// more than the reported count.
+func (br *Reader) Peek(n uint) (uint64, uint) {
+	if br.nacc < n {
+		br.refill()
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	m := br.nacc
+	if m > n {
+		m = n
+	}
+	return br.acc >> (64 - n), m
+}
+
+// Skip consumes n bits previously observed via Peek. n must not exceed
+// the available count Peek reported.
+func (br *Reader) Skip(n uint) {
+	br.acc <<= n
+	br.nacc -= n
+	br.count += int64(n)
+}
+
 // BitsRead reports the total number of bits consumed so far.
 func (br *Reader) BitsRead() int64 { return br.count }
 
 // Align discards bits up to the next byte boundary.
 func (br *Reader) Align() {
-	br.count += int64(br.nbits)
-	br.nbits = 0
+	if pad := uint(-br.count & 7); pad > 0 && br.nacc >= pad {
+		br.Skip(pad)
+	}
 }

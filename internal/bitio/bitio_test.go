@@ -165,6 +165,240 @@ func TestRoundTripQuick(t *testing.T) {
 	}
 }
 
+func TestZeroWidth(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.WriteBits(0xFFFF, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := bw.BitsWritten(); got != 0 {
+		t.Errorf("BitsWritten after 0-bit write = %d, want 0", got)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("0-bit write produced %d bytes", buf.Len())
+	}
+	br := NewReaderBytes(nil)
+	if v, err := br.ReadBits(0); err != nil || v != 0 {
+		t.Errorf("ReadBits(0) at EOF = %d, %v; want 0, nil", v, err)
+	}
+	if got := br.BitsRead(); got != 0 {
+		t.Errorf("BitsRead after 0-bit read = %d, want 0", got)
+	}
+}
+
+func TestFullWidth(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	const v = uint64(0xDEADBEEFCAFEF00D)
+	// A 3-bit prefix forces the 64-bit value to straddle accumulator
+	// words on both ends.
+	if err := bw.WriteBits(0b101, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBits(v, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBits(^uint64(0), 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := bw.BitsWritten(); got != 131 {
+		t.Errorf("BitsWritten = %d, want 131", got)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := NewReaderBytes(buf.Bytes())
+	if got, err := br.ReadBits(3); err != nil || got != 0b101 {
+		t.Fatalf("prefix = %d, %v", got, err)
+	}
+	if got, err := br.ReadBits(64); err != nil || got != v {
+		t.Fatalf("ReadBits(64) = %#x, %v; want %#x", got, err, v)
+	}
+	if got, err := br.ReadBits(64); err != nil || got != ^uint64(0) {
+		t.Fatalf("second ReadBits(64) = %#x, %v", got, err)
+	}
+	if got := br.BitsRead(); got != 131 {
+		t.Errorf("BitsRead = %d, want 131", got)
+	}
+}
+
+func TestAlignAfterPartialBytes(t *testing.T) {
+	// Alignment from every in-byte phase, including already-aligned.
+	for phase := uint(0); phase < 8; phase++ {
+		var buf bytes.Buffer
+		bw := NewWriter(&buf)
+		if phase > 0 {
+			if err := bw.WriteBits(0, phase); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteByte(0xA5); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		br := NewReaderBytes(buf.Bytes())
+		if phase > 0 {
+			if _, err := br.ReadBits(phase); err != nil {
+				t.Fatal(err)
+			}
+		}
+		br.Align()
+		wantBits := int64(0)
+		if phase > 0 {
+			wantBits = 8
+		}
+		if got := br.BitsRead(); got != wantBits {
+			t.Errorf("phase %d: BitsRead after Align = %d, want %d", phase, got, wantBits)
+		}
+		if b, err := br.ReadByte(); err != nil || b != 0xA5 {
+			t.Errorf("phase %d: ReadByte after Align = %#x, %v", phase, b, err)
+		}
+	}
+}
+
+func TestBitsReadExactOnShortInput(t *testing.T) {
+	// A failed wide read still accounts for the bits it consumed, like
+	// the byte-at-a-time reader did.
+	br := NewReaderBytes([]byte{0xFF})
+	if _, err := br.ReadBits(13); err != io.EOF {
+		t.Fatalf("ReadBits(13) on 8-bit input = %v, want io.EOF", err)
+	}
+	if got := br.BitsRead(); got != 8 {
+		t.Errorf("BitsRead after short read = %d, want 8", got)
+	}
+	if _, err := br.ReadBit(); err != io.EOF {
+		t.Errorf("ReadBit after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestPeekSkip(t *testing.T) {
+	data := []byte{0b1011_0011, 0b0101_1100, 0xF0}
+	br := NewReaderBytes(data)
+	if v, n := br.Peek(4); n != 4 || v != 0b1011 {
+		t.Fatalf("Peek(4) = %04b, %d; want 1011, 4", v, n)
+	}
+	// Peek must not consume.
+	if v, n := br.Peek(12); n != 12 || v != 0b1011_0011_0101 {
+		t.Fatalf("Peek(12) = %012b, %d", v, n)
+	}
+	if got := br.BitsRead(); got != 0 {
+		t.Fatalf("Peek consumed bits: BitsRead = %d", got)
+	}
+	br.Skip(4)
+	if v, n := br.Peek(4); n != 4 || v != 0b0011 {
+		t.Fatalf("after Skip(4), Peek(4) = %04b, %d", v, n)
+	}
+	if got := br.BitsRead(); got != 4 {
+		t.Fatalf("BitsRead after Skip(4) = %d", got)
+	}
+	// Drain to 3 remaining bits; Peek must zero-pad and report avail.
+	br.Skip(17)
+	v, n := br.Peek(8)
+	if n != 3 {
+		t.Fatalf("Peek(8) near EOF: avail = %d, want 3", n)
+	}
+	if v != 0b0000_0000 {
+		t.Fatalf("Peek(8) near EOF = %08b, want zero-padded 00000000", v)
+	}
+	br.Skip(n)
+	if _, n := br.Peek(1); n != 0 {
+		t.Errorf("Peek(1) at EOF: avail = %d, want 0", n)
+	}
+}
+
+func TestReadWriteBytesBulk(t *testing.T) {
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i * 131)
+	}
+	for _, prefix := range []uint{0, 3, 8} {
+		var buf bytes.Buffer
+		bw := NewWriter(&buf)
+		if err := bw.WriteBits(0b111, prefix); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteBytes(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(prefix) + 8*int64(len(payload))
+		if got := bw.BitsWritten(); got != want {
+			t.Fatalf("prefix %d: BitsWritten = %d, want %d", prefix, got, want)
+		}
+		for _, fromBytes := range []bool{true, false} {
+			var br *Reader
+			if fromBytes {
+				br = NewReaderBytes(buf.Bytes())
+			} else {
+				br = NewReader(bytes.NewReader(buf.Bytes()))
+			}
+			if prefix > 0 {
+				if _, err := br.ReadBits(prefix); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := make([]byte, len(payload))
+			if err := br.ReadBytes(got); err != nil {
+				t.Fatalf("prefix %d: ReadBytes: %v", prefix, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("prefix %d (bytes=%v): ReadBytes mismatch", prefix, fromBytes)
+			}
+			if got := br.BitsRead(); got != want {
+				t.Fatalf("prefix %d: BitsRead = %d, want %d", prefix, got, want)
+			}
+		}
+	}
+}
+
+func TestReadBytesShortInput(t *testing.T) {
+	br := NewReaderBytes([]byte{1, 2, 3})
+	p := make([]byte, 5)
+	if err := br.ReadBytes(p); err != io.EOF {
+		t.Fatalf("ReadBytes past EOF = %v, want io.EOF", err)
+	}
+	if p[0] != 1 || p[1] != 2 || p[2] != 3 {
+		t.Errorf("partial fill lost data: % x", p)
+	}
+}
+
+// TestReaderBytesMatchesReader cross-checks the two constructors over
+// random mixed-width read schedules.
+func TestReaderBytesMatchesReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 1024)
+	rng.Read(data)
+	for trial := 0; trial < 50; trial++ {
+		a := NewReaderBytes(data)
+		b := NewReader(bytes.NewReader(data))
+		for {
+			n := uint(rng.Intn(64) + 1)
+			va, ea := a.ReadBits(n)
+			vb, eb := b.ReadBits(n)
+			if va != vb || (ea == nil) != (eb == nil) {
+				t.Fatalf("trial %d width %d: bytes-backed (%#x,%v) vs reader-backed (%#x,%v)",
+					trial, n, va, ea, vb, eb)
+			}
+			if a.BitsRead() != b.BitsRead() {
+				t.Fatalf("BitsRead diverged: %d vs %d", a.BitsRead(), b.BitsRead())
+			}
+			if ea != nil {
+				break
+			}
+		}
+	}
+}
+
 func TestBitsWrittenMatchesBitsRead(t *testing.T) {
 	var buf bytes.Buffer
 	bw := NewWriter(&buf)

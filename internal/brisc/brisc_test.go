@@ -435,6 +435,7 @@ func TestInterpStepLimit(t *testing.T) {
 }
 
 func BenchmarkCompressWep(b *testing.B) {
+	b.ReportAllocs()
 	src := workload.Generate(workload.Wep)
 	prog := compileProg(b, "wep", src)
 	b.ResetTimer()
@@ -446,6 +447,7 @@ func BenchmarkCompressWep(b *testing.B) {
 }
 
 func BenchmarkJIT(b *testing.B) {
+	b.ReportAllocs()
 	src := workload.Generate(workload.Wep)
 	prog := compileProg(b, "wep", src)
 	obj, err := Compress(prog, Options{})

@@ -177,6 +177,7 @@ func TestInterpDecodeCache(t *testing.T) {
 }
 
 func BenchmarkInterpNoCache(b *testing.B) {
+	b.ReportAllocs()
 	prog := compileProg(b, "t", workload.Kernels()["fib"])
 	obj, err := Compress(prog, Options{})
 	if err != nil {
@@ -191,6 +192,7 @@ func BenchmarkInterpNoCache(b *testing.B) {
 }
 
 func BenchmarkInterpWithCache(b *testing.B) {
+	b.ReportAllocs()
 	prog := compileProg(b, "t", workload.Kernels()["fib"])
 	obj, err := Compress(prog, Options{})
 	if err != nil {

@@ -43,6 +43,20 @@ type Interp struct {
 	// Trace, when non-nil, receives the byte offset of every unit.
 	Trace func(off int32)
 
+	// pre is the whole-image predecoded form (shared with the JIT front
+	// end via the Object); unitIdx is the index of the unit at PC, or -1
+	// when PC must be resolved through pre.offIdx (start of run, or
+	// after a computed jump). When predecoding fails — corrupt images
+	// must still execute their valid prefix — pre stays nil and Run
+	// falls back to the stepwise decoder.
+	pre     *predecoded
+	unitIdx int32
+
+	// visited marks predecoded units the fast loop has executed; it
+	// stands in for the decode cache's hit/miss and working-set
+	// accounting (the predecoded image *is* the cache).
+	visited []bool
+
 	// cache, when enabled, memoizes decoded units by byte offset. This
 	// is the working-set-for-speed trade the paper's W cost models:
 	// the decoder's expanded tables make interpretation faster but
@@ -101,6 +115,10 @@ func (it *Interp) Reset() {
 	it.Regs[vm.RegSP] = int32(len(it.Mem))
 	it.PC = 0
 	it.ctx = 0
+	it.unitIdx = -1
+	for i := range it.visited {
+		it.visited[i] = false
+	}
 	it.Steps = 0
 	it.Units = 0
 	it.Halted = false
@@ -190,6 +208,19 @@ func (it *Interp) Run(maxSteps int64) (int32, error) {
 		l.MaxSteps = maxSteps
 	}
 	g := guard.New("brisc", l, ErrOutOfSteps)
+	if pre, err := it.Obj.predecode(); err == nil {
+		it.pre = pre
+		it.unitIdx = -1
+		if it.cache != nil && it.visited == nil {
+			it.visited = make([]bool, len(pre.units))
+		}
+		if err := it.runPredecoded(&g, !l.Zero()); err != nil {
+			return 0, err
+		}
+		return it.ExitCode, nil
+	}
+	// Corrupt image: the stepwise decoder executes the valid prefix and
+	// surfaces the decode error at the exact unit that is damaged.
 	for !it.Halted {
 		if err := g.Check(it.Steps, it.Depth, int64(it.PC)); err != nil {
 			it.recordTrap(err)
@@ -200,6 +231,87 @@ func (it *Interp) Run(maxSteps int64) (int32, error) {
 		}
 	}
 	return it.ExitCode, nil
+}
+
+// runPredecoded is the fast dispatch loop: no per-unit decode, no
+// pattern expansion, direct handler-table dispatch over the flat
+// instruction array. Governor and telemetry work are hoisted behind
+// per-unit flag checks, so with both disabled a unit costs one map-free
+// index step plus its handlers. Off-grid PCs (a computed jump into the
+// middle of a unit on hostile input) fall back to the stepwise decoder
+// for that unit, preserving in-place semantics exactly.
+func (it *Interp) runPredecoded(g *guard.Gov, checked bool) error {
+	pre := it.pre
+	instrumented := it.Trace != nil || it.opCounts != nil || it.cache != nil
+	for !it.Halted {
+		if checked {
+			if err := g.Check(it.Steps, it.Depth, int64(it.PC)); err != nil {
+				it.recordTrap(err)
+				return err
+			}
+		}
+		idx := it.unitIdx
+		if idx < 0 {
+			var ok bool
+			if idx, ok = pre.offIdx[it.PC]; !ok {
+				if err := it.StepUnit(); err != nil {
+					return err
+				}
+				continue
+			}
+			it.unitIdx = idx
+		}
+		u := &pre.units[idx]
+		if instrumented {
+			it.noteUnit(idx, u)
+		}
+		it.Units++
+		jumped := false
+		end := u.first + u.n
+		for k := u.first; k < end; k++ {
+			ins := &pre.code[k]
+			if it.opCounts != nil && int(ins.Op) < len(it.opCounts) {
+				it.opCounts[ins.Op]++
+			}
+			taken, err := opHandlers[ins.Op](it, ins, u.next)
+			if err != nil {
+				return err
+			}
+			it.Steps++
+			if taken || it.Halted {
+				jumped = true
+				break
+			}
+		}
+		if !jumped {
+			it.ctx = int(u.pid) + 1
+			it.PC = u.next
+			it.unitIdx = u.nextIdx
+		}
+	}
+	return nil
+}
+
+// noteUnit performs the per-unit instrumentation the fast loop hoists
+// out of the uninstrumented path: trace callback, block-entry counts,
+// and cache hit/miss accounting against the visited bitmap.
+func (it *Interp) noteUnit(idx int32, u *predUnit) {
+	if u.isBlock && it.opCounts != nil {
+		it.blockCounts[u.off]++
+	}
+	if it.Trace != nil {
+		it.Trace(u.off)
+	}
+	if it.cache != nil {
+		if !it.visited[idx] {
+			it.visited[idx] = true
+			if it.opCounts != nil {
+				it.cacheMisses++
+			}
+		} else if it.opCounts != nil {
+			it.cacheHits++
+		}
+	}
 }
 
 // recordTrap bumps the telemetry counter for a governor trap.
@@ -217,11 +329,21 @@ func (it *Interp) EnableCache() {
 }
 
 // CacheBytes estimates the memory held by the decode cache — the
-// interpreter's extra working set.
+// interpreter's extra working set. In the predecoded fast path the
+// image-wide decode is the cache, so the estimate covers the units the
+// current run has actually touched (its working set), plus any units
+// the stepwise fallback memoized in the legacy map.
 func (it *Interp) CacheBytes() int {
 	n := 0
 	for _, cu := range it.cache {
 		n += 16 + 4*len(cu.vals)
+	}
+	if it.pre != nil {
+		for i, v := range it.visited {
+			if v {
+				n += 16 + 4*int(it.pre.units[i].nvals)
+			}
+		}
 	}
 	return n
 }
@@ -303,135 +425,11 @@ func (it *Interp) blockTarget(b int32) (int32, error) {
 	return it.Obj.Blocks[b], nil
 }
 
-// exec executes one expanded instruction. next is the byte offset of
-// the following unit (the return address for CALL). It reports whether
-// control transferred.
+// exec executes one expanded instruction through the handler table.
+// next is the byte offset of the following unit (the return address
+// for CALL). It reports whether control transferred.
 func (it *Interp) exec(ins vm.Instr, next int32) (bool, error) {
-	r := &it.Regs
-	switch ins.Op {
-	case vm.LDW:
-		v, err := it.load32(r[ins.Rs1] + ins.Imm)
-		if err != nil {
-			return false, err
-		}
-		r[ins.Rd] = v
-	case vm.LDB:
-		addr := r[ins.Rs1] + ins.Imm
-		if addr < 0 || int(addr) >= len(it.Mem) {
-			return false, fmt.Errorf("%w: load8 at %d", ErrMemFault, addr)
-		}
-		r[ins.Rd] = int32(int8(it.Mem[addr]))
-	case vm.STW:
-		if err := it.store32(r[ins.Rs1]+ins.Imm, r[ins.Rs2]); err != nil {
-			return false, err
-		}
-	case vm.STB:
-		addr := r[ins.Rs1] + ins.Imm
-		if addr < 0 || int(addr) >= len(it.Mem) {
-			return false, fmt.Errorf("%w: store8 at %d", ErrMemFault, addr)
-		}
-		it.Mem[addr] = byte(r[ins.Rs2])
-	case vm.LDI:
-		r[ins.Rd] = ins.Imm
-	case vm.ADDI:
-		r[ins.Rd] = r[ins.Rs1] + ins.Imm
-	case vm.MOV:
-		r[ins.Rd] = r[ins.Rs1]
-	case vm.ADD:
-		r[ins.Rd] = r[ins.Rs1] + r[ins.Rs2]
-	case vm.SUB:
-		r[ins.Rd] = r[ins.Rs1] - r[ins.Rs2]
-	case vm.MUL:
-		r[ins.Rd] = r[ins.Rs1] * r[ins.Rs2]
-	case vm.DIV:
-		if r[ins.Rs2] == 0 {
-			return false, ErrDivByZero
-		}
-		r[ins.Rd] = r[ins.Rs1] / r[ins.Rs2]
-	case vm.REM:
-		if r[ins.Rs2] == 0 {
-			return false, ErrDivByZero
-		}
-		r[ins.Rd] = r[ins.Rs1] % r[ins.Rs2]
-	case vm.AND:
-		r[ins.Rd] = r[ins.Rs1] & r[ins.Rs2]
-	case vm.OR:
-		r[ins.Rd] = r[ins.Rs1] | r[ins.Rs2]
-	case vm.XOR:
-		r[ins.Rd] = r[ins.Rs1] ^ r[ins.Rs2]
-	case vm.SHL:
-		r[ins.Rd] = r[ins.Rs1] << (uint32(r[ins.Rs2]) & 31)
-	case vm.SHR:
-		r[ins.Rd] = r[ins.Rs1] >> (uint32(r[ins.Rs2]) & 31)
-	case vm.NEG:
-		r[ins.Rd] = -r[ins.Rs1]
-	case vm.NOT:
-		r[ins.Rd] = ^r[ins.Rs1]
-	case vm.BEQ, vm.BNE, vm.BLT, vm.BLE, vm.BGT, vm.BGE:
-		a, b := r[ins.Rs1], r[ins.Rs2]
-		if branchTaken(ins.Op, a, b) {
-			return it.jumpBlock(ins.Target)
-		}
-	case vm.BEQI, vm.BNEI, vm.BLTI, vm.BLEI, vm.BGTI, vm.BGEI:
-		if branchTaken(ins.Op, r[ins.Rs1], ins.Imm) {
-			return it.jumpBlock(ins.Target)
-		}
-	case vm.JMP:
-		return it.jumpBlock(ins.Target)
-	case vm.CALL:
-		r[vm.RegRA] = next
-		it.Depth++
-		return it.jumpBlock(ins.Target)
-	case vm.RJR:
-		it.PC = r[ins.Rs1]
-		it.ctx = 0
-		if it.Depth > 0 {
-			it.Depth--
-		}
-		return true, nil
-	case vm.ENTER:
-		r[vm.RegSP] -= ins.Imm
-	case vm.EXIT:
-		r[vm.RegSP] += ins.Imm
-	case vm.EPI:
-		ra, err := it.load32(r[vm.RegSP] + ins.Imm - 4)
-		if err != nil {
-			return false, err
-		}
-		r[vm.RegSP] += ins.Imm
-		r[vm.RegRA] = ra
-		it.PC = ra
-		it.ctx = 0
-		if it.Depth > 0 {
-			it.Depth--
-		}
-		return true, nil
-	case vm.TRAP:
-		return false, it.trap(ins.Imm)
-	case vm.HALT:
-		it.Halted = true
-		it.ExitCode = r[vm.RegArg0]
-	default:
-		return false, fmt.Errorf("%w: illegal opcode %d", ErrCorrupt, ins.Op)
-	}
-	return false, nil
-}
-
-func branchTaken(op vm.Opcode, a, b int32) bool {
-	switch op {
-	case vm.BEQ, vm.BEQI:
-		return a == b
-	case vm.BNE, vm.BNEI:
-		return a != b
-	case vm.BLT, vm.BLTI:
-		return a < b
-	case vm.BLE, vm.BLEI:
-		return a <= b
-	case vm.BGT, vm.BGTI:
-		return a > b
-	default:
-		return a >= b
-	}
+	return opHandlers[ins.Op](it, &ins, next)
 }
 
 func (it *Interp) jumpBlock(b int32) (bool, error) {
@@ -441,6 +439,9 @@ func (it *Interp) jumpBlock(b int32) (bool, error) {
 	}
 	it.PC = off
 	it.ctx = 0
+	if it.pre != nil {
+		it.unitIdx = it.pre.blockUnit[b]
+	}
 	return true, nil
 }
 

@@ -23,39 +23,18 @@ func JIT(o *Object) (*vm.Program, error) {
 func JITTraced(o *Object, rec *telemetry.Recorder) (*vm.Program, error) {
 	sp := rec.StartSpan("brisc.jit", telemetry.Int("bytes_in", int64(len(o.Code))))
 	defer sp.End()
-	units := 0
-	blockSet := make(map[int32]bool, len(o.Blocks))
-	for _, off := range o.Blocks {
-		blockSet[off] = true
+	// The linear Markov-decode walk is shared with the interpreter's
+	// fast path via the object's predecoded image. Targets are resolved
+	// in place below, so the shared instruction array must be copied.
+	pre, err := o.predecode()
+	if err != nil {
+		return nil, err
 	}
-	var code []vm.Instr
+	units := len(pre.units)
+	code := append([]vm.Instr(nil), pre.code...)
 	blockInstr := make([]int32, len(o.Blocks))
-	nextBlock := 0
-	off := int32(0)
-	ctx := 0
-	for int(off) < len(o.Code) {
-		if blockSet[off] {
-			ctx = 0
-			for nextBlock < len(o.Blocks) && o.Blocks[nextBlock] == off {
-				blockInstr[nextBlock] = int32(len(code))
-				nextBlock++
-			}
-		}
-		pid, vals, next, err := o.decodeUnit(off, ctx)
-		if err != nil {
-			return nil, err
-		}
-		instrs, err := o.Dict[pid].apply(vals)
-		if err != nil {
-			return nil, err
-		}
-		code = append(code, instrs...)
-		units++
-		ctx = pid + 1
-		off = next
-	}
-	if nextBlock != len(o.Blocks) {
-		return nil, fmt.Errorf("%w: %d block offsets beyond code", ErrCorrupt, len(o.Blocks)-nextBlock)
+	for bi, ui := range pre.blockUnit {
+		blockInstr[bi] = pre.units[ui].first
 	}
 	// Resolve block-relative targets.
 	for i := range code {

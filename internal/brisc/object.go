@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/integrity"
 	"repro/internal/vm"
@@ -32,6 +33,13 @@ type Object struct {
 	DataSize int
 	// Passes records how many compressor passes built the dictionary.
 	Passes int
+
+	// Whole-image predecode, built lazily by predecode() and shared by
+	// the interpreter and the JIT front end. The Once makes concurrent
+	// first uses safe; everything above is immutable after construction.
+	predOnce sync.Once
+	pred     *predecoded
+	predErr  error
 }
 
 // Error taxonomy for malformed serialized objects. All of these match

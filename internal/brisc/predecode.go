@@ -1,0 +1,123 @@
+package brisc
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// predecoded is a BRISC image decoded once, up front, into directly
+// dispatchable form: the same linear Markov-decode walk the JIT front
+// end performs, kept unit-granular so the in-place interpreter can
+// still follow compressed-stream byte offsets (its PC, return
+// addresses, and block table all speak byte offsets). Each unit becomes
+// a span in a flat instruction array plus the metadata the dispatch
+// loop needs — successor offset, successor unit index, pattern id for
+// the Markov context, and its position in the block table. The decoded
+// form is cached on the Object (it is immutable), so repeated Runs and
+// the JIT share one decode.
+type predecoded struct {
+	units []predUnit
+	code  []vm.Instr // expanded instructions, units back to back
+
+	// offIdx maps a unit's byte offset to its index in units; execution
+	// can land off-grid only through computed jumps (RJR/EPI to a
+	// corrupted return address), which fall back to the one-unit
+	// decoder.
+	offIdx map[int32]int32
+
+	// blockUnit maps block index -> unit index, resolving jumpBlock
+	// without the offset map.
+	blockUnit []int32
+}
+
+type predUnit struct {
+	off     int32 // byte offset of this unit in Obj.Code
+	next    int32 // byte offset of the following unit (CALL return address)
+	nextIdx int32 // units index at offset next; -1 when next is off-grid/end
+	first   int32 // index of the unit's first instruction in code
+	n       int32 // instruction count
+	pid     int32 // pattern id (Markov context for the successor)
+	nvals   int32 // decoded operand count (cache working-set accounting)
+	isBlock bool  // unit sits at a block boundary (entered with ctx 0)
+}
+
+// predecode returns the cached predecoded image, building it on first
+// use. It fails — and the interpreter falls back to stepwise decoding,
+// preserving the valid-prefix semantics of corrupt objects — when any
+// unit of the image fails to decode.
+func (o *Object) predecode() (*predecoded, error) {
+	o.predOnce.Do(func() {
+		o.pred, o.predErr = o.buildPredecode()
+	})
+	return o.pred, o.predErr
+}
+
+// buildPredecode performs the linear scan. It mirrors the JIT front
+// end exactly: context 0 at block starts, else previous pattern id + 1.
+func (o *Object) buildPredecode() (*predecoded, error) {
+	blockSet := make(map[int32]bool, len(o.Blocks))
+	for _, off := range o.Blocks {
+		blockSet[off] = true
+	}
+	p := &predecoded{
+		offIdx:    make(map[int32]int32, len(o.Code)/2),
+		blockUnit: make([]int32, len(o.Blocks)),
+	}
+	nextBlock := 0
+	off := int32(0)
+	ctx := 0
+	for int(off) < len(o.Code) {
+		isBlock := blockSet[off]
+		if isBlock {
+			ctx = 0
+			for nextBlock < len(o.Blocks) && o.Blocks[nextBlock] == off {
+				p.blockUnit[nextBlock] = int32(len(p.units))
+				nextBlock++
+			}
+		}
+		pid, vals, next, err := o.decodeUnit(off, ctx)
+		if err != nil {
+			return nil, err
+		}
+		first := int32(len(p.code))
+		pat := &o.Dict[pid]
+		vi := 0
+		for si := range pat.Seq {
+			pi := &pat.Seq[si]
+			var ins vm.Instr
+			ins.Op = pi.Op
+			for f := range pi.Fixed {
+				if pi.Fixed[f] {
+					setField(&ins, f, pi.Val[f])
+				} else {
+					setField(&ins, f, vals[vi])
+					vi++
+				}
+			}
+			p.code = append(p.code, ins)
+		}
+		p.offIdx[off] = int32(len(p.units))
+		p.units = append(p.units, predUnit{
+			off:     off,
+			next:    next,
+			nextIdx: -1,
+			first:   first,
+			n:       int32(len(p.code)) - first,
+			pid:     int32(pid),
+			nvals:   int32(len(vals)),
+			isBlock: isBlock,
+		})
+		ctx = pid + 1
+		off = next
+	}
+	if nextBlock != len(o.Blocks) {
+		return nil, fmt.Errorf("%w: %d block offsets beyond code", ErrCorrupt, len(o.Blocks)-nextBlock)
+	}
+	for i := range p.units {
+		if idx, ok := p.offIdx[p.units[i].next]; ok {
+			p.units[i].nextIdx = idx
+		}
+	}
+	return p, nil
+}

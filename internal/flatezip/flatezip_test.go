@@ -156,6 +156,7 @@ func TestQuickRoundTrip(t *testing.T) {
 }
 
 func BenchmarkCompress(b *testing.B) {
+	b.ReportAllocs()
 	src := []byte(strings.Repeat("int salt(int j, int i) { if (j > 0) { pepper(i, j); j--; } return j; }\n", 1000))
 	b.SetBytes(int64(len(src)))
 	b.ResetTimer()
@@ -165,6 +166,7 @@ func BenchmarkCompress(b *testing.B) {
 }
 
 func BenchmarkDecompress(b *testing.B) {
+	b.ReportAllocs()
 	src := []byte(strings.Repeat("int salt(int j, int i) { if (j > 0) { pepper(i, j); j--; } return j; }\n", 1000))
 	comp := Compress(src)
 	b.SetBytes(int64(len(src)))

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitio"
 )
@@ -39,6 +40,12 @@ type Code struct {
 	Lengths []uint8  // bits per symbol; 0 = absent
 	codes   []uint32 // left-justified-at-length canonical code values
 	decode  *decodeTable
+
+	// Two-level decode table, built lazily on first Decode so
+	// encode-only codes never pay for it. Guarded by a Once because
+	// indexed containers share one Code across decoder goroutines.
+	fastOnce sync.Once
+	fast     *fastTable
 }
 
 type decodeTable struct {
@@ -264,8 +271,147 @@ func (c *Code) Encode(bw *bitio.Writer, s int) error {
 	return bw.WriteBits(uint64(c.codes[s]), uint(c.Lengths[s]))
 }
 
-// Decode reads one symbol from br.
+// Two-level decode table sizing. The root table resolves codes up to
+// rootBitsMax bits in one peek; longer codes indirect through one
+// per-prefix subtable of up to subBitsMax extra bits. Codes deeper than
+// rootBitsMax+subBitsMax — and any prefixes past the total entry budget,
+// which bounds what a hostile length table can make us allocate — fall
+// back to the bit-walking decoder.
+const (
+	rootBitsMax    = 10
+	subBitsMax     = 12
+	subEntryBudget = 1 << 16
+)
+
+// dEntry is one decode-table slot. bits==0 means "no (table-resolvable)
+// code here"; sub marks an indirection, with sym the subtable index and
+// bits its width.
+type dEntry struct {
+	sym  int32
+	bits uint8
+	sub  bool
+}
+
+type fastTable struct {
+	rootBits uint
+	root     []dEntry
+	subs     [][]dEntry
+}
+
+func (c *Code) fastTab() *fastTable {
+	c.fastOnce.Do(func() { c.fast = c.buildFast() })
+	return c.fast
+}
+
+func (c *Code) buildFast() *fastTable {
+	dt := c.decode
+	f := &fastTable{rootBits: uint(dt.maxLen)}
+	if f.rootBits > rootBitsMax {
+		f.rootBits = rootBitsMax
+	}
+	f.root = make([]dEntry, 1<<f.rootBits)
+	for s, l := range c.Lengths {
+		if l == 0 || uint(l) > f.rootBits {
+			continue
+		}
+		start := int(c.codes[s]) << (f.rootBits - uint(l))
+		n := 1 << (f.rootBits - uint(l))
+		for i := 0; i < n; i++ {
+			f.root[start+i] = dEntry{sym: int32(s), bits: l}
+		}
+	}
+	if uint(dt.maxLen) <= f.rootBits {
+		return f
+	}
+	// Long codes: size each prefix's subtable by the deepest code that
+	// shares it, capped at subBitsMax.
+	width := map[uint32]uint{}
+	for s, l := range c.Lengths {
+		if uint(l) <= f.rootBits {
+			continue
+		}
+		p := c.codes[s] >> (uint(l) - f.rootBits)
+		w := uint(l) - f.rootBits
+		if w > subBitsMax {
+			w = subBitsMax
+		}
+		if w > width[p] {
+			width[p] = w
+		}
+	}
+	prefixes := make([]uint32, 0, len(width))
+	for p := range width {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	subIdx := map[uint32]int32{}
+	total := 0
+	for _, p := range prefixes {
+		w := width[p]
+		if total+(1<<w) > subEntryBudget {
+			continue
+		}
+		subIdx[p] = int32(len(f.subs))
+		f.root[p] = dEntry{sym: int32(len(f.subs)), bits: uint8(w), sub: true}
+		f.subs = append(f.subs, make([]dEntry, 1<<w))
+		total += 1 << w
+	}
+	for s, l := range c.Lengths {
+		if uint(l) <= f.rootBits {
+			continue
+		}
+		p := c.codes[s] >> (uint(l) - f.rootBits)
+		si, ok := subIdx[p]
+		if !ok {
+			continue
+		}
+		w := width[p]
+		if uint(l) > f.rootBits+w {
+			continue // deeper than the capped subtable: slow path
+		}
+		low := c.codes[s] & (1<<(uint(l)-f.rootBits) - 1)
+		start := int(low) << (f.rootBits + w - uint(l))
+		n := 1 << (f.rootBits + w - uint(l))
+		sub := f.subs[si]
+		for i := 0; i < n; i++ {
+			sub[start+i] = dEntry{sym: int32(s), bits: l}
+		}
+	}
+	return f
+}
+
+// Decode reads one symbol from br: one Peek resolves most codes through
+// the root table, long codes take one more through a subtable, and
+// anything the tables cannot resolve (stream tail shorter than the
+// peek, under-full code regions, ultra-deep codes past the table
+// budget) falls back to DecodeSlow, which also reproduces the exact
+// error and bit-consumption behavior of the original walker.
 func (c *Code) Decode(br *bitio.Reader) (int, error) {
+	f := c.fastTab()
+	v, avail := br.Peek(f.rootBits)
+	e := f.root[v]
+	if e.sub {
+		w := uint(e.bits)
+		v2, avail2 := br.Peek(f.rootBits + w)
+		se := f.subs[e.sym][v2&(1<<w-1)]
+		if se.bits != 0 && uint(se.bits) <= avail2 {
+			br.Skip(uint(se.bits))
+			return int(se.sym), nil
+		}
+		return c.DecodeSlow(br)
+	}
+	if e.bits != 0 && uint(e.bits) <= avail {
+		br.Skip(uint(e.bits))
+		return int(e.sym), nil
+	}
+	return c.DecodeSlow(br)
+}
+
+// DecodeSlow reads one symbol by walking the canonical code one bit at
+// a time. It is the reference oracle for Decode (the differential fuzz
+// tests compare the two) and the fallback for inputs the tables do not
+// cover.
+func (c *Code) DecodeSlow(br *bitio.Reader) (int, error) {
 	dt := c.decode
 	var code uint32
 	for l := uint8(1); l <= dt.maxLen; l++ {

@@ -306,6 +306,7 @@ func TestQuickLengthTableTransport(t *testing.T) {
 }
 
 func BenchmarkEncode(b *testing.B) {
+	b.ReportAllocs()
 	freqs := make([]int64, 256)
 	rng := rand.New(rand.NewSource(1))
 	for s := range freqs {
@@ -336,6 +337,7 @@ func BenchmarkEncode(b *testing.B) {
 }
 
 func BenchmarkDecode(b *testing.B) {
+	b.ReportAllocs()
 	freqs := make([]int64, 256)
 	rng := rand.New(rand.NewSource(1))
 	for s := range freqs {

@@ -1,0 +1,10 @@
+package mtf
+
+// setTreeThreshold overrides the array-to-tree migration point so the
+// differential tests can force either representation, restoring it via
+// the returned func.
+func setTreeThreshold(n int) (restore func()) {
+	old := treeThreshold
+	treeThreshold = n
+	return func() { treeThreshold = old }
+}

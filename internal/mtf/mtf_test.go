@@ -138,6 +138,7 @@ func TestQuickFirstsAreDistinctInOrder(t *testing.T) {
 }
 
 func BenchmarkEncodeStream(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	stream := make([]int32, 16*1024)
 	for i := range stream {

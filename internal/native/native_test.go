@@ -191,6 +191,7 @@ func TestQuickRoundTripBothCodecs(t *testing.T) {
 }
 
 func BenchmarkEncodeVariable(b *testing.B) {
+	b.ReportAllocs()
 	prog := compileProg(b, sampleSrc)
 	b.SetBytes(int64(len(prog.Code) * 4))
 	for i := 0; i < b.N; i++ {

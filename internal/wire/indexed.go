@@ -668,7 +668,7 @@ func (r *IndexedReader) LoadFunction(name string) (*ir.Function, error) {
 	}
 	f := r.module.Functions[fi]
 	count := r.treeCounts[fi]
-	br := bitio.NewReader(bytes.NewReader(chunk))
+	br := bitio.NewReaderBytes(chunk)
 	shapeStream, err := readCodedStream(br, count, r.shapeCode, r.opt)
 	if err != nil {
 		return nil, fmt.Errorf("%w: shape stream for %s: %v", ErrCorrupt, name, err)
@@ -701,11 +701,21 @@ func (r *IndexedReader) LoadFunction(name string) (*ir.Function, error) {
 		litPos[op] = p + 1
 		return s[p], nil
 	}
+	totalNodes := 0
+	for _, id := range shapeStream {
+		if id >= 0 && int(id) < len(r.shapes) {
+			totalNodes += len(r.shapes[id])
+		}
+	}
+	arena := &treeArena{
+		nodes: make([]ir.Tree, totalNodes),
+		kids:  make([]*ir.Tree, totalNodes),
+	}
 	for _, id := range shapeStream {
 		if id < 0 || int(id) >= len(r.shapes) {
 			return nil, fmt.Errorf("%w: shape id %d", ErrCorrupt, id)
 		}
-		t, err := rebuildTree(r.shapes[id], nextLit, r.names)
+		t, err := rebuildTree(r.shapes[id], arena, nextLit, r.names)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}

@@ -665,11 +665,11 @@ func decodeSymbolStream(seg []byte, count int, opt Options) ([]int32, error) {
 	if count == 0 {
 		return nil, nil
 	}
-	return readSymbolStream(bitio.NewReader(bytes.NewReader(seg)), count, opt)
+	return readSymbolStream(bitio.NewReaderBytes(seg), count, opt)
 }
 
 func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, error) {
-	br := bitio.NewReader(bytes.NewReader(data))
+	br := bitio.NewReaderBytes(data)
 	m := &ir.Module{}
 	var err error
 	if m.Name, err = readString(br); err != nil {
@@ -708,12 +708,8 @@ func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, 
 		}
 		if initLen > 0 {
 			g.Init = make([]byte, initLen)
-			for j := range g.Init {
-				b, err := br.ReadByte()
-				if err != nil {
-					return nil, fmt.Errorf("%w: global init bytes", ErrCorrupt)
-				}
-				g.Init[j] = b
+			if err := br.ReadBytes(g.Init); err != nil {
+				return nil, fmt.Errorf("%w: global init bytes", ErrCorrupt)
 			}
 		}
 		m.Globals = append(m.Globals, g)
@@ -785,10 +781,8 @@ func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, 
 			return nil, fmt.Errorf("%w: segment length", ErrCorrupt)
 		}
 		framed := make([]byte, n+integrity.ChecksumLen)
-		for i := range framed {
-			if framed[i], err = br.ReadByte(); err != nil {
-				return nil, fmt.Errorf("%w: segment bytes", ErrTruncated)
-			}
+		if err := br.ReadBytes(framed); err != nil {
+			return nil, fmt.Errorf("%w: segment bytes", ErrTruncated)
 		}
 		// Verify the segment trailer before the stream is entropy-decoded.
 		seg, err := integrity.SplitChecksum(framed, "stream segment")
@@ -835,13 +829,16 @@ func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, 
 		return nil, err
 	}
 	shapeStream := decoded[0]
-	litStreams := map[ir.Op][]int32{}
+	// Literal streams and cursors are dense op-indexed tables: nextLit
+	// runs once per literal in the module, so two map lookups per call
+	// showed up in decompression profiles.
+	var litStreams [ir.NumOps][]int32
+	var litPos [ir.NumOps]int
 	for i := 1; i < len(segs); i++ {
 		litStreams[segs[i].op] = decoded[i]
 	}
 
 	// Rebuild trees.
-	litPos := map[ir.Op]int{}
 	nextLit := func(op ir.Op) (int32, error) {
 		s := litStreams[op]
 		p := litPos[op]
@@ -850,6 +847,16 @@ func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, 
 		}
 		litPos[op] = p + 1
 		return s[p], nil
+	}
+	totalNodes := 0
+	for _, id := range shapeStream {
+		if id >= 0 && int(id) < len(shapes) {
+			totalNodes += len(shapes[id])
+		}
+	}
+	arena := &treeArena{
+		nodes: make([]ir.Tree, totalNodes),
+		kids:  make([]*ir.Tree, totalNodes),
 	}
 	si := 0
 	for fi, f := range m.Functions {
@@ -862,7 +869,7 @@ func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, 
 			if id < 0 || int(id) >= len(shapes) {
 				return nil, fmt.Errorf("%w: shape id %d", ErrCorrupt, id)
 			}
-			t, err := rebuildTree(shapes[id], nextLit, names)
+			t, err := rebuildTree(shapes[id], arena, nextLit, names)
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
@@ -875,9 +882,30 @@ func parseContainer(data []byte, opt Options, pool *parallel.Pool) (*ir.Module, 
 	return m, nil
 }
 
+// treeArena hands out node and child-pointer backing for tree
+// reconstruction from two bulk allocations, sized from the total shape
+// length of the trees to be rebuilt. Per-node (and even per-tree)
+// allocation otherwise dominates decompression GC time.
+type treeArena struct {
+	nodes []ir.Tree
+	kids  []*ir.Tree
+}
+
+func (ar *treeArena) take(n int) ([]ir.Tree, []*ir.Tree) {
+	if ar == nil || len(ar.nodes) < n || len(ar.kids) < n {
+		return make([]ir.Tree, n), make([]*ir.Tree, n)
+	}
+	nodes, kids := ar.nodes[:n:n], ar.kids[:n:n]
+	ar.nodes, ar.kids = ar.nodes[n:], ar.kids[n:]
+	return nodes, kids
+}
+
 // rebuildTree reconstructs one tree from its shape, pulling literals
-// from the per-opcode streams in prefix order.
-func rebuildTree(ops []ir.Op, nextLit func(ir.Op) (int32, error), names []string) (*ir.Tree, error) {
+// from the per-opcode streams in prefix order. ar may be nil for
+// standalone per-tree allocation.
+func rebuildTree(ops []ir.Op, ar *treeArena, nextLit func(ir.Op) (int32, error), names []string) (*ir.Tree, error) {
+	nodes, kidsArena := ar.take(len(ops))
+	ka := 0
 	pos := 0
 	var build func() (*ir.Tree, error)
 	build = func() (*ir.Tree, error) {
@@ -885,8 +913,9 @@ func rebuildTree(ops []ir.Op, nextLit func(ir.Op) (int32, error), names []string
 			return nil, fmt.Errorf("shape underflow")
 		}
 		op := ops[pos]
+		t := &nodes[pos]
 		pos++
-		t := &ir.Tree{Op: op}
+		t.Op = op
 		switch op.Lit() {
 		case ir.LitInt:
 			v, err := nextLit(op)
@@ -904,12 +933,20 @@ func rebuildTree(ops []ir.Op, nextLit func(ir.Op) (int32, error), names []string
 			}
 			t.Name = names[v]
 		}
-		for i := 0; i < op.Arity(); i++ {
-			k, err := build()
-			if err != nil {
-				return nil, err
+		if arity := op.Arity(); arity > 0 {
+			if ka+arity > len(kidsArena) {
+				return nil, fmt.Errorf("shape underflow")
 			}
-			t.Kids = append(t.Kids, k)
+			kids := kidsArena[ka : ka : ka+arity]
+			ka += arity
+			for i := 0; i < arity; i++ {
+				k, err := build()
+				if err != nil {
+					return nil, err
+				}
+				kids = append(kids, k)
+			}
+			t.Kids = kids
 		}
 		return t, nil
 	}

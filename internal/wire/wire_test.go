@@ -259,6 +259,7 @@ int main(void) { return x + arr[0] + msg[0]; }
 }
 
 func BenchmarkCompressWep(b *testing.B) {
+	b.ReportAllocs()
 	src := workload.Generate(workload.Wep)
 	m := compileMod(b, "wep", src)
 	b.ResetTimer()
@@ -270,6 +271,7 @@ func BenchmarkCompressWep(b *testing.B) {
 }
 
 func BenchmarkDecompressWep(b *testing.B) {
+	b.ReportAllocs()
 	src := workload.Generate(workload.Wep)
 	m := compileMod(b, "wep", src)
 	data, err := Compress(m)
