@@ -64,11 +64,12 @@ vet:
 # parallel-pipeline and fast-path benchmarks gated against the
 # committed baseline (timing-derived metrics — wall-clock speedups,
 # per-second rates, allocation byte totals that track GC timing — are
-# excluded; deterministic size, symbol, step, and allocation-count
-# metrics gate), and the byte-attribution audit.
+# excluded, as are the runtime-sampler gauges and flight-recorder
+# counters, which vary run to run; deterministic size, symbol, step,
+# and allocation-count metrics gate), and the byte-attribution audit.
 check: fmt vet build
 	$(GO) test -race ./...
 	$(MAKE) fuzz-short
 	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=1x .
-	$(GO) run ./cmd/benchdiff -threshold 5 -ignore 'speedup|steps/s|bytes/op' BENCH_baseline.json /tmp/BENCH_check.json
+	$(GO) run ./cmd/benchdiff -threshold 5 -ignore 'speedup|steps/s|bytes/op|^runtime\.|^parallel\.pool|^telemetry\.flight' BENCH_baseline.json /tmp/BENCH_check.json
 	$(MAKE) attrib

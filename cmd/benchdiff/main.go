@@ -31,7 +31,12 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/expose"
 )
+
+// tool is the process observability state; fatal trips its flight
+// recorder and flushes it before exit.
+var tool *expose.Tool
 
 type row struct {
 	key      string
@@ -43,11 +48,18 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "exit nonzero if any compared metric changes by more than this percent (0 = report only)")
 	ignore := flag.String("ignore", "", "regexp of metric names to exclude from gating (still reported)")
 	only := flag.String("only", "", "regexp of metric names to compare; everything else is dropped")
+	obs := expose.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-ignore regexp] [-only regexp] old.json new.json")
 		os.Exit(2)
 	}
+	var terr error
+	tool, terr = obs.Start()
+	if terr != nil {
+		fatal(terr)
+	}
+	defer tool.Close()
 	var ignoreRe *regexp.Regexp
 	if *ignore != "" {
 		var err error
@@ -151,6 +163,7 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: metrics moved more than %.1f%% against %s\n", *threshold, flag.Arg(0))
+		tool.Close()
 		os.Exit(1)
 	}
 }
@@ -206,5 +219,6 @@ func readSnapshot(path string) telemetry.Snapshot {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	tool.Fail("fatal: " + err.Error())
 	os.Exit(1)
 }

@@ -12,6 +12,9 @@
 //
 //	-metrics             telemetry summary on stderr
 //	-trace file.jsonl    machine-readable span/counter trace
+//	-trace-out f.json    Chrome trace_event trace (load in Perfetto)
+//	-debug-addr a:p      live debug endpoints (/metrics, /snapshot, /spans, /flight, /debug/pprof)
+//	-sample d            runtime sampler interval
 //	-cpuprofile f.pprof  CPU profile
 //	-memprofile f.pprof  heap profile
 package main
@@ -27,8 +30,13 @@ import (
 	"repro/internal/flatezip"
 	"repro/internal/native"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/expose"
 	"repro/internal/vm"
 )
+
+// tool is the process observability state; fatal trips its flight
+// recorder and flushes it before exit.
+var tool *expose.Tool
 
 func main() {
 	out := flag.String("o", "", "output path for the BRISC object")
@@ -43,10 +51,7 @@ func main() {
 	dict := flag.Bool("dict", false, "print the learned dictionary")
 	dictOut := flag.String("dict-out", "", "save the learned dictionary for reuse")
 	dictIn := flag.String("dict-in", "", "compress with a previously trained dictionary")
-	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
-	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	obs := expose.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: briscc [flags] file.mc")
@@ -54,10 +59,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	tool, err := telemetry.StartTool(telemetry.ToolOptions{
-		Trace: *trace, Metrics: *metrics,
-		CPUProfile: *cpuprofile, MemProfile: *memprofile,
-	})
+	var err error
+	tool, err = obs.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -160,5 +163,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "briscc:", err)
+	tool.Fail("fatal: " + err.Error())
 	os.Exit(1)
 }

@@ -17,6 +17,9 @@
 //
 //	-metrics             telemetry summary on stderr
 //	-trace file.jsonl    machine-readable span/counter trace
+//	-trace-out f.json    Chrome trace_event trace (load in Perfetto)
+//	-debug-addr a:p      live debug endpoints (/metrics, /snapshot, /spans, /flight, /debug/pprof)
+//	-sample d            runtime sampler interval
 //	-cpuprofile f.pprof  CPU profile
 //	-memprofile f.pprof  heap profile
 package main
@@ -30,8 +33,13 @@ import (
 	"repro/internal/brisc"
 	"repro/internal/guard"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/expose"
 	"repro/internal/vm"
 )
+
+// tool is the process observability state; fatal trips its flight
+// recorder and flushes it before exit.
+var tool *expose.Tool
 
 func main() {
 	jit := flag.Bool("jit", false, "JIT to native code before running")
@@ -40,10 +48,7 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 0, "abort after executing this many instructions (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort after this wall-clock duration, e.g. 2s (0 = unlimited)")
 	workers := flag.Int("workers", 0, "cap runtime parallelism (GOMAXPROCS); 0 = one per CPU")
-	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
-	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	obs := expose.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: briscrun [-jit] [-time] file.brisc")
@@ -53,17 +58,13 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
-	tool, err := telemetry.StartTool(telemetry.ToolOptions{
-		Trace: *trace, Metrics: *metrics,
-		CPUProfile: *cpuprofile, MemProfile: *memprofile,
-	})
+	var err error
+	tool, err = obs.Start()
 	if err != nil {
 		fatal(err)
 	}
-	// Flush traces/metrics even on the error path, so governor trap
-	// counters reach the summary when a limit kills the run.
-	cleanup = func() { tool.Close() }
 	rec := tool.Rec
+	metrics := obs.Metrics
 
 	limits := guard.Limits{MaxSteps: *maxSteps}
 	if *timeout > 0 {
@@ -129,14 +130,11 @@ func main() {
 	os.Exit(int(code))
 }
 
-// cleanup flushes telemetry before a fatal exit; set once StartTool
-// succeeds.
-var cleanup func()
-
+// fatal trips the flight recorder (dumping the last events to stderr)
+// and flushes traces/metrics before exiting, so governor trap counters
+// reach the summary when a limit kills the run.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "briscrun:", err)
-	if cleanup != nil {
-		cleanup()
-	}
+	tool.Fail("fatal: " + err.Error())
 	os.Exit(1)
 }

@@ -37,8 +37,13 @@ import (
 	"repro/internal/cc"
 	"repro/internal/codegen"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/expose"
 	"repro/internal/wire"
 )
+
+// tool is the process observability state; fatal trips its flight
+// recorder and flushes it before exit.
+var tool *expose.Tool
 
 func main() {
 	if len(os.Args) < 2 {
@@ -48,10 +53,7 @@ func main() {
 	fs := flag.NewFlagSet("compscope "+mode, flag.ExitOnError)
 	format := fs.String("format", "", "artifact kind for .mc inputs: wire, brisc, or both (default: both for report, wire for diff, brisc for hot)")
 	jsonOut := fs.String("json", "", `write the attribution gauges as a JSON snapshot to this file ("-" = stdout)`)
-	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file")
-	metrics := fs.Bool("metrics", false, "print a telemetry summary to stderr")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	obs := expose.AddFlags(fs)
 	switch mode {
 	case "report", "diff", "hot":
 	default:
@@ -59,10 +61,8 @@ func main() {
 	}
 	fs.Parse(os.Args[2:])
 
-	tool, err := telemetry.StartTool(telemetry.ToolOptions{
-		Trace: *trace, Metrics: *metrics,
-		CPUProfile: *cpuprofile, MemProfile: *memprofile,
-	})
+	var err error
+	tool, err = obs.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -248,5 +248,6 @@ func usage() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "compscope:", err)
+	tool.Fail("fatal: " + err.Error())
 	os.Exit(1)
 }

@@ -25,24 +25,24 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/expose"
 	"repro/internal/workload"
 )
+
+// tool is the process observability state; fatal paths trip its flight
+// recorder and flush it before exit.
+var tool *expose.Tool
 
 func main() {
 	table := flag.String("table", "all", "which experiment to run")
 	quick := flag.Bool("quick", false, "skip slow timing measurements")
 	workers := flag.Int("workers", 0, "worker pool size for -table batch: 0 = one per CPU, 1 = serial")
-	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
-	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	obs := expose.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	tool, terr := telemetry.StartTool(telemetry.ToolOptions{
-		Trace: *trace, Metrics: *metrics,
-		CPUProfile: *cpuprofile, MemProfile: *memprofile,
-	})
+	var terr error
+	tool, terr = obs.Start()
 	if terr != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", terr)
 		os.Exit(1)
@@ -128,7 +128,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		tool.Close() // flush any trace/metrics gathered before the failure
+		// Trip the flight recorder and flush any trace/metrics gathered
+		// before the failure.
+		tool.Fail("fatal: " + err.Error())
 		os.Exit(1)
 	}
 	if *metricsOut != "" {

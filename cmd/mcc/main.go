@@ -26,9 +26,13 @@ import (
 	"repro/internal/flatezip"
 	"repro/internal/guard"
 	"repro/internal/native"
-	"repro/internal/telemetry"
+	"repro/internal/telemetry/expose"
 	"repro/internal/vm"
 )
+
+// tool is the process observability state; fatal trips its flight
+// recorder and flushes it before exit.
+var tool *expose.Tool
 
 func main() {
 	dumpIR := flag.Bool("dump-ir", false, "print tree IR")
@@ -41,10 +45,7 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 0, "abort -run after executing this many instructions (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort -run after this wall-clock duration, e.g. 2s (0 = unlimited)")
 	workers := flag.Int("workers", 0, "cap runtime parallelism (GOMAXPROCS); 0 = one per CPU")
-	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
-	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	obs := expose.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.mc")
@@ -55,16 +56,11 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
-	tool, err := telemetry.StartTool(telemetry.ToolOptions{
-		Trace: *trace, Metrics: *metrics,
-		CPUProfile: *cpuprofile, MemProfile: *memprofile,
-	})
+	var err error
+	tool, err = obs.Start()
 	if err != nil {
 		fatal(err)
 	}
-	// Flush traces/metrics even on the error path, so governor trap
-	// counters reach the summary when a limit kills the run.
-	cleanup = func() { tool.Close() }
 	rec := tool.Rec
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -131,14 +127,11 @@ func main() {
 	}
 }
 
-// cleanup flushes telemetry before a fatal exit; set once StartTool
-// succeeds.
-var cleanup func()
-
+// fatal trips the flight recorder and flushes traces/metrics before
+// exiting, so governor trap counters reach the summary when a limit
+// kills the run.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcc:", err)
-	if cleanup != nil {
-		cleanup()
-	}
+	tool.Fail("fatal: " + err.Error())
 	os.Exit(1)
 }

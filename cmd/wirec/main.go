@@ -18,6 +18,9 @@
 //
 //	-metrics             per-stage telemetry summary on stderr
 //	-trace file.jsonl    machine-readable span/counter trace
+//	-trace-out f.json    Chrome trace_event trace (load in Perfetto)
+//	-debug-addr a:p      live debug endpoints (/metrics, /snapshot, /spans, /flight, /debug/pprof)
+//	-sample d            runtime sampler interval
 //	-cpuprofile f.pprof  CPU profile
 //	-memprofile f.pprof  heap profile
 package main
@@ -29,9 +32,13 @@ import (
 	"time"
 
 	"repro/internal/cc"
-	"repro/internal/telemetry"
+	"repro/internal/telemetry/expose"
 	"repro/internal/wire"
 )
+
+// tool is the process observability state; fatal trips its flight
+// recorder and flushes it before exit.
+var tool *expose.Tool
 
 func main() {
 	compress := flag.String("c", "", "MiniC source to compress")
@@ -47,24 +54,20 @@ func main() {
 	maxBytes := flag.Uint64("max-bytes", 0, "cap the declared decompressed container size in bytes (0 = keep the 1 GiB default)")
 	timeout := flag.Duration("timeout", 0, "abort -d after this wall-clock duration, e.g. 2s (0 = unlimited)")
 	workers := flag.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = serial; output is identical either way")
-	trace := flag.String("trace", "", "write a JSONL telemetry trace to this file")
-	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	obs := expose.AddFlags(flag.CommandLine)
 	flag.Parse()
 	// A bare positional source file means -c.
 	if *compress == "" && *decompress == "" && flag.NArg() == 1 {
 		*compress = flag.Arg(0)
 	}
 
-	tool, err := telemetry.StartTool(telemetry.ToolOptions{
-		Trace: *trace, Metrics: *metrics,
-		CPUProfile: *cpuprofile, MemProfile: *memprofile,
-	})
+	var err error
+	tool, err = obs.Start()
 	if err != nil {
 		fatal(err)
 	}
 	rec := tool.Rec
+	metrics := obs.Metrics
 
 	opt := wire.Options{NoMTF: *noMTF, NoHuffman: *noHuff, Workers: *workers}
 	switch *final {
@@ -184,10 +187,6 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	closeTool(tool)
-}
-
-func closeTool(tool *telemetry.Tool) {
 	if err := tool.Close(); err != nil {
 		fatal(err)
 	}
@@ -212,5 +211,6 @@ func guardWall(d time.Duration, f func() error) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wirec:", err)
+	tool.Fail("fatal: " + err.Error())
 	os.Exit(1)
 }

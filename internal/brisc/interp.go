@@ -314,12 +314,13 @@ func (it *Interp) noteUnit(idx int32, u *predUnit) {
 	}
 }
 
-// recordTrap bumps the telemetry counter for a governor trap.
+// recordTrap bumps the telemetry counter for a governor trap and
+// trips the flight recorder (via guard.Report). The batched execution
+// counters are flushed first so the flight dump shows what the run was
+// doing when the limit fired.
 func (it *Interp) recordTrap(err error) {
-	var trap *guard.TrapError
-	if it.rec != nil && errors.As(err, &trap) {
-		it.rec.Add("brisc.governor."+trap.Limit, 1)
-	}
+	it.FlushTelemetry()
+	guard.Report(it.rec, err)
 }
 
 // EnableCache turns on the decoded-unit cache (see the cache field).

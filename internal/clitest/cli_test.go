@@ -3,13 +3,17 @@
 package clitest
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -397,5 +401,142 @@ func TestExamplesRun(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("quickstart output missing %q", want)
 		}
+	}
+}
+
+// TestWirecDebugAddr: a short-lived tool with -debug-addr starts its
+// debug server (announced on stderr), finishes its work, and exits
+// cleanly — the server must not keep the process alive.
+func TestWirecDebugAddr(t *testing.T) {
+	src := writeSample(t)
+	obj := filepath.Join(t.TempDir(), "app.wire")
+	out, code := run(t, "wirec", "-debug-addr", "127.0.0.1:0", "-c", src, "-o", obj)
+	if code != 0 {
+		t.Fatalf("wirec -debug-addr exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "debug: serving http://") {
+		t.Fatalf("no debug-server announcement:\n%s", out)
+	}
+	if _, err := os.Stat(obj); err != nil {
+		t.Fatalf("compressed object missing: %v", err)
+	}
+}
+
+// TestBriscrunDebugAddrLiveScrape runs a long-running BRISC program
+// under -debug-addr and scrapes the live endpoints mid-execution — the
+// end-to-end proof of the observability plane: compile, run, curl
+// /metrics while the interpreter is hot.
+func TestBriscrunDebugAddrLiveScrape(t *testing.T) {
+	// A program that runs long enough to scrape but is bounded by the
+	// governor either way.
+	loop := filepath.Join(t.TempDir(), "loop.mc")
+	if err := os.WriteFile(loop, []byte(`
+int main(void) { int i; i = 0; while (i < 2000000000) { i = i + 1; } return 0; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	obj := filepath.Join(t.TempDir(), "loop.brisc")
+	if out, code := run(t, "briscc", "-o", obj, loop); code != 0 {
+		t.Fatalf("briscc exited %d:\n%s", code, out)
+	}
+
+	cmd := exec.Command(filepath.Join(tools(t), "briscrun"),
+		"-debug-addr", "127.0.0.1:0", "-sample", "50ms", "-timeout", "60s", obj)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The startup line carries the bound address.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "debug: serving http://") {
+			addr = strings.TrimPrefix(line, "debug: serving ")
+			addr = strings.Fields(addr)[0]
+			addr = strings.TrimSuffix(addr, "/")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("debug-server announcement not seen: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	var lastErr error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(addr + "/metrics")
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("/metrics status %d", resp.StatusCode)
+		}
+		if strings.Contains(string(body), "runtime_goroutines") {
+			if resp2, err := http.Get(addr + "/healthz"); err == nil {
+				b2, _ := io.ReadAll(resp2.Body)
+				resp2.Body.Close()
+				if string(b2) != "ok\n" {
+					t.Fatalf("healthz = %q", b2)
+				}
+				return // scraped live metrics from a running interpreter
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("never scraped sampler gauges from live process: %v", lastErr)
+}
+
+// TestBriscrunTraceOut: -trace-out writes a Perfetto-loadable Chrome
+// trace with the identity triple on every span event.
+func TestBriscrunTraceOut(t *testing.T) {
+	src := writeSample(t)
+	obj := filepath.Join(t.TempDir(), "app.brisc")
+	if out, code := run(t, "briscc", "-o", obj, src); code != 0 {
+		t.Fatalf("briscc exited %d:\n%s", code, out)
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if out, code := run(t, "briscrun", "-trace-out", tracePath, obj); code != 0 {
+		t.Fatalf("briscrun exited %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	ids := map[any]bool{}
+	var spans int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+			ids[e.Args["trace_id"]] = true
+			if _, ok := e.Args["span_id"]; !ok {
+				t.Fatalf("span event missing span_id: %+v", e)
+			}
+		}
+	}
+	if spans == 0 || len(ids) != 1 {
+		t.Fatalf("spans=%d distinct trace ids=%d, want >0 and 1", spans, len(ids))
 	}
 }

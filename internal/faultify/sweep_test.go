@@ -1,6 +1,7 @@
 package faultify
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/integrity"
 	"repro/internal/ir"
 	"repro/internal/native"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/wire"
 )
@@ -192,14 +194,29 @@ func TestValidArtifactsDecode(t *testing.T) {
 // ever escapes, execution always terminates inside the governor, and
 // every failure is a typed error from the robustness taxonomy.
 func TestFaultSweep(t *testing.T) {
+	// Contract violations route through the flight recorder: the first
+	// one dumps the event ring into the test log for the post-mortem.
+	rec := telemetry.New()
+	rec.EnableFlight(64)
+	var flight bytes.Buffer
+	rec.SetFlightOutput(&flight)
+	defer func() {
+		rec.Close()
+		if flight.Len() > 0 {
+			t.Logf("flight dump:\n%s", flight.String())
+		}
+	}()
+
 	perFormat := map[string]int{}
 	for ti, tgt := range buildTargets(t) {
 		tgt := tgt
 		seed := int64(1000 + ti) // fixed seeds: the sweep replays exactly
 		Sweep(tgt.data, seed, roundsPerModule, func(mutator string, round int, mutant []byte) {
 			perFormat[tgt.format]++
+			rec.Add("faultify.mutants", 1)
 			err := runChecked(tgt.check, mutant)
 			if err != nil && !isTyped(err) {
+				ReportFailure(rec, tgt.format, mutator, seed, round, err)
 				t.Errorf("%s/%s seed=%d round=%d: untyped error: %v",
 					tgt.format, mutator, seed, round, err)
 			}

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrLimit is the common sentinel every TrapError matches.
@@ -105,6 +107,25 @@ func (g *Gov) Check(steps int64, depth int, pc int64) error {
 		}
 	}
 	return nil
+}
+
+// Report records a governor trap on rec: it bumps the engine's
+// <engine>.governor.<limit> counter and trips the flight recorder so
+// the events leading up to the trap are dumped (first trip only). It
+// returns the TrapError when err is one, nil otherwise; a nil or
+// disabled recorder and non-trap errors are no-ops. Every engine's
+// trap path funnels through here so the trap→flight-dump coupling
+// lives in one place.
+func Report(rec *telemetry.Recorder, err error) *TrapError {
+	var trap *TrapError
+	if !errors.As(err, &trap) {
+		return nil
+	}
+	if rec.Enabled() {
+		rec.Add(trap.Engine+".governor."+trap.Limit, 1)
+		rec.Trip("guard: " + trap.Error())
+	}
+	return trap
 }
 
 // CheckMem validates a machine's memory size against the limit; it is

@@ -147,10 +147,7 @@ func (mc *Machine) Run(maxSteps int64) (int32, error) {
 	}
 	v, err := mc.call(main, nil)
 	if err != nil {
-		var trap *guard.TrapError
-		if mc.rec != nil && errors.As(err, &trap) {
-			mc.rec.Add("irexec.governor."+trap.Limit, 1)
-		}
+		guard.Report(mc.rec, err)
 		return 0, err
 	}
 	if mc.halted {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/flatezip"
 	"repro/internal/integrity"
+	"repro/internal/telemetry"
 )
 
 // Store is a compressed code-page image: the backing representation
@@ -23,7 +24,14 @@ type Store struct {
 	pageSize    int
 	lastPageLen int // byte length of the final (possibly short) page
 	pages       [][]byte
+	rec         *telemetry.Recorder
 }
+
+// SetRecorder attaches a telemetry recorder: every fault then counts
+// paging.crc_checks, paging.pages_loaded, and paging.bytes_decompressed,
+// and a corrupt page counts paging.corrupt and trips the flight
+// recorder. Nil (the default) keeps the fault path untouched.
+func (s *Store) SetRecorder(rec *telemetry.Recorder) { s.rec = rec }
 
 var storeMagic = [4]byte{'P', 'G', 'S', '1'}
 
@@ -156,11 +164,12 @@ func OpenStore(data []byte) (*Store, error) {
 // page size — a page that inflates past it is rejected as corrupt.
 func (s *Store) Page(i int) ([]byte, error) {
 	if i < 0 || i >= len(s.pages) {
-		return nil, fmt.Errorf("%w: page %d of %d", ErrCorrupt, i, len(s.pages))
+		return nil, s.corrupt(fmt.Errorf("%w: page %d of %d", ErrCorrupt, i, len(s.pages)))
 	}
+	s.rec.Add("paging.crc_checks", 1)
 	comp, err := integrity.SplitChecksum(s.pages[i], fmt.Sprintf("page %d", i))
 	if err != nil {
-		return nil, retag(err)
+		return nil, s.corrupt(retag(err))
 	}
 	want := s.pageSize
 	if i == len(s.pages)-1 {
@@ -168,12 +177,24 @@ func (s *Store) Page(i int) ([]byte, error) {
 	}
 	page, err := flatezip.DecompressLimit(comp, uint64(want))
 	if err != nil {
-		return nil, fmt.Errorf("%w: page %d: %v", ErrCorrupt, i, err)
+		return nil, s.corrupt(fmt.Errorf("%w: page %d: %v", ErrCorrupt, i, err))
 	}
 	if len(page) != want {
-		return nil, fmt.Errorf("%w: page %d is %d bytes, want %d", ErrCorrupt, i, len(page), want)
+		return nil, s.corrupt(fmt.Errorf("%w: page %d is %d bytes, want %d", ErrCorrupt, i, len(page), want))
 	}
+	s.rec.Add("paging.pages_loaded", 1)
+	s.rec.Add("paging.bytes_decompressed", int64(len(page)))
 	return page, nil
+}
+
+// corrupt counts a fault-path failure and trips the flight recorder so
+// the page faults leading up to the corruption are preserved.
+func (s *Store) corrupt(err error) error {
+	if s.rec.Enabled() {
+		s.rec.Add("paging.corrupt", 1)
+		s.rec.Trip("paging: " + err.Error())
+	}
+	return err
 }
 
 // retag maps integrity-layer errors onto the package taxonomy.

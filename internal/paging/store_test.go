@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/integrity"
+	"repro/internal/telemetry"
 )
 
 // testImage builds a compressible-but-varied code image.
@@ -150,5 +151,70 @@ func TestStorePageOutOfRange(t *testing.T) {
 	}
 	if _, err := r.Page(r.NumPages()); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("page %d: %v", r.NumPages(), err)
+	}
+}
+
+// TestStoreTelemetry: an instrumented store counts CRC checks, loads,
+// and decompressed bytes on the fault path, and a corrupt page counts
+// paging.corrupt and trips the flight recorder.
+func TestStoreTelemetry(t *testing.T) {
+	img := testImage(5000)
+	s := NewStore(img, 1024)
+	r, err := OpenStore(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.New()
+	defer rec.Close()
+	rec.EnableFlight(16)
+	var flight bytes.Buffer
+	rec.SetFlightOutput(&flight)
+	r.SetRecorder(rec)
+
+	for i := 0; i < r.NumPages(); i++ {
+		if _, err := r.Page(i); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+	}
+	c := rec.Counters()
+	if c["paging.crc_checks"] != int64(r.NumPages()) {
+		t.Fatalf("crc_checks = %d, want %d", c["paging.crc_checks"], r.NumPages())
+	}
+	if c["paging.pages_loaded"] != int64(r.NumPages()) {
+		t.Fatalf("pages_loaded = %d, want %d", c["paging.pages_loaded"], r.NumPages())
+	}
+	if c["paging.bytes_decompressed"] != int64(len(img)) {
+		t.Fatalf("bytes_decompressed = %d, want %d", c["paging.bytes_decompressed"], len(img))
+	}
+
+	// Corrupt one sealed page: the CRC check must catch it, count it,
+	// and the first corruption dumps the flight ring.
+	enc := s.Encode()
+	enc[len(enc)-3] ^= 0xFF
+	bad, err := OpenStore(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.SetRecorder(rec)
+	if _, err := bad.Page(bad.NumPages() - 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt page error = %v", err)
+	}
+	if rec.Counters()["paging.corrupt"] != 1 {
+		t.Fatalf("corrupt counter = %d", rec.Counters()["paging.corrupt"])
+	}
+	if !bytes.Contains(flight.Bytes(), []byte("flight recorder: paging:")) {
+		t.Fatalf("flight dump missing: %q", flight.String())
+	}
+}
+
+// TestStoreNilRecorder: the uninstrumented store stays nil-safe.
+func TestStoreNilRecorder(t *testing.T) {
+	s := NewStore(testImage(100), 64)
+	r, err := OpenStore(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Page(0); err != nil {
+		t.Fatal(err)
 	}
 }

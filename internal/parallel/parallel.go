@@ -20,9 +20,20 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/telemetry"
 )
+
+// inFlight counts tasks currently running on pool worker goroutines
+// across every pool in the process. The debug-server runtime sampler
+// reads it as the parallel.pool.in_flight gauge.
+var inFlight atomic.Int64
+
+// InFlight reports how many pooled tasks are executing right now,
+// process-wide. Inline (saturated or serial) execution is not counted —
+// the gauge measures pool occupancy, not total work.
+func InFlight() int64 { return inFlight.Load() }
 
 // DefaultWorkers resolves a Workers knob: values > 0 are taken as-is,
 // anything else means "one worker per available CPU" (GOMAXPROCS).
@@ -87,6 +98,8 @@ func (p *Pool) ForEach(label string, n int, fn func(i int) error) error {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-p.tokens }()
+				inFlight.Add(1)
+				defer inFlight.Add(-1)
 				sp := p.rec.StartSpan("parallel.worker",
 					telemetry.String("label", label),
 					telemetry.Int("index", int64(i)))

@@ -1,0 +1,146 @@
+package expose
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Flags is the shared observability flag set every command-line tool
+// registers: the telemetry flags the tools already carried (-trace,
+// -metrics, -cpuprofile, -memprofile) plus the live plane (-debug-addr,
+// -trace-out, -sample).
+type Flags struct {
+	Trace      *string
+	TraceOut   *string
+	Metrics    *bool
+	CPUProfile *string
+	MemProfile *string
+	DebugAddr  *string
+	Sample     *time.Duration
+}
+
+// AddFlags registers the shared observability flags on fs and returns
+// the handle to Start them after flag.Parse.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Trace:      fs.String("trace", "", "write a JSONL telemetry trace to `file`"),
+		TraceOut:   fs.String("trace-out", "", "write a Chrome trace_event JSON trace to `file` (load in Perfetto)"),
+		Metrics:    fs.Bool("metrics", false, "print a telemetry summary to stderr on exit"),
+		CPUProfile: fs.String("cpuprofile", "", "write a CPU profile to `file`"),
+		MemProfile: fs.String("memprofile", "", "write a heap profile to `file`"),
+		DebugAddr:  fs.String("debug-addr", "", "serve live debug endpoints (/metrics, /snapshot, /spans, /flight, /debug/pprof) on `host:port`"),
+		Sample:     fs.Duration("sample", 0, "runtime sampler interval (0 = 1s when -debug-addr is set, else off)"),
+	}
+}
+
+// Options configures Start directly (the non-flag path used by tests).
+type Options struct {
+	telemetry.ToolOptions
+	DebugAddr string        // debug HTTP server address ("" = off)
+	Sample    time.Duration // runtime sampler interval (0 = 1s when DebugAddr set, else off)
+}
+
+// Start activates everything the parsed flags requested.
+func (f *Flags) Start() (*Tool, error) {
+	return Start(Options{
+		ToolOptions: telemetry.ToolOptions{
+			Trace:      *f.Trace,
+			TraceOut:   *f.TraceOut,
+			Metrics:    *f.Metrics,
+			CPUProfile: *f.CPUProfile,
+			MemProfile: *f.MemProfile,
+		},
+		DebugAddr: *f.DebugAddr,
+		Sample:    *f.Sample,
+	})
+}
+
+// Tool is the per-process observability state: the telemetry tool plus
+// the live plane (debug server, runtime sampler). Rec is nil when
+// nothing requested a recorder, preserving the zero-cost disabled path.
+type Tool struct {
+	*telemetry.Tool
+
+	Server *Server
+
+	stopSampler func()
+	closed      bool
+}
+
+// Start activates the requested observability features. Close must run
+// before process exit (it is idempotent); Fail is the fatal-path
+// variant that also trips the flight recorder.
+func Start(opts Options) (*Tool, error) {
+	if opts.DebugAddr != "" || opts.Sample > 0 {
+		opts.NeedRecorder = true
+		if opts.Sample == 0 {
+			opts.Sample = time.Second
+		}
+	}
+	base, err := telemetry.StartTool(opts.ToolOptions)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tool{Tool: base}
+	if opts.DebugAddr != "" {
+		srv, err := StartServer(opts.DebugAddr, t.Rec)
+		if err != nil {
+			base.Close()
+			return nil, err
+		}
+		t.Server = srv
+		summaryTo := opts.SummaryTo
+		if summaryTo == nil {
+			summaryTo = os.Stderr
+		}
+		fmt.Fprintf(summaryTo, "debug: serving http://%s/ (metrics, snapshot, spans, flight, debug/pprof)\n", srv.Addr())
+	}
+	if opts.Sample > 0 && t.Rec != nil {
+		t.stopSampler = telemetry.StartSampler(t.Rec, opts.Sample,
+			telemetry.Probe{Name: "parallel.pool.in_flight", Fn: func() float64 {
+				return float64(parallel.InFlight())
+			}})
+	}
+	return t, nil
+}
+
+// Close stops the sampler, shuts the debug server down, then closes
+// the underlying telemetry tool (profiles, traces, summary). It is
+// idempotent and nil-safe.
+func (t *Tool) Close() error {
+	if t == nil || t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.stopSampler != nil {
+		t.stopSampler()
+	}
+	var first error
+	if t.Server != nil {
+		if err := t.Server.Close(); err != nil {
+			first = err
+		}
+	}
+	if err := t.Tool.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Fail is the CLI fatal path: it trips the flight recorder (dumping
+// the last events to stderr) and tears the tool down so sinks flush
+// before os.Exit. Safe on a nil tool and after Close.
+func (t *Tool) Fail(reason string) {
+	if t == nil {
+		return
+	}
+	if t.Rec != nil {
+		t.Rec.Trip(reason)
+	}
+	t.Close()
+}

@@ -1,0 +1,176 @@
+// Package expose is the live half of the observability plane: an
+// embedded debug HTTP server that serves a running process's telemetry
+// (Prometheus text exposition, JSON snapshot, span summary, flight
+// recorder, pprof), plus the shared command-line flag plumbing every
+// tool uses to switch it on.
+//
+// The package sits one layer above telemetry so the core recorder
+// stays free of net/http; it may import telemetry and parallel, never
+// the reverse.
+package expose
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Server is the embedded debug endpoint behind -debug-addr. It serves
+// live views of one recorder and the stdlib pprof handlers.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr (host:port; ":0" picks a free port) and
+// serves the debug endpoints for rec in a background goroutine.
+func StartServer(addr string, rec *telemetry.Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("expose: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "repro debug server\n\n")
+		fmt.Fprintf(w, "  /metrics       Prometheus text exposition\n")
+		fmt.Fprintf(w, "  /snapshot      aggregate state as JSON\n")
+		fmt.Fprintf(w, "  /spans         human-readable span/metric summary\n")
+		fmt.Fprintf(w, "  /flight        flight-recorder ring dump\n")
+		fmt.Fprintf(w, "  /healthz       liveness probe\n")
+		fmt.Fprintf(w, "  /debug/pprof/  Go runtime profiles\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, rec)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.WriteJSON(w, rec)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		telemetry.WriteSummary(w, rec)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rec.DumpFlight(w, "debug endpoint")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// WritePrometheus renders the recorder's aggregate state in the
+// Prometheus text exposition format (version 0.0.4): counters as
+// <name>_total, gauges as-is, histograms as summaries with p50/p90/p99
+// quantile labels plus _sum and _count. Metric names are sanitized to
+// the [a-zA-Z0-9_:] charset Prometheus requires.
+func WritePrometheus(w io.Writer, rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	counters := rec.Counters()
+	for _, k := range sortedKeys(counters) {
+		name := promName(k) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[k])
+	}
+	gauges := rec.Gauges()
+	for _, k := range sortedKeys(gauges) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(gauges[k]))
+	}
+	hists := rec.Histograms()
+	hkeys := make([]string, 0, len(hists))
+	for k := range hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := hists[k]
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, promFloat(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", name, promFloat(h.P90))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, promFloat(h.P99))
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName maps a dotted telemetry key to a legal Prometheus metric
+// name: dots become underscores, anything outside [a-zA-Z0-9_] too,
+// and a leading digit gets an underscore prefix.
+func promName(key string) string {
+	var b strings.Builder
+	b.Grow(len(key))
+	for i, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

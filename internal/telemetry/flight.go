@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// The flight recorder is a bounded ring of the most recent telemetry
+// events (finished spans and counter increments). It is always cheap:
+// recording is one struct copy into a preallocated ring under the
+// mutex the recorder already holds, with no allocation and no I/O.
+// Its value is at crash time — when a governor limit traps, a
+// fault-injection mutant fails, or a CLI hits its fatal path, the ring
+// is dumped so the post-mortem of an untrusted-artifact failure comes
+// with the events that led up to it.
+
+// FlightEvent is one entry of the flight-recorder ring.
+type FlightEvent struct {
+	Seq   uint64        // monotonically increasing event number
+	When  time.Time     // span start / counter increment time
+	Kind  string        // "span" or "counter"
+	Name  string        //
+	Value int64         // counter delta (Kind == "counter")
+	Dur   time.Duration // span duration (Kind == "span")
+	Attrs []Attr        // span attributes (shared, do not mutate)
+}
+
+// flightWriter is the dump destination plus its metadata; kept tiny so
+// the Recorder struct stays flat.
+type flightWriter = io.Writer
+
+// EnableFlight turns on the flight recorder with a ring of n events
+// (n <= 0 disables it). Safe to call on a nil recorder.
+func (r *Recorder) EnableFlight(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if n <= 0 {
+		r.flight = nil
+	} else {
+		r.flight = make([]FlightEvent, n)
+		r.flightNext, r.flightLen = 0, 0
+	}
+	r.mu.Unlock()
+}
+
+// SetFlightOutput routes automatic flight dumps (Trip) to w. Without
+// an output, Trip only counts; DumpFlight still works for explicit
+// dumps.
+func (r *Recorder) SetFlightOutput(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flightW = w
+	r.mu.Unlock()
+}
+
+// flightRecord appends one event to the ring. Caller holds r.mu.
+func (r *Recorder) flightRecord(e FlightEvent) {
+	if r.flight == nil {
+		return
+	}
+	if e.When.IsZero() {
+		e.When = time.Now()
+	}
+	r.flightSeq++
+	e.Seq = r.flightSeq
+	r.flight[r.flightNext] = e
+	r.flightNext = (r.flightNext + 1) % len(r.flight)
+	if r.flightLen < len(r.flight) {
+		r.flightLen++
+	}
+}
+
+// FlightEvents returns the retained events, oldest first. Nil when the
+// flight recorder is disabled or empty.
+func (r *Recorder) FlightEvents() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flightEventsLocked()
+}
+
+func (r *Recorder) flightEventsLocked() []FlightEvent {
+	if r.flightLen == 0 {
+		return nil
+	}
+	out := make([]FlightEvent, 0, r.flightLen)
+	start := (r.flightNext - r.flightLen + len(r.flight)) % len(r.flight)
+	for i := 0; i < r.flightLen; i++ {
+		out = append(out, r.flight[(start+i)%len(r.flight)])
+	}
+	return out
+}
+
+// DumpFlight writes a human-readable dump of the retained events to w.
+// It is the explicit form of the automatic Trip dump; the /flight
+// debug endpoint serves it too.
+func (r *Recorder) DumpFlight(w io.Writer, reason string) {
+	if r == nil || w == nil {
+		return
+	}
+	writeFlightDump(w, reason, r.Epoch(), r.FlightEvents())
+}
+
+func writeFlightDump(w io.Writer, reason string, epoch time.Time, events []FlightEvent) {
+	fmt.Fprintf(w, "-- flight recorder: %s (%d events) --\n", reason, len(events))
+	for _, e := range events {
+		off := e.When.Sub(epoch).Round(time.Microsecond)
+		switch e.Kind {
+		case "span":
+			attrs := ""
+			for _, a := range e.Attrs {
+				attrs += fmt.Sprintf(" %s=%v", a.Key, a.Value)
+			}
+			fmt.Fprintf(w, "%6d  +%-12s span     %-38s %12s%s\n",
+				e.Seq, off, e.Name, e.Dur.Round(time.Microsecond), attrs)
+		case "counter":
+			fmt.Fprintf(w, "%6d  +%-12s counter  %-38s %+12d\n", e.Seq, off, e.Name, e.Value)
+		default:
+			fmt.Fprintf(w, "%6d  +%-12s %-8s %s\n", e.Seq, off, e.Kind, e.Name)
+		}
+	}
+}
+
+// Trip reports a fault: it bumps the telemetry.flight.trips counter
+// and, on the first trip of this recorder, dumps the ring to the
+// configured flight output. Only the first trip dumps — a sweep that
+// traps hundreds of mutants should not flood the log — and a recorder
+// with no output or no retained events dumps nothing. Nil-safe.
+func (r *Recorder) Trip(reason string) {
+	if !r.Enabled() {
+		return
+	}
+	r.Add("telemetry.flight.trips", 1)
+	r.mu.Lock()
+	w := r.flightW
+	first := !r.tripped
+	r.tripped = true
+	var events []FlightEvent
+	if first && w != nil {
+		events = r.flightEventsLocked()
+	}
+	epoch := r.epoch
+	r.mu.Unlock()
+	if len(events) == 0 {
+		return
+	}
+	writeFlightDump(w, reason, epoch, events)
+}

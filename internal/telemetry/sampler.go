@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Probe is one externally supplied gauge for the runtime sampler —
+// e.g. the parallel pool's occupancy, which telemetry cannot read
+// itself without an import cycle.
+type Probe struct {
+	Name string
+	Fn   func() float64
+}
+
+// StartSampler launches a goroutine that records process health on rec
+// every interval: heap in use and reserved, live goroutine count, GC
+// cycle count and pause total as runtime.* gauges, each new GC pause
+// as a runtime.gc_pause_ns histogram sample, plus every caller probe.
+// One sample is taken immediately and a final one at stop, so even a
+// short run snapshots its runtime state. The returned stop function is
+// idempotent and blocks until the goroutine exits; a nil recorder or
+// non-positive interval yields a no-op sampler.
+func StartSampler(rec *Recorder, interval time.Duration, probes ...Probe) (stop func()) {
+	if rec == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	var lastGC uint32
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rec.SetGauge("runtime.heap_alloc_bytes", float64(ms.HeapAlloc))
+		rec.SetGauge("runtime.heap_sys_bytes", float64(ms.HeapSys))
+		rec.SetGauge("runtime.goroutines", float64(runtime.NumGoroutine()))
+		rec.SetGauge("runtime.gc_count", float64(ms.NumGC))
+		rec.SetGauge("runtime.gc_pause_total_ns", float64(ms.PauseTotalNs))
+		// PauseNs is a ring of the 256 most recent pauses; observe each
+		// cycle that completed since the previous sample.
+		from := lastGC
+		if ms.NumGC > from+256 {
+			from = ms.NumGC - 256
+		}
+		for n := from + 1; n <= ms.NumGC; n++ {
+			rec.Observe("runtime.gc_pause_ns", float64(ms.PauseNs[(n+255)%256]))
+		}
+		lastGC = ms.NumGC
+		for _, p := range probes {
+			rec.SetGauge(p.Name, p.Fn())
+		}
+	}
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		sample()
+		for {
+			select {
+			case <-done:
+				sample()
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}

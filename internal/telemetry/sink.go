@@ -13,6 +13,7 @@ import (
 type Event struct {
 	Type    string         `json:"type"`
 	Name    string         `json:"name"`
+	Trace   string         `json:"trace,omitempty"` // hex trace ID shared by a run's spans
 	ID      uint64         `json:"id,omitempty"`
 	Parent  uint64         `json:"parent,omitempty"`
 	StartUS int64          `json:"start_us,omitempty"` // offset from the recorder epoch
@@ -23,6 +24,17 @@ type Event struct {
 	Sum     float64        `json:"sum,omitempty"`
 	Min     float64        `json:"min,omitempty"`
 	Max     float64        `json:"max,omitempty"`
+	P50     float64        `json:"p50,omitempty"`
+	P90     float64        `json:"p90,omitempty"`
+	P99     float64        `json:"p99,omitempty"`
+}
+
+// traceHex renders a trace ID for the wire formats (0 → "").
+func traceHex(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", id)
 }
 
 // IntAttr returns an integer attribute of a parsed span event (JSON
@@ -86,6 +98,7 @@ func (j *JSONL) SpanEnd(sr SpanRecord) {
 	e := Event{
 		Type:   "span",
 		Name:   sr.Name,
+		Trace:  traceHex(sr.Trace),
 		ID:     sr.ID,
 		Parent: sr.Parent,
 		DurUS:  sr.Dur.Microseconds(),
@@ -117,7 +130,8 @@ func (j *JSONL) Flush(counters map[string]int64, gauges map[string]float64, hist
 	}
 	for _, k := range sortedKeys(hists) {
 		h := hists[k]
-		j.emit(Event{Type: "hist", Name: k, Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max})
+		j.emit(Event{Type: "hist", Name: k, Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			P50: h.P50, P90: h.P90, P99: h.P99})
 	}
 	if err := j.w.Flush(); err != nil && j.err == nil {
 		j.err = err

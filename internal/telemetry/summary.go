@@ -59,8 +59,9 @@ func WriteSummary(w io.Writer, r *Recorder) {
 		fmt.Fprintf(w, "-- histograms --\n")
 		for _, k := range sortedKeys(hists) {
 			h := hists[k]
-			fmt.Fprintf(w, "%-42s n=%d mean=%s min=%s max=%s\n",
-				k, h.Count, formatFloat(h.Mean()), formatFloat(h.Min), formatFloat(h.Max))
+			fmt.Fprintf(w, "%-42s n=%d mean=%s min=%s max=%s p50=%s p90=%s p99=%s\n",
+				k, h.Count, formatFloat(h.Mean()), formatFloat(h.Min), formatFloat(h.Max),
+				formatFloat(h.P50), formatFloat(h.P90), formatFloat(h.P99))
 		}
 	}
 }
@@ -156,6 +157,7 @@ func TakeSnapshot(r *Recorder) Snapshot {
 		e := Event{
 			Type:    "span",
 			Name:    sr.Name,
+			Trace:   traceHex(sr.Trace),
 			ID:      sr.ID,
 			Parent:  sr.Parent,
 			StartUS: sr.Start.Sub(r.Epoch()).Microseconds(),

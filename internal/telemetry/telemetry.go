@@ -15,6 +15,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,8 +39,11 @@ func Float(key string, v float64) Attr { return Attr{Key: key, Value: v} }
 func String(key, v string) Attr { return Attr{Key: key, Value: v} }
 
 // SpanRecord is a finished span as delivered to sinks and returned by
-// Recorder.Spans.
+// Recorder.Spans. Trace is the recorder's trace ID, shared by every
+// span of one run; (Trace, ID, Parent) is the identity triple the
+// JSONL and Chrome trace_event exporters thread through unchanged.
 type SpanRecord struct {
+	Trace  uint64
 	ID     uint64
 	Parent uint64 // 0 for root spans
 	Name   string
@@ -78,12 +82,17 @@ func (s *Span) End() {
 	s.rec.endSpan(s)
 }
 
-// HistSnapshot summarizes one histogram.
+// HistSnapshot summarizes one histogram: the exact moments plus
+// p50/p90/p99 quantiles estimated from a bounded systematic sample of
+// the observations (exact until the sample cap is reached).
 type HistSnapshot struct {
 	Count int64
 	Sum   float64
 	Min   float64
 	Max   float64
+	P50   float64
+	P90   float64
+	P99   float64
 }
 
 // Mean returns the histogram mean (0 when empty).
@@ -92,6 +101,78 @@ func (h HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// histMaxSamples bounds the per-histogram quantile sample. When the
+// buffer fills, every other sample is dropped and the keep stride
+// doubles, so memory stays flat while the sample remains a uniform
+// systematic thinning of the full observation stream — deterministic,
+// unlike reservoir sampling.
+const histMaxSamples = 512
+
+// hist is the live aggregation behind one histogram name.
+type hist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	stride   int64 // keep every stride-th observation
+	seen     int64
+	samples  []float64
+}
+
+func (h *hist) observe(v float64) {
+	if h.count == 0 {
+		h.min, h.max = v, v
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if h.seen%h.stride == 0 {
+		if h.samples == nil {
+			h.samples = make([]float64, 0, histMaxSamples)
+		}
+		if len(h.samples) == histMaxSamples {
+			// Decimate in place: i moves at least as fast as the write
+			// cursor, so no overlap issues.
+			keep := h.samples[:0]
+			for i := 0; i < histMaxSamples; i += 2 {
+				keep = append(keep, h.samples[i])
+			}
+			h.samples = keep
+			h.stride *= 2
+		}
+		h.samples = append(h.samples, v)
+	}
+	h.seen++
+}
+
+func (h *hist) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if len(h.samples) > 0 {
+		sorted := append([]float64(nil), h.samples...)
+		sort.Float64s(sorted)
+		s.P50 = quantile(sorted, 0.50)
+		s.P90 = quantile(sorted, 0.90)
+		s.P99 = quantile(sorted, 0.99)
+	}
+	return s
+}
+
+// quantile is the nearest-rank quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // Sink consumes telemetry as it is produced. SpanEnd is called for
@@ -108,6 +189,7 @@ type Sink interface {
 // recorder costs one atomic load per call.
 type Recorder struct {
 	enabled atomic.Bool
+	trace   uint64 // trace ID stamped on every span; immutable after New
 
 	mu       sync.Mutex
 	epoch    time.Time
@@ -116,20 +198,60 @@ type Recorder struct {
 	spans    []SpanRecord
 	counters map[string]int64
 	gauges   map[string]float64
-	hists    map[string]*HistSnapshot
+	hists    map[string]*hist
 	sinks    []Sink
+	closed   bool
+
+	// Flight recorder: a fixed ring of the most recent span/counter
+	// events, dumped on traps and fatal paths. See flight.go.
+	flight     []FlightEvent
+	flightNext int
+	flightLen  int
+	flightSeq  uint64
+	flightW    flightWriter
+	tripped    bool
+}
+
+// traceCounter and traceBase derive process-unique trace IDs: a
+// per-process random-ish base (from the clock at init) advanced by a
+// counter and bit-mixed, so concurrent recorders in one process and
+// recorders across processes land on distinct IDs.
+var (
+	traceCounter atomic.Uint64
+	traceBase    = uint64(time.Now().UnixNano())
+)
+
+func newTraceID() uint64 {
+	x := traceBase + traceCounter.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	if x == 0 {
+		x = 1
+	}
+	return x
 }
 
 // New returns an enabled recorder with no sinks attached.
 func New() *Recorder {
 	r := &Recorder{
 		epoch:    time.Now(),
+		trace:    newTraceID(),
 		counters: map[string]int64{},
 		gauges:   map[string]float64{},
-		hists:    map[string]*HistSnapshot{},
+		hists:    map[string]*hist{},
 	}
 	r.enabled.Store(true)
 	return r
+}
+
+// TraceID returns the recorder's trace identity (0 for a nil
+// recorder); every span it records carries it.
+func (r *Recorder) TraceID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.trace
 }
 
 // Enabled reports whether the recorder accepts data. A nil recorder is
@@ -185,6 +307,7 @@ func (r *Recorder) StartSpan(name string, attrs ...Attr) *Span {
 func (r *Recorder) endSpan(s *Span) {
 	dur := time.Since(s.start)
 	sr := SpanRecord{
+		Trace:  r.trace,
 		ID:     s.id,
 		Parent: s.parent,
 		Name:   s.name,
@@ -202,6 +325,7 @@ func (r *Recorder) endSpan(s *Span) {
 		}
 	}
 	r.spans = append(r.spans, sr)
+	r.flightRecord(FlightEvent{When: s.start, Kind: "span", Name: s.name, Dur: dur, Attrs: s.attrs})
 	sinks := r.sinks
 	r.mu.Unlock()
 	for _, sk := range sinks {
@@ -216,6 +340,7 @@ func (r *Recorder) Add(name string, delta int64) {
 	}
 	r.mu.Lock()
 	r.counters[name] += delta
+	r.flightRecord(FlightEvent{Kind: "counter", Name: name, Value: delta})
 	r.mu.Unlock()
 }
 
@@ -238,17 +363,10 @@ func (r *Recorder) Observe(name string, v float64) {
 	r.mu.Lock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = &HistSnapshot{Min: v, Max: v}
+		h = &hist{stride: 1}
 		r.hists[name] = h
 	}
-	h.Count++
-	h.Sum += v
-	if v < h.Min {
-		h.Min = v
-	}
-	if v > h.Max {
-		h.Max = v
-	}
+	h.observe(v)
 	r.mu.Unlock()
 }
 
@@ -281,7 +399,7 @@ func (r *Recorder) Histogram(name string) HistSnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h, ok := r.hists[name]; ok {
-		return *h
+		return h.snapshot()
 	}
 	return HistSnapshot{}
 }
@@ -333,18 +451,25 @@ func (r *Recorder) Histograms() map[string]HistSnapshot {
 	defer r.mu.Unlock()
 	out := make(map[string]HistSnapshot, len(r.hists))
 	for k, v := range r.hists {
-		out[k] = *v
+		out[k] = v.snapshot()
 	}
 	return out
 }
 
-// Close flushes aggregate metrics to every sink. The recorder remains
-// usable afterwards; a second Close re-flushes.
+// Close flushes aggregate metrics to every sink, once: Close is
+// idempotent, so a fatal-path flush racing a deferred one cannot
+// double-flush (or double-close) the sinks. The recorder itself
+// remains usable for recording afterwards.
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
 	sinks := append([]Sink(nil), r.sinks...)
 	r.mu.Unlock()
 	counters := r.Counters()

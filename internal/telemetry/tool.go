@@ -8,38 +8,54 @@ import (
 	"runtime/pprof"
 )
 
+// DefaultFlightEvents is the flight-recorder ring size StartTool
+// arms on every recorder it creates.
+const DefaultFlightEvents = 256
+
 // ToolOptions carries the observability flags every command-line tool
-// exposes (-trace, -metrics, -cpuprofile, -memprofile).
+// exposes (-trace, -trace-out, -metrics, -cpuprofile, -memprofile).
 type ToolOptions struct {
-	Trace      string // JSONL trace path ("" = off)
-	Metrics    bool   // print the summary sink on Close
-	CPUProfile string // pprof CPU profile path ("" = off)
-	MemProfile string // pprof heap profile path ("" = off)
-	SummaryTo  io.Writer
+	Trace        string // JSONL trace path ("" = off)
+	TraceOut     string // Chrome trace_event JSON path ("" = off); load in Perfetto
+	Metrics      bool   // print the summary sink on Close
+	CPUProfile   string // pprof CPU profile path ("" = off)
+	MemProfile   string // pprof heap profile path ("" = off)
+	NeedRecorder bool   // force a live Recorder even without Trace/Metrics (debug server, sampler)
+	FlightEvents int    // flight-recorder ring size (0 = DefaultFlightEvents, < 0 = off)
+	SummaryTo    io.Writer
 }
 
 // Tool is the per-process observability state behind those flags. Rec
-// is nil when neither -trace nor -metrics was requested, so passing it
-// straight into the instrumented libraries keeps the disabled path
-// free.
+// is nil when no flag requested a recorder, so passing it straight
+// into the instrumented libraries keeps the disabled path free.
 type Tool struct {
 	Rec *Recorder
 
 	opts      ToolOptions
 	traceFile *os.File
 	cpuFile   *os.File
+	closed    bool
 }
 
 // StartTool activates the requested observability features. Callers
 // must invoke Close (before any os.Exit) to stop profiles and flush
-// sinks.
+// sinks; Close is idempotent, so a fatal-path flush and a normal-exit
+// flush can both call it safely.
 func StartTool(opts ToolOptions) (*Tool, error) {
 	t := &Tool{opts: opts}
 	if opts.SummaryTo == nil {
 		t.opts.SummaryTo = os.Stderr
 	}
-	if opts.Trace != "" || opts.Metrics {
+	if opts.Trace != "" || opts.Metrics || opts.TraceOut != "" || opts.NeedRecorder {
 		t.Rec = New()
+		if opts.FlightEvents >= 0 {
+			n := opts.FlightEvents
+			if n == 0 {
+				n = DefaultFlightEvents
+			}
+			t.Rec.EnableFlight(n)
+			t.Rec.SetFlightOutput(t.opts.SummaryTo)
+		}
 	}
 	if opts.Trace != "" {
 		f, err := os.Create(opts.Trace)
@@ -72,12 +88,15 @@ func (t *Tool) cleanup() {
 	}
 }
 
-// Close stops profiles, flushes the trace, writes the heap profile,
-// and prints the metrics summary when requested.
+// Close stops profiles, flushes the trace, writes the heap profile and
+// Chrome trace, and prints the metrics summary when requested. It is
+// idempotent: a fatal-path flush racing a deferred one runs the
+// teardown once and returns nil afterwards.
 func (t *Tool) Close() error {
-	if t == nil {
+	if t == nil || t.closed {
 		return nil
 	}
+	t.closed = true
 	var first error
 	if t.cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -110,6 +129,18 @@ func (t *Tool) Close() error {
 			first = err
 		}
 		t.traceFile = nil
+	}
+	if t.opts.TraceOut != "" && t.Rec != nil {
+		f, err := os.Create(t.opts.TraceOut)
+		if err == nil {
+			err = WriteTraceEvents(f, t.Rec)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("telemetry: trace-out: %w", err)
+		}
 	}
 	if t.opts.Metrics && t.Rec != nil {
 		WriteSummary(t.opts.SummaryTo, t.Rec)

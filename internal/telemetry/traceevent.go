@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event exporter: renders a recorder's spans as the JSON
+// trace format Perfetto (ui.perfetto.dev) and chrome://tracing load
+// directly. Spans become "X" (complete) events carrying the
+// trace/span/parent identity triple in args; each root span gets its
+// own thread track so concurrent pipelines (pool workers, batch
+// compression) render side by side instead of as a garbled single
+// stack. Counters are appended as "C" events at the trace end.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds from the recorder epoch
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceEventFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents marshals the recorder's spans and counters as one
+// Chrome trace_event JSON document (the -trace-out format).
+func WriteTraceEvents(w io.Writer, r *Recorder) error {
+	if r == nil {
+		return nil
+	}
+	spans := r.Spans()
+	epoch := r.Epoch()
+	traceID := fmt.Sprintf("%016x", r.TraceID())
+
+	// Assign each span to the track of its root ancestor.
+	parent := make(map[uint64]uint64, len(spans))
+	for _, sr := range spans {
+		parent[sr.ID] = sr.Parent
+	}
+	rootOf := func(id uint64) uint64 {
+		for seen := 0; seen < len(spans)+1; seen++ {
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+		return id
+	}
+
+	out := traceEventFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "repro trace " + traceID},
+	}}}
+	named := map[uint64]bool{}
+	var endTS int64
+	for _, sr := range spans {
+		tid := rootOf(sr.ID)
+		if !named[tid] {
+			named[tid] = true
+			rootName := sr.Name
+			for _, cand := range spans {
+				if cand.ID == tid {
+					rootName = cand.Name
+					break
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": rootName},
+			})
+		}
+		args := map[string]any{
+			"trace_id":  traceID,
+			"span_id":   sr.ID,
+			"parent_id": sr.Parent,
+		}
+		for _, a := range sr.Attrs {
+			args[a.Key] = a.Value
+		}
+		ts := sr.Start.Sub(epoch).Microseconds()
+		if end := ts + sr.Dur.Microseconds(); end > endTS {
+			endTS = end
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: sr.Name, Ph: "X", TS: ts, Dur: sr.Dur.Microseconds(),
+			PID: 1, TID: tid, Args: args,
+		})
+	}
+	counters := r.Counters()
+	for _, k := range sortedKeys(counters) {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: k, Ph: "C", TS: endTS, PID: 1,
+			Args: map[string]any{"value": counters[k]},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -185,12 +185,13 @@ func (m *Machine) Run(maxSteps int64) (int32, error) {
 	return m.ExitCode, nil
 }
 
-// recordTrap bumps the telemetry counter for a governor trap.
+// recordTrap bumps the telemetry counter for a governor trap and
+// trips the flight recorder (via guard.Report). The batched execution
+// counters are flushed first so the flight dump shows what the run was
+// doing when the limit fired.
 func (m *Machine) recordTrap(err error) {
-	var trap *guard.TrapError
-	if m.rec != nil && errors.As(err, &trap) {
-		m.rec.Add("vm.governor."+trap.Limit, 1)
-	}
+	m.FlushTelemetry()
+	guard.Report(m.rec, err)
 }
 
 // Step executes one instruction.
