@@ -25,9 +25,12 @@ GATED_BENCH = WireCompress|BriscCompress|Batch|WireDecompress|RawDecode|InterpDi
 # Regenerate the committed short-mode baseline the `check` regression
 # gate compares against. Run this (and commit the result) after an
 # intentional size change. Built -race like the check run itself so
-# allocation counts compare like with like.
+# allocation counts compare like with like. benchtime=5x because the
+# race detector makes sync.Pool drop ~25% of Puts at random, so
+# pooled-scratch allocation counts only stabilize when averaged over
+# several iterations.
 bench-baseline:
-	BENCH_METRICS=BENCH_baseline.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=1x .
+	BENCH_METRICS=BENCH_baseline.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=5x .
 
 # Byte-attribution audit: compscope exits nonzero unless every byte of
 # each artifact is accounted for, so this target fails on any
@@ -67,9 +70,14 @@ vet:
 # excluded, as are the runtime-sampler gauges and flight-recorder
 # counters, which vary run to run; deterministic size, symbol, step,
 # and allocation-count metrics gate), and the byte-attribution audit.
+# The allocation threshold is 10%: with scratch pooled, steady-state
+# counts are small and the race detector's randomized sync.Pool drops
+# swing them a few percent run to run, while the churn this gate
+# guards against (a reintroduced per-pass or per-stream allocation)
+# moves them by integer factors.
 check: fmt vet build
 	$(GO) test -race ./...
 	$(MAKE) fuzz-short
-	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=1x .
-	$(GO) run ./cmd/benchdiff -threshold 5 -ignore 'speedup|steps/s|bytes/op|^runtime\.|^parallel\.pool|^telemetry\.flight' BENCH_baseline.json /tmp/BENCH_check.json
+	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=5x .
+	$(GO) run ./cmd/benchdiff -threshold 10 -ignore 'speedup|steps/s|bytes/op|^runtime\.|^parallel\.pool|^telemetry\.flight' BENCH_baseline.json /tmp/BENCH_check.json
 	$(MAKE) attrib

@@ -540,9 +540,16 @@ func BenchmarkWireCompress(b *testing.B) {
 	mod := benchModule(b, p)
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			// One unmeasured warm-up op fills the scratch pools so the
+			// gated allocs/op gauge pins the steady state, not cold-start
+			// arena construction (noisy at -benchtime=1x).
+			if _, err := wire.CompressOpts(mod, wire.Options{Workers: w}); err != nil {
+				b.Fatal(err)
+			}
 			var out []byte
 			var err error
 			defer allocTracked(b)()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				out, err = wire.CompressOpts(mod, wire.Options{Workers: w})
 				if err != nil {
@@ -560,9 +567,14 @@ func BenchmarkBriscCompress(b *testing.B) {
 	prog := benchProgram(b, workload.Wep)
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			// Warm-up op: see BenchmarkWireCompress.
+			if _, err := brisc.Compress(prog, brisc.Options{Workers: w}); err != nil {
+				b.Fatal(err)
+			}
 			var obj *brisc.Object
 			var err error
 			defer allocTracked(b)()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				obj, err = brisc.Compress(prog, brisc.Options{Workers: w})
 				if err != nil {
@@ -585,7 +597,12 @@ func BenchmarkBatch(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		w := w
 		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			// Warm-up op: see BenchmarkWireCompress.
+			if _, err := experiments.BatchCompress(corpus, w); err != nil {
+				b.Fatal(err)
+			}
 			defer allocTracked(b)()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.BatchCompress(corpus, w); err != nil {
 					b.Fatal(err)

@@ -40,12 +40,14 @@ const readerSlab = 4 << 10
 //
 // Invariant: acc holds nacc valid bits left-justified (bit 63 is the
 // oldest pending bit) and every bit below them is zero, so Flush can pad
-// by rounding nacc up. nacc stays below 8 between calls — completed
-// bytes are spilled to buf eagerly.
+// by rounding nacc up. The accumulator fills to a complete 64-bit word
+// before spilling — eight bytes land in the slab per spill instead of
+// one — which is the write-side mirror of the Reader's word-at-a-time
+// refill.
 type Writer struct {
 	w     io.Writer
 	acc   uint64
-	nacc  uint
+	nacc  uint // 0..63 between calls
 	count int64
 	buf   []byte
 	err   error
@@ -56,17 +58,15 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
 }
 
-// spill moves completed bytes from the accumulator into the slab and
-// hands the slab to the underlying writer once it is large enough.
-func (bw *Writer) spill() {
-	for bw.nacc >= 8 {
-		bw.buf = append(bw.buf, byte(bw.acc>>56))
-		bw.acc <<= 8
-		bw.nacc -= 8
-	}
-	if len(bw.buf) >= writerSpill {
-		bw.drain()
-	}
+// Reset redirects the Writer to w, reusing the grown output slab. All
+// accumulator state and counters restart from zero and any previous
+// error is cleared, so one Writer can encode many streams without
+// reallocating.
+func (bw *Writer) Reset(w io.Writer) {
+	bw.w = w
+	bw.acc, bw.nacc, bw.count = 0, 0, 0
+	bw.buf = bw.buf[:0]
+	bw.err = nil
 }
 
 // drain writes the slab to the underlying writer.
@@ -80,6 +80,16 @@ func (bw *Writer) drain() {
 	bw.buf = bw.buf[:0]
 }
 
+// spillAligned moves the accumulator's complete bytes into the slab.
+// Callers must hold a byte-aligned accumulator (nacc divisible by 8).
+func (bw *Writer) spillAligned() {
+	for bw.nacc > 0 {
+		bw.buf = append(bw.buf, byte(bw.acc>>56))
+		bw.acc <<= 8
+		bw.nacc -= 8
+	}
+}
+
 // WriteBit appends a single bit (any nonzero b counts as 1).
 func (bw *Writer) WriteBit(b uint) error {
 	if bw.err != nil {
@@ -90,8 +100,12 @@ func (bw *Writer) WriteBit(b uint) error {
 	}
 	bw.nacc++
 	bw.count++
-	if bw.nacc == 8 {
-		bw.spill()
+	if bw.nacc == 64 {
+		bw.buf = binary.BigEndian.AppendUint64(bw.buf, bw.acc)
+		bw.acc, bw.nacc = 0, 0
+		if len(bw.buf) >= writerSpill {
+			bw.drain()
+		}
 	}
 	return bw.err
 }
@@ -111,20 +125,23 @@ func (bw *Writer) WriteBits(v uint64, n uint) error {
 		v &= 1<<n - 1
 	}
 	bw.count += int64(n)
-	if bw.nacc+n <= 64 {
+	if bw.nacc+n < 64 {
 		bw.acc |= v << (64 - bw.nacc - n)
 		bw.nacc += n
-		bw.spill()
-		return bw.err
+		return nil
 	}
-	// The value straddles the accumulator: top bits exactly fill it,
-	// the k overflow bits start a fresh word. nacc < 8 here, so k < 8.
-	k := n - (64 - bw.nacc)
+	// The value fills (or straddles) the accumulator: the top bits
+	// complete the current word, which spills whole, and the k leftover
+	// bits start a fresh one. (Shifts by 64 yield 0 in Go, so k == 0
+	// needs no special case.)
+	k := bw.nacc + n - 64
 	bw.acc |= v >> k
-	bw.nacc = 64
-	bw.spill()
+	bw.buf = binary.BigEndian.AppendUint64(bw.buf, bw.acc)
 	bw.acc = v << (64 - k)
 	bw.nacc = k
+	if len(bw.buf) >= writerSpill {
+		bw.drain()
+	}
 	return bw.err
 }
 
@@ -134,12 +151,14 @@ func (bw *Writer) WriteByte(b byte) error {
 }
 
 // WriteBytes appends len(p) whole bytes. When the stream is
-// byte-aligned this is a single slab append.
+// byte-aligned the accumulator's pending bytes spill once and the
+// payload lands in the slab as a single bulk append.
 func (bw *Writer) WriteBytes(p []byte) error {
 	if bw.err != nil {
 		return bw.err
 	}
-	if bw.nacc == 0 {
+	if bw.nacc&7 == 0 {
+		bw.spillAligned()
 		bw.buf = append(bw.buf, p...)
 		bw.count += 8 * int64(len(p))
 		if len(bw.buf) >= writerSpill {
@@ -167,12 +186,10 @@ func (bw *Writer) Flush() error {
 	if bw.err != nil {
 		return bw.err
 	}
-	if bw.nacc > 0 {
-		// Low accumulator bits are already zero (see invariant), so
-		// rounding up to a whole byte is the padding.
-		bw.nacc = (bw.nacc + 7) &^ 7
-		bw.spill()
-	}
+	// Low accumulator bits are already zero (see invariant), so
+	// rounding up to a whole byte is the padding.
+	bw.nacc = (bw.nacc + 7) &^ 7
+	bw.spillAligned()
 	bw.drain()
 	return bw.err
 }

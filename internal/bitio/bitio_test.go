@@ -430,3 +430,132 @@ func TestBitsWrittenMatchesBitsRead(t *testing.T) {
 		t.Errorf("BitsRead = %d, want %d", got, total)
 	}
 }
+
+// TestWriterReset checks that a recycled Writer produces bytes
+// identical to a fresh one: same payload, counters restarted, prior
+// error state cleared, grown slab reused transparently.
+func TestWriterReset(t *testing.T) {
+	write := func(bw *Writer) {
+		if err := bw.WriteBits(0b1011, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteBytes([]byte{0xDE, 0xAD, 0xBE, 0xEF}); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteBits(0xFFFFFFFFFFFFFFFF, 64); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var fresh bytes.Buffer
+	write(NewWriter(&fresh))
+
+	var first, second bytes.Buffer
+	bw := NewWriter(&first)
+	write(bw)
+	bw.Reset(&second)
+	if got := bw.BitsWritten(); got != 0 {
+		t.Fatalf("BitsWritten after Reset = %d, want 0", got)
+	}
+	write(bw)
+	if !bytes.Equal(second.Bytes(), fresh.Bytes()) {
+		t.Errorf("reset writer output %x, want %x", second.Bytes(), fresh.Bytes())
+	}
+	if !bytes.Equal(first.Bytes(), fresh.Bytes()) {
+		t.Errorf("pre-reset output was disturbed: %x, want %x", first.Bytes(), fresh.Bytes())
+	}
+}
+
+// TestWriterResetClearsError checks a Writer is usable again after
+// Reset clears a sticky write error.
+func TestWriterResetClearsError(t *testing.T) {
+	bw := NewWriter(failWriter{})
+	for i := 0; i < writerSpill+8; i++ {
+		bw.WriteByte(byte(i))
+	}
+	if bw.Flush() == nil {
+		t.Fatal("expected sticky error from failing writer")
+	}
+	var buf bytes.Buffer
+	bw.Reset(&buf)
+	if err := bw.WriteByte(0x5A); err != nil {
+		t.Fatalf("WriteByte after Reset: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), []byte{0x5A}) {
+		t.Errorf("output after Reset = %x, want 5a", buf.Bytes())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// TestWriterWordBoundary hits the accumulator spill edges: writes that
+// land the accumulator exactly on 64 bits (the k == 0 carry case),
+// straddle it by one bit, and chase a full word with unaligned bulk
+// bytes. The per-bit writer is the reference.
+func TestWriterWordBoundary(t *testing.T) {
+	cases := [][][2]uint64{ // sequence of {value, width}
+		{{0x0F0F0F0F0F0F0F0F, 64}},                          // whole word from empty
+		{{0x1, 1}, {0x7FFFFFFFFFFFFFFF, 63}},                // fill to exactly 64 (k=0)
+		{{0x1, 1}, {0xFFFFFFFFFFFFFFFF, 64}},                // straddle by one
+		{{0x3, 2}, {0x3FFFFFFFFFFFFFFF, 62}, {0xAA, 8}},     // k=0 then continue
+		{{0x12345, 17}, {0xFEDCBA9876543210, 64}, {0x5, 3}}, // straddle mid-word
+		{{0x0, 7}, {0xFFFFFFFFFFFFFFFF, 57}, {0x0, 64}},     // fill, then zero word
+	}
+	for ci, seq := range cases {
+		var fast, slow bytes.Buffer
+		fw, sw := NewWriter(&fast), NewWriter(&slow)
+		for _, vw := range seq {
+			if err := fw.WriteBits(vw[0], uint(vw[1])); err != nil {
+				t.Fatal(err)
+			}
+			for i := int(vw[1]) - 1; i >= 0; i-- { // reference: bit at a time
+				if err := sw.WriteBit(uint(vw[0] >> i & 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if fw.BitsWritten() != sw.BitsWritten() {
+			t.Errorf("case %d: BitsWritten %d != reference %d", ci, fw.BitsWritten(), sw.BitsWritten())
+		}
+		fw.Flush()
+		sw.Flush()
+		if !bytes.Equal(fast.Bytes(), slow.Bytes()) {
+			t.Errorf("case %d: WriteBits %x != per-bit reference %x", ci, fast.Bytes(), slow.Bytes())
+		}
+	}
+}
+
+// TestWriteBytesUnaligned checks the bulk path agrees with the per-bit
+// path at every accumulator phase, including phases that are byte-
+// aligned mid-word (nacc = 8, 16, ...) where the fast path must first
+// spill pending accumulator bytes.
+func TestWriteBytesUnaligned(t *testing.T) {
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for phase := uint(0); phase < 24; phase++ {
+		var fast, slow bytes.Buffer
+		fw, sw := NewWriter(&fast), NewWriter(&slow)
+		fw.WriteBits(0, phase)
+		sw.WriteBits(0, phase)
+		if err := fw.WriteBytes(payload); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range payload {
+			sw.WriteBits(uint64(b), 8)
+		}
+		fw.Flush()
+		sw.Flush()
+		if !bytes.Equal(fast.Bytes(), slow.Bytes()) {
+			t.Errorf("phase %d: WriteBytes diverges from per-byte writes", phase)
+		}
+	}
+}

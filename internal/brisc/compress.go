@@ -3,7 +3,6 @@ package brisc
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
@@ -82,7 +81,8 @@ func Compress(p *vm.Program, opt Options) (*Object, error) {
 // rec may be nil.
 func CompressTraced(p *vm.Program, opt Options, rec *telemetry.Recorder) (*Object, error) {
 	opt = opt.withDefaults()
-	c := &compressor{opt: opt, rec: rec, pool: opt.pool(rec)}
+	c := &compressor{opt: opt, rec: rec, pool: opt.pool(rec), sc: compressPool.Get()}
+	defer c.release()
 	sp := rec.StartSpan("brisc.compress", telemetry.Int("instrs_in", int64(len(p.Code))))
 	defer sp.End()
 	prog := p
@@ -121,7 +121,8 @@ func CompressTraced(p *vm.Program, opt Options, rec *telemetry.Recorder) (*Objec
 // patterns (Object.LearnedDict).
 func CompressWithDict(p *vm.Program, dict []Pattern, opt Options) (*Object, error) {
 	opt = opt.withDefaults()
-	c := &compressor{opt: opt, pool: opt.pool(nil)}
+	c := &compressor{opt: opt, pool: opt.pool(nil), sc: compressPool.Get()}
+	defer c.release()
 	prog := p
 	if !opt.NoEPI {
 		prog = peepholeEPI(p)
@@ -131,14 +132,11 @@ func CompressWithDict(p *vm.Program, dict []Pattern, opt Options) (*Object, erro
 	}
 	var ids []int
 	for _, pat := range dict {
-		key := pat.key()
-		if _, dup := c.dictKeys[key]; dup {
+		h := patternHash(pat)
+		if c.findDict(pat, h) >= 0 {
 			continue
 		}
-		id := len(c.dict)
-		c.dict = append(c.dict, clonePattern(pat))
-		c.dictKeys[key] = id
-		ids = append(ids, id)
+		ids = append(ids, c.addDict(clonePattern(pat), h))
 	}
 	// Iterate rewriting so combined patterns can stack (a four-
 	// instruction pattern applies only after its two-instruction
@@ -157,16 +155,83 @@ func (o *Object) LearnedDict() []Pattern {
 }
 
 type compressor struct {
-	opt           Options
-	units         []unit
+	opt   Options
+	units []unit
+	sc    *compressScratch
+
+	// The dictionary plus its derived per-entry caches, all indexed by
+	// pattern id and grown only through addDict so they stay in sync.
+	// Patterns are immutable once installed, so the caches never
+	// invalidate.
 	dict          []Pattern
-	dictKeys      map[string]int
-	flocCache     map[int][]floc
-	dictCostCache map[int]int
-	rec           *telemetry.Recorder
-	pool          *parallel.Pool
-	// stats
+	dictIdx       map[uint64][]int // patternHash → ids, for dedupe
+	flocCache     [][]floc         // unfixed-field locations
+	specCache     [][]int          // -1 plus each specializable field
+	dictCostCache []int            // dictEntryBytes
+
+	// cands is the persistent candidate-statistics map: the exact sum
+	// of per-anchor contributions over the current unit array. fullScan
+	// builds it once; rewrite maintains it incrementally by retracting
+	// the contributions of every anchor it is about to disturb and
+	// re-scanning those anchors after committing. nil outside run()
+	// (CompressWithDict never scans, so its rewrites skip the
+	// bookkeeping).
+	cands map[candKey]candStat
+
+	rec    *telemetry.Recorder
+	pool   *parallel.Pool
 	passes int
+}
+
+// release hands the compressor's grown buffers back to its scratch and
+// recycles the scratch. The compressor must not be used afterwards;
+// nothing reachable from a returned *Object aliases scratch memory.
+func (c *compressor) release() {
+	sc := c.sc
+	c.sc = nil
+	sc.dict, sc.flocs, sc.specs, sc.dictCost = c.dict, c.flocCache, c.specCache, c.dictCostCache
+	compressPool.Put(sc)
+}
+
+// addDict installs p as a new dictionary entry under its precomputed
+// hash and derives the per-entry caches the scanners read.
+func (c *compressor) addDict(p Pattern, h uint64) int {
+	id := len(c.dict)
+	c.dict = append(c.dict, p)
+	c.dictIdx[h] = append(c.dictIdx[h], id)
+	var fl []floc
+	for ii, pi := range p.Seq {
+		fields := pi.Op.Fields()
+		for fi, fx := range pi.Fixed {
+			if !fx {
+				fl = append(fl, floc{ii, fi, fields[fi]})
+			}
+		}
+	}
+	specs := make([]int, 1, len(fl)+1)
+	specs[0] = -1
+	if !c.opt.NoSpecialize {
+		for k, f := range fl {
+			if f.kind != vm.FTgt {
+				specs = append(specs, k)
+			}
+		}
+	}
+	c.flocCache = append(c.flocCache, fl)
+	c.specCache = append(c.specCache, specs)
+	c.dictCostCache = append(c.dictCostCache, dictEntryBytes(p))
+	return id
+}
+
+// findDict returns the id of the installed pattern structurally equal
+// to p (hashed as h), or -1.
+func (c *compressor) findDict(p Pattern, h uint64) int {
+	for _, id := range c.dictIdx[h] {
+		if patternEqual(c.dict[id], p) {
+			return id
+		}
+	}
+	return -1
 }
 
 // buildUnits seeds one unit per instruction with base patterns and
@@ -178,11 +243,16 @@ func (c *compressor) buildUnits(p *vm.Program) error {
 	for bi, idx := range p2.BlockStarts {
 		blockOf[int32(idx)] = int32(bi)
 	}
-	c.dictKeys = map[string]int{}
-	c.dict = make([]Pattern, vm.NumOpcodes)
+	sc := c.sc
+	c.dict = sc.dict[:0]
+	c.flocCache = sc.flocs[:0]
+	c.specCache = sc.specs[:0]
+	c.dictCostCache = sc.dictCost[:0]
+	c.dictIdx = make(map[uint64][]int, 2*vm.NumOpcodes)
+	c.addDict(Pattern{}, patternHash(Pattern{})) // opcode 0 placeholder
 	for op := 1; op < vm.NumOpcodes; op++ {
-		c.dict[op] = basePattern(vm.Opcode(op))
-		c.dictKeys[c.dict[op].key()] = op
+		bp := basePattern(vm.Opcode(op))
+		c.addDict(bp, patternHash(bp))
 	}
 	blockSet := make(map[int]bool, len(p2.BlockStarts))
 	for _, idx := range p2.BlockStarts {
@@ -190,9 +260,25 @@ func (c *compressor) buildUnits(p *vm.Program) error {
 	}
 	// Seeding is a per-instruction map from read-only state (blockOf,
 	// blockSet, the base dictionary) to disjoint c.units slots, so it
-	// shards cleanly across the pool.
-	c.units = make([]unit, len(p2.Code))
-	spans := parallel.Ranges(len(p2.Code), c.pool.Workers())
+	// shards cleanly across the pool. Instructions and operand values
+	// live in two flat arenas — one slot per unit, offsets precomputed
+	// serially — instead of two tiny heap slices per unit; full-cap
+	// subslices keep later appends from bleeding into the next unit.
+	n := len(p2.Code)
+	if cap(sc.units) < n && cap(sc.units2) >= n {
+		sc.units, sc.units2 = sc.units2, sc.units
+	}
+	c.units = growUnits(&sc.units, n)
+	instrs := growInstrs(&sc.instrs, n)
+	off := growInt32(&sc.valOff, n+1)
+	total := 0
+	for i := range p2.Code {
+		off[i] = int32(total)
+		total += len(p2.Code[i].Op.Fields())
+	}
+	off[n] = int32(total)
+	vals := growInt32(&sc.valInit, total)
+	spans := parallel.Ranges(n, c.pool.Workers())
 	return c.pool.ForEach("brisc.build_units", len(spans), func(si int) error {
 		for i := spans[si][0]; i < spans[si][1]; i++ {
 			cp := p2.Code[i]
@@ -207,12 +293,14 @@ func (c *compressor) buildUnits(p *vm.Program) error {
 				}
 			}
 			pat := int(cp.Op)
-			vals := c.dict[pat].extract([]vm.Instr{cp})
+			instrs[i] = cp
+			ui := instrs[i : i+1 : i+1]
+			uv := c.dict[pat].appendExtract(vals[off[i]:off[i]:off[i+1]], ui)
 			c.units[i] = unit{
-				instrs: []vm.Instr{cp},
+				instrs: ui,
 				pat:    pat,
-				vals:   vals,
-				nib:    c.dict[pat].operandNibbles(vals),
+				vals:   uv,
+				nib:    c.dict[pat].operandNibbles(uv),
 				block:  blockSet[i],
 			}
 		}
@@ -266,28 +354,9 @@ type floc struct {
 	kind   vm.FieldKind
 }
 
-// flocs returns (cached) the unfixed-field locations of dictionary
-// pattern pid, in operand order.
-func (c *compressor) flocs(pid int) []floc {
-	if c.flocCache == nil {
-		c.flocCache = map[int][]floc{}
-	}
-	if fl, ok := c.flocCache[pid]; ok {
-		return fl
-	}
-	p := c.dict[pid]
-	var fl []floc
-	for ii, pi := range p.Seq {
-		fields := pi.Op.Fields()
-		for fi, fx := range pi.Fixed {
-			if !fx {
-				fl = append(fl, floc{ii, fi, fields[fi]})
-			}
-		}
-	}
-	c.flocCache[pid] = fl
-	return fl
-}
+// flocs returns the unfixed-field locations of dictionary pattern pid,
+// in operand order (precomputed by addDict).
+func (c *compressor) flocs(pid int) []floc { return c.flocCache[pid] }
 
 // fieldNibbles is the operand cost of one unfixed field instance.
 func fieldNibbles(kind vm.FieldKind, v int32) int {
@@ -318,16 +387,26 @@ func (c *compressor) materialize(k candKey) Pattern {
 }
 
 // run executes the greedy multi-pass dictionary construction.
+//
+// Candidate statistics are built once by fullScan and then maintained
+// incrementally: each stat is a sum of independent per-anchor
+// contributions, and rewrite retracts/re-adds exactly the anchors whose
+// units it changes. The map entering every adopt call is therefore
+// identical to what a from-scratch rescan of the current unit array
+// would produce, so the greedy choices — and the output bytes — are
+// unchanged (pinned by TestArtifactGolden and the determinism suites).
 func (c *compressor) run() {
+	c.cands = c.sc.cands
+	c.fullScan()
 	for pass := 0; pass < c.opt.MaxPasses; pass++ {
 		c.passes++
 		sp := c.rec.StartSpan("brisc.pass", telemetry.Int("pass", int64(c.passes)))
-		cands := c.generateCandidates()
-		adopted := c.adopt(cands)
-		c.rec.Add("brisc.pass.candidates", int64(len(cands)))
+		nCands := len(c.cands)
+		adopted := c.adopt()
+		c.rec.Add("brisc.pass.candidates", int64(nCands))
 		c.rec.Add("brisc.pass.adopted", int64(len(adopted)))
 		sp.SetAttr(
-			telemetry.Int("candidates", int64(len(cands))),
+			telemetry.Int("candidates", int64(nCands)),
 			telemetry.Int("adopted", int64(len(adopted))),
 		)
 		if len(adopted) == 0 {
@@ -341,12 +420,10 @@ func (c *compressor) run() {
 			break // the pass did not yield K useful patterns
 		}
 	}
+	c.cands = nil
 }
 
-// generateCandidates scans the program, proposing operand
-// specializations and opcode combinations with estimated savings.
-// Sizes are computed arithmetically from cached nibble counts; no
-// candidate pattern is materialized until adoption.
+// fullScan seeds the candidate map by scanning every anchor once.
 //
 // The scan shards across the pool: each worker folds its contiguous
 // unit span into a private map, and the shard maps are merged
@@ -354,144 +431,132 @@ func (c *compressor) run() {
 // reduction — so the resulting statistics (and hence adoption, which
 // sorts by benefit with a total candKey tie-break) are identical to
 // the serial scan's.
-func (c *compressor) generateCandidates() map[candKey]*candStat {
-	// Warm the floc cache for every pattern in use before fan-out: the
-	// lazily filled map must be read-only while workers share it.
-	for pid := range c.dict {
-		c.flocs(pid)
-	}
+func (c *compressor) fullScan() {
 	spans := parallel.Ranges(len(c.units), c.pool.Workers())
-	shards := make([]map[candKey]*candStat, len(spans))
-	c.pool.ForEach("brisc.scan", len(spans), func(si int) error {
-		shard := make(map[candKey]*candStat)
-		for i := spans[si][0]; i < spans[si][1]; i++ {
-			c.scanUnit(i, shard)
+	if len(spans) <= 1 {
+		for i := range c.units {
+			c.scanUnit(i, 1, c.cands)
 		}
-		shards[si] = shard
+		return
+	}
+	sc := c.sc
+	for len(sc.shards) < len(spans) {
+		sc.shards = append(sc.shards, nil)
+	}
+	c.pool.ForEach("brisc.scan", len(spans), func(si int) error {
+		m := sc.shards[si]
+		if m == nil {
+			m = make(map[candKey]candStat, 1<<10)
+			sc.shards[si] = m
+		} else {
+			clear(m)
+		}
+		for i := spans[si][0]; i < spans[si][1]; i++ {
+			c.scanUnit(i, 1, m)
+		}
 		return nil
 	})
-	if len(shards) == 1 {
-		return shards[0]
-	}
-	cands := make(map[candKey]*candStat)
-	for _, shard := range shards {
-		for k, st := range shard {
-			if g, ok := cands[k]; ok {
-				g.count += st.count
-				g.savings += st.savings
-			} else {
-				cands[k] = st
-			}
+	for si := range spans {
+		for k, st := range sc.shards[si] {
+			g := c.cands[k]
+			g.count += st.count
+			g.savings += st.savings
+			c.cands[k] = g
 		}
 	}
-	return cands
 }
 
-// scanUnit proposes the candidates anchored at unit i into cands.
+// scanUnit folds the candidates anchored at unit i into m with the
+// given sign: +1 proposes them (the full scan and post-rewrite re-adds)
+// and -1 retracts a contribution previously added for the exact same
+// unit state. A contribution depends only on units[i], units[i+1], and
+// immutable dictionary entries, so retract-mutate-re-add keeps m equal
+// to a from-scratch scan of the current array; entries whose stats
+// reach zero are deleted to preserve that equivalence exactly.
+//
 // Combination pairs (i, i+1) are anchored at i, so a contiguous span
-// scan reads one unit past its upper bound but never writes — shards
-// overlap only in reads.
-func (c *compressor) scanUnit(i int, cands map[candKey]*candStat) {
+// scan reads one unit past its upper bound but never writes — parallel
+// shards overlap only in reads.
+func (c *compressor) scanUnit(i, sign int, m map[candKey]candStat) {
 	add := func(k candKey, saved int) {
 		if saved <= 0 {
 			return
 		}
-		st, ok := cands[k]
-		if !ok {
-			st = &candStat{}
-			cands[k] = st
+		st := m[k]
+		st.count += sign
+		st.savings += sign * saved
+		if st == (candStat{}) {
+			delete(m, k)
+		} else {
+			m[k] = st
 		}
-		st.count++
-		st.savings += saved
 	}
 	ceil2 := func(n int) int { return (n + 1) / 2 }
 
-	{
-		u := &c.units[i]
-		uFlocs := c.flocs(u.pat)
-		uSize := 1 + ceil2(u.nib)
+	u := &c.units[i]
+	uFlocs := c.flocCache[u.pat]
+	uSize := 1 + ceil2(u.nib)
 
-		if !c.opt.NoSpecialize {
-			// One-field specializations of the unit's pattern. Code
-			// targets are not specialized: burned-in branch
-			// destinations almost never repeat.
-			for k, fl := range uFlocs {
-				if fl.kind == vm.FTgt {
-					continue
-				}
-				newSize := 1 + ceil2(u.nib-fieldNibbles(fl.kind, u.vals[k]))
-				add(candKey{pid1: u.pat, f1: k, v1: u.vals[k], pid2: -1, f2: -1},
-					uSize-newSize)
+	if !c.opt.NoSpecialize {
+		// One-field specializations of the unit's pattern. Code
+		// targets are not specialized: burned-in branch
+		// destinations almost never repeat.
+		for k, fl := range uFlocs {
+			if fl.kind == vm.FTgt {
+				continue
 			}
+			newSize := 1 + ceil2(u.nib-fieldNibbles(fl.kind, u.vals[k]))
+			add(candKey{pid1: u.pat, f1: k, v1: u.vals[k], pid2: -1, f2: -1},
+				uSize-newSize)
 		}
-		if c.opt.NoCombine || i+1 >= len(c.units) {
-			return
+	}
+	if c.opt.NoCombine || i+1 >= len(c.units) {
+		return
+	}
+	v := &c.units[i+1]
+	if v.block {
+		return // never combine across a basic-block boundary
+	}
+	vFlocs := c.flocCache[v.pat]
+	oldSize := uSize + 1 + ceil2(v.nib)
+	// Zero-or-one-field specializations of each side, crossed (the
+	// paper's augmented operand-specialized sets).
+	uChoices := c.specCache[u.pat]
+	vChoices := c.specCache[v.pat]
+	for _, uc := range uChoices {
+		nibU := u.nib
+		if uc >= 0 {
+			nibU -= fieldNibbles(uFlocs[uc].kind, u.vals[uc])
 		}
-		v := &c.units[i+1]
-		if v.block {
-			return // never combine across a basic-block boundary
-		}
-		vFlocs := c.flocs(v.pat)
-		oldSize := uSize + 1 + ceil2(v.nib)
-		// Zero-or-one-field specializations of each side, crossed (the
-		// paper's augmented operand-specialized sets).
-		uChoices := specChoices(uFlocs, u.vals, c.opt.NoSpecialize)
-		vChoices := specChoices(vFlocs, v.vals, c.opt.NoSpecialize)
-		for _, uc := range uChoices {
-			nibU := u.nib
+		for _, vc := range vChoices {
+			nibV := v.nib
+			if vc >= 0 {
+				nibV -= fieldNibbles(vFlocs[vc].kind, v.vals[vc])
+			}
+			newSize := 1 + ceil2(nibU+nibV)
+			k := candKey{pid1: u.pat, f1: uc, pid2: v.pat, f2: vc}
 			if uc >= 0 {
-				nibU -= fieldNibbles(uFlocs[uc].kind, u.vals[uc])
+				k.v1 = u.vals[uc]
 			}
-			for _, vc := range vChoices {
-				nibV := v.nib
-				if vc >= 0 {
-					nibV -= fieldNibbles(vFlocs[vc].kind, v.vals[vc])
-				}
-				newSize := 1 + ceil2(nibU+nibV)
-				k := candKey{pid1: u.pat, f1: uc, pid2: v.pat, f2: vc}
-				if uc >= 0 {
-					k.v1 = u.vals[uc]
-				}
-				if vc >= 0 {
-					k.v2 = v.vals[vc]
-				}
-				add(k, oldSize-newSize)
+			if vc >= 0 {
+				k.v2 = v.vals[vc]
 			}
+			add(k, oldSize-newSize)
 		}
 	}
-}
-
-// specChoices returns -1 (no specialization) plus each specializable
-// field index.
-func specChoices(fls []floc, vals []int32, noSpec bool) []int {
-	out := []int{-1}
-	if noSpec {
-		return out
-	}
-	for k, fl := range fls {
-		if fl.kind != vm.FTgt {
-			out = append(out, k)
-		}
-	}
-	_ = vals
-	return out
 }
 
 // adopt selects the K best candidates by benefit and installs them in
 // the dictionary, returning their indices.
-func (c *compressor) adopt(cands map[candKey]*candStat) []int {
-	type scored struct {
-		key candKey
-		b   int
-	}
-	var list []scored
-	for k, st := range cands {
+func (c *compressor) adopt() []int {
+	list := c.sc.scored[:0]
+	for k, st := range c.cands {
 		b := st.savings - c.dictCostOfKey(k)
 		if !c.opt.AbundantMemory {
 			b -= 12 + 11*c.seqLenOfKey(k)
 		}
 		if b > 0 {
-			list = append(list, scored{k, b})
+			list = append(list, scoredCand{k, b})
 		}
 	}
 	sort.Slice(list, func(i, j int) bool {
@@ -500,30 +565,29 @@ func (c *compressor) adopt(cands map[candKey]*candStat) []int {
 		}
 		return candKeyLess(list[i].key, list[j].key) // deterministic
 	})
+	c.sc.scored = list
 	// Materialize winners only; distinct candidate keys can denote the
 	// same pattern or an existing dictionary entry — keep the first.
-	var ids []int
+	ids := c.sc.adopted[:0]
 	for _, s := range list {
 		if len(ids) >= c.opt.K {
 			break
 		}
 		p := c.materialize(s.key)
-		key := p.key()
-		if _, exists := c.dictKeys[key]; exists {
+		h := patternHash(p)
+		if c.findDict(p, h) >= 0 {
 			continue
 		}
-		id := len(c.dict)
-		c.dict = append(c.dict, p)
-		c.dictKeys[key] = id
-		ids = append(ids, id)
+		ids = append(ids, c.addDict(p, h))
 		if c.rec.Enabled() {
-			st := cands[s.key]
+			st := c.cands[s.key]
 			c.rec.Add("brisc.dict.savings_p", int64(st.savings))
 			c.rec.Add("brisc.dict.cost_w", int64(tableCostW(p)))
 			c.rec.Observe("brisc.adopt.benefit", float64(s.b))
 			c.rec.Observe("brisc.adopt.occurrences", float64(st.count))
 		}
 	}
+	c.sc.adopted = ids
 	return ids
 }
 
@@ -543,17 +607,7 @@ func (c *compressor) dictCostOfKey(k candKey) int {
 	return cost
 }
 
-func (c *compressor) baseDictCost(pid int) int {
-	if c.dictCostCache == nil {
-		c.dictCostCache = map[int]int{}
-	}
-	if v, ok := c.dictCostCache[pid]; ok {
-		return v
-	}
-	v := dictEntryBytes(c.dict[pid])
-	c.dictCostCache[pid] = v
-	return v
-}
+func (c *compressor) baseDictCost(pid int) int { return c.dictCostCache[pid] }
 
 func (c *compressor) seqLenOfKey(k candKey) int {
 	n := len(c.dict[k.pid1].Seq)
@@ -581,95 +635,237 @@ func candKeyLess(a, b candKey) bool {
 }
 
 // rewrite applies newly adopted patterns: combinations first (merging
-// adjacent units), then the cheapest matching pattern per unit.
+// adjacent units), then the cheapest matching pattern per unit. Both
+// stages compute their changes read-only in parallel and commit them
+// serially; when candidate statistics are live the commit is bracketed
+// by retracting every disturbed anchor and re-scanning it afterwards.
 func (c *compressor) rewrite(newIDs []int) {
-	// Multi-instruction patterns apply by merging adjacent units;
-	// afterwards every new pattern competes to re-cover matching units.
-	var combinators, specializers []int
+	track := c.cands != nil
+	combinators := c.sc.combs[:0]
 	for _, id := range newIDs {
 		if len(c.dict[id].Seq) >= 2 {
 			combinators = append(combinators, id)
 		}
-		specializers = append(specializers, id)
 	}
-
+	c.sc.combs = combinators
 	if len(combinators) > 0 {
-		// The greedy left-to-right merge never crosses a basic-block
-		// boundary (units[i+1].block stops it), so the scan decomposes
-		// into independent per-block-run scans. Chunk the unit array at
-		// block starts, scan chunks concurrently, and concatenate in
-		// chunk order — provably identical to the serial pass.
-		chunks := c.blockChunks()
-		outs, _ := parallel.Map(c.pool, "brisc.combine", len(chunks), func(ci int) ([]unit, error) {
-			lo, hi := chunks[ci][0], chunks[ci][1]
-			var out []unit
-			i := lo
-			for i < hi {
-				merged := false
-				u := &c.units[i]
-				if i+1 < hi && !c.units[i+1].block {
-					v := &c.units[i+1]
-					cat := append(append([]vm.Instr(nil), u.instrs...), v.instrs...)
-					oldSize := c.dict[u.pat].encodedSize(u.vals) + c.dict[v.pat].encodedSize(v.vals)
-					best, bestSize := -1, oldSize
-					for _, id := range combinators {
-						p := c.dict[id]
-						if !p.matches(cat) {
-							continue
-						}
-						if sz := p.encodedSize(p.extract(cat)); sz < bestSize {
-							best, bestSize = id, sz
-						}
+		c.combineUnits(combinators, track)
+	}
+	// Every new pattern competes to re-cover matching units.
+	c.repattern(newIDs, track)
+}
+
+// combineUnits merges adjacent units covered by newly adopted
+// multi-instruction patterns.
+//
+// The greedy left-to-right merge never crosses a basic-block boundary
+// (units[i+1].block stops it), so the scan decomposes into independent
+// per-block-run scans. Chunk the unit array at block starts, scan
+// chunks concurrently into per-chunk buffers, and concatenate in chunk
+// order — provably identical to the serial pass.
+func (c *compressor) combineUnits(combinators []int, track bool) {
+	sc := c.sc
+	chunks := c.blockChunks()
+	for len(sc.chunkUnits) < len(chunks) {
+		sc.chunkUnits = append(sc.chunkUnits, nil)
+		sc.chunkMerges = append(sc.chunkMerges, nil)
+		sc.catArenas = append(sc.catArenas, instrArena{})
+		sc.mergeVals = append(sc.mergeVals, int32Arena{})
+	}
+	c.pool.ForEach("brisc.combine", len(chunks), func(ci int) error {
+		lo, hi := chunks[ci][0], chunks[ci][1]
+		out := sc.chunkUnits[ci][:0]
+		merges := sc.chunkMerges[ci][:0]
+		cats := &sc.catArenas[ci]
+		mvals := &sc.mergeVals[ci]
+		i := lo
+		for i < hi {
+			u := &c.units[i]
+			if i+1 < hi && !c.units[i+1].block {
+				v := &c.units[i+1]
+				oldSize := c.dict[u.pat].encodedSize(u.vals) + c.dict[v.pat].encodedSize(v.vals)
+				best, bestSize := -1, oldSize
+				for _, id := range combinators {
+					p := &c.dict[id]
+					if !p.matchesPair(u.instrs, v.instrs) {
+						continue
 					}
-					if best >= 0 {
-						vals := c.dict[best].extract(cat)
-						out = append(out, unit{
-							instrs: cat,
-							pat:    best,
-							vals:   vals,
-							nib:    c.dict[best].operandNibbles(vals),
-							block:  u.block,
-						})
-						i += 2
-						merged = true
+					if sz := p.encodedSizePair(u.instrs, v.instrs); sz < bestSize {
+						best, bestSize = id, sz
 					}
 				}
-				if !merged {
-					out = append(out, *u)
-					i++
+				if best >= 0 {
+					cat := cats.alloc(len(u.instrs) + len(v.instrs))
+					cat = append(append(cat, u.instrs...), v.instrs...)
+					bp := &c.dict[best]
+					uv := bp.appendExtract(mvals.alloc(len(c.flocCache[best])), cat)
+					merges = append(merges, mergeRec{int32(i), int32(len(out))})
+					out = append(out, unit{
+						instrs: cat,
+						pat:    best,
+						vals:   uv,
+						nib:    bp.operandNibbles(uv),
+						block:  u.block,
+					})
+					i += 2
+					continue
 				}
 			}
-			return out, nil
-		})
-		var out []unit
-		for _, chunk := range outs {
-			out = append(out, chunk...)
+			out = append(out, *u)
+			i++
 		}
-		c.units = out
+		sc.chunkUnits[ci] = out
+		sc.chunkMerges[ci] = merges
+		return nil
+	})
+	nm := 0
+	for ci := range chunks {
+		nm += len(sc.chunkMerges[ci])
 	}
+	if nm == 0 {
+		return // no merges: the unit array is unchanged
+	}
+	if track {
+		// Retract, against the pre-merge array, every anchor whose
+		// (unit, successor) view a merge invalidates: the merged pair's
+		// own two anchors plus the left neighbor whose pair reads into
+		// it. Adjacent merges share anchors, hence the dedupe.
+		dirty := sc.dirty[:0]
+		for ci := range chunks {
+			for _, m := range sc.chunkMerges[ci] {
+				i := int(m.oldIdx)
+				dirty = appendAnchor(dirty, i-1, len(c.units))
+				dirty = appendAnchor(dirty, i, len(c.units))
+				dirty = appendAnchor(dirty, i+1, len(c.units))
+			}
+		}
+		dirty = dedupeSorted(dirty)
+		for _, j := range dirty {
+			c.scanUnit(j, -1, c.cands)
+		}
+		sc.dirty = dirty
+	}
+	// Commit: concatenate the chunk outputs into the spare unit buffer.
+	// c.units always aliases sc.units (never sc.units2), so the append
+	// target is disjoint from the source.
+	old := c.units
+	newUnits := sc.units2[:0]
+	for ci := range chunks {
+		newUnits = append(newUnits, sc.chunkUnits[ci]...)
+	}
+	c.units = newUnits
+	sc.units, sc.units2 = newUnits, old
+	if track {
+		// Re-add the merged units' anchors (and their left neighbors)
+		// against the committed array.
+		dirty := sc.dirty[:0]
+		base := 0
+		for ci := range chunks {
+			for _, m := range sc.chunkMerges[ci] {
+				g := base + int(m.outIdx)
+				dirty = appendAnchor(dirty, g-1, len(c.units))
+				dirty = appendAnchor(dirty, g, len(c.units))
+			}
+			base += len(sc.chunkUnits[ci])
+		}
+		dirty = dedupeSorted(dirty)
+		for _, j := range dirty {
+			c.scanUnit(j, 1, c.cands)
+		}
+		sc.dirty = dirty
+	}
+}
 
-	// Re-pattern units with cheaper new patterns: a pure per-unit
-	// update against the read-only dictionary, sharded across the pool.
+// repattern re-covers units with cheaper new patterns: a pure per-unit
+// decision against the read-only dictionary, sharded across the pool
+// into per-span change lists and applied serially.
+func (c *compressor) repattern(specializers []int, track bool) {
+	sc := c.sc
 	spans := parallel.Ranges(len(c.units), c.pool.Workers())
+	for len(sc.changeShards) < len(spans) {
+		sc.changeShards = append(sc.changeShards, nil)
+	}
 	c.pool.ForEach("brisc.repattern", len(spans), func(si int) error {
+		out := sc.changeShards[si][:0]
 		for i := spans[si][0]; i < spans[si][1]; i++ {
 			u := &c.units[i]
 			curSize := c.dict[u.pat].encodedSize(u.vals)
+			best := -1
 			for _, id := range specializers {
-				p := c.dict[id]
+				p := &c.dict[id]
 				if len(p.Seq) != len(u.instrs) || !p.matches(u.instrs) {
 					continue
 				}
-				if sz := p.encodedSize(p.extract(u.instrs)); sz < curSize {
-					u.pat = id
-					u.vals = p.extract(u.instrs)
-					u.nib = p.operandNibbles(u.vals)
-					curSize = sz
+				if sz := p.encodedSizeInstrs(u.instrs); sz < curSize {
+					best, curSize = id, sz
 				}
 			}
+			if best >= 0 {
+				out = append(out, repatChange{i, best})
+			}
 		}
+		sc.changeShards[si] = out
 		return nil
 	})
+	total := 0
+	for si := range spans {
+		total += len(sc.changeShards[si])
+	}
+	if total == 0 {
+		return
+	}
+	if track {
+		// A change at idx rewrites only slot idx, so the disturbed
+		// anchors are idx itself and its left neighbor's pair view.
+		dirty := sc.dirty[:0]
+		for si := range spans {
+			for _, ch := range sc.changeShards[si] {
+				dirty = appendAnchor(dirty, ch.idx-1, len(c.units))
+				dirty = appendAnchor(dirty, ch.idx, len(c.units))
+			}
+		}
+		dirty = dedupeSorted(dirty)
+		for _, j := range dirty {
+			c.scanUnit(j, -1, c.cands)
+		}
+		sc.dirty = dirty
+	}
+	for si := range spans {
+		for _, ch := range sc.changeShards[si] {
+			u := &c.units[ch.idx]
+			p := &c.dict[ch.pat]
+			uv := p.appendExtract(sc.vals.alloc(len(c.flocCache[ch.pat])), u.instrs)
+			u.pat = ch.pat
+			u.vals = uv
+			u.nib = p.operandNibbles(uv)
+		}
+	}
+	if track {
+		for _, j := range sc.dirty {
+			c.scanUnit(j, 1, c.cands)
+		}
+	}
+}
+
+// appendAnchor appends anchor index j when it is a valid unit index.
+func appendAnchor(dst []int, j, n int) []int {
+	if j >= 0 && j < n {
+		return append(dst, j)
+	}
+	return dst
+}
+
+// dedupeSorted sorts xs ascending and drops duplicates in place, so
+// each disturbed anchor is retracted and re-added exactly once.
+func dedupeSorted(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // blockChunks partitions the unit array into contiguous [lo, hi) spans
@@ -680,12 +876,13 @@ func (c *compressor) blockChunks() [][2]int {
 	if len(c.units) == 0 {
 		return nil
 	}
-	starts := []int{0}
+	starts := append(c.sc.starts[:0], 0)
 	for i := 1; i < len(c.units); i++ {
 		if c.units[i].block {
 			starts = append(starts, i)
 		}
 	}
+	c.sc.starts = starts
 	groups := parallel.Ranges(len(starts), c.pool.Workers())
 	chunks := make([][2]int, len(groups))
 	for gi, g := range groups {
@@ -767,12 +964,12 @@ func (c *compressor) finish(p *vm.Program) (*Object, error) {
 	defer sp.End()
 	// Garbage-collect learned patterns that no unit uses; base patterns
 	// (ids < NumOpcodes) are implicit and free.
-	used := make(map[int]bool)
+	used := make([]bool, len(c.dict))
 	for i := range c.units {
 		used[c.units[i].pat] = true
 	}
-	remap := make(map[int]int)
-	var dict []Pattern
+	remap := make([]int, len(c.dict))
+	dict := make([]Pattern, 0, len(c.dict))
 	for id := 0; id < vm.NumOpcodes; id++ {
 		remap[id] = id
 	}
@@ -836,10 +1033,9 @@ func (c *compressor) finish(p *vm.Program) (*Object, error) {
 	}
 
 	// Encode the unit stream; record block byte offsets in order.
-	var code []byte
-	nw := nibPool.Get().(*nibbleWriter)
+	code := make([]byte, 0, 2*len(c.units))
+	nw := nibPool.Get()
 	defer nibPool.Put(nw)
-	nw.reset()
 	ctx = 0
 	for i := range c.units {
 		u := &c.units[i]
@@ -923,7 +1119,10 @@ type nibbleWriter struct {
 
 // nibPool recycles nibbleWriters (and their grown buffers) across
 // finish calls, including concurrent Compress calls in batch mode.
-var nibPool = sync.Pool{New: func() any { return new(nibbleWriter) }}
+var nibPool = parallel.NewScratch(
+	func() *nibbleWriter { return new(nibbleWriter) },
+	func(w *nibbleWriter) { w.reset() },
+)
 
 func (w *nibbleWriter) reset() { w.buf = w.buf[:0]; w.half = false }
 

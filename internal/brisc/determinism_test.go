@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,51 @@ func TestParallelObjectIdentical(t *testing.T) {
 			}
 			if !bytes.Equal(objS.Bytes(), objP.Bytes()) {
 				t.Errorf("%s variant %d: object differs between Workers=1 and Workers=8", name, vi)
+			}
+		}
+	}
+}
+
+// TestReusedScratchConsecutiveIdentity pins the scratch-recycling
+// contract: repeated Compress calls on one shared pool — each call
+// drawing a compressScratch that previous calls have dirtied and
+// returned — still produce bytes identical to the serial path, for
+// three consecutive rounds over multiple programs. Any state leaking
+// across runs through the recycled arenas (stale candidate stats,
+// aliased unit buffers, unreset bit-writer slabs) would surface here,
+// and under -race via make check.
+func TestReusedScratchConsecutiveIdentity(t *testing.T) {
+	sources := map[string]string{
+		"wep": workload.Generate(workload.Wep),
+		"fib": workload.Kernels()["fib"],
+	}
+	want := map[string][]byte{}
+	progs := map[string]*vm.Program{}
+	for name, src := range sources {
+		prog := compileProg(t, name, src)
+		progs[name] = prog
+		obj, err := Compress(prog, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		want[name] = obj.Bytes()
+	}
+	pool := parallel.NewTraced(8, telemetry.New())
+	for round := 0; round < 3; round++ {
+		for name, prog := range progs {
+			objS, err := Compress(prog, Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("round %d %s Workers=1: %v", round, name, err)
+			}
+			objP, err := Compress(prog, Options{Workers: 8, Pool: pool})
+			if err != nil {
+				t.Fatalf("round %d %s Workers=8: %v", round, name, err)
+			}
+			if !bytes.Equal(objS.Bytes(), want[name]) {
+				t.Errorf("round %d %s: Workers=1 bytes drifted across reuse", round, name)
+			}
+			if !bytes.Equal(objP.Bytes(), want[name]) {
+				t.Errorf("round %d %s: Workers=8 bytes differ from serial", round, name)
 			}
 		}
 	}

@@ -77,7 +77,9 @@ func combine(a, b Pattern) Pattern {
 	return out
 }
 
-// key returns a canonical map key for the pattern.
+// key returns a canonical textual form of the pattern. It exists for
+// debugging and test comparisons only; dictionary dedupe goes through
+// patternHash/patternEqual, which never allocate.
 func (p Pattern) key() string {
 	var sb strings.Builder
 	for _, pi := range p.Seq {
@@ -90,6 +92,55 @@ func (p Pattern) key() string {
 		sb.WriteByte(']')
 	}
 	return sb.String()
+}
+
+// patternHash folds the pattern's structural identity (opcodes plus
+// fixed-field assignments) into an FNV-1a hash. Collisions are resolved
+// by patternEqual, so the hash only needs to be well-distributed.
+func patternHash(p Pattern) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	for _, pi := range p.Seq {
+		mix(uint64(pi.Op))
+		for f, fx := range pi.Fixed {
+			if fx {
+				mix(uint64(f) + 1)
+				mix(uint64(uint32(pi.Val[f])))
+			}
+		}
+		mix(0xFF)
+	}
+	return h
+}
+
+// patternEqual reports structural identity: same opcode sequence with
+// the same fields fixed to the same values.
+func patternEqual(a, b Pattern) bool {
+	if len(a.Seq) != len(b.Seq) {
+		return false
+	}
+	for i, pa := range a.Seq {
+		pb := b.Seq[i]
+		if pa.Op != pb.Op || len(pa.Fixed) != len(pb.Fixed) {
+			return false
+		}
+		for f, fx := range pa.Fixed {
+			if fx != pb.Fixed[f] {
+				return false
+			}
+			if fx && pa.Val[f] != pb.Val[f] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // String renders the pattern in the paper's bracket syntax, e.g.
@@ -281,15 +332,89 @@ func (p Pattern) matches(instrs []vm.Instr) bool {
 // extract returns the unfixed field values of instrs under p, in
 // (instruction, field) order.
 func (p Pattern) extract(instrs []vm.Instr) []int32 {
-	var vals []int32
+	return p.appendExtract(nil, instrs)
+}
+
+// appendExtract appends the unfixed field values of instrs under p to
+// dst, so hot callers can extract into reusable scratch.
+func (p Pattern) appendExtract(dst []int32, instrs []vm.Instr) []int32 {
 	for i, pi := range p.Seq {
 		for f, fx := range pi.Fixed {
 			if !fx {
-				vals = append(vals, getField(instrs[i], f))
+				dst = append(dst, getField(instrs[i], f))
 			}
 		}
 	}
-	return vals
+	return dst
+}
+
+// matchesPair reports whether the pattern matches the logical
+// concatenation a ++ b without materializing it.
+func (p Pattern) matchesPair(a, b []vm.Instr) bool {
+	if len(a)+len(b) != len(p.Seq) {
+		return false
+	}
+	for i, pi := range p.Seq {
+		ins := instrAt(a, b, i)
+		if ins.Op != pi.Op {
+			return false
+		}
+		for f, fx := range pi.Fixed {
+			if fx && getField(ins, f) != pi.Val[f] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// instrAt indexes the logical concatenation a ++ b.
+func instrAt(a, b []vm.Instr, i int) vm.Instr {
+	if i < len(a) {
+		return a[i]
+	}
+	return b[i-len(a)]
+}
+
+// encodedSizeInstrs is encodedSize over the values p would extract from
+// instrs, computed without building the value slice.
+func (p Pattern) encodedSizeInstrs(instrs []vm.Instr) int {
+	n := 0
+	for i, pi := range p.Seq {
+		fields := pi.Op.Fields()
+		for f, fx := range pi.Fixed {
+			if fx {
+				continue
+			}
+			if fields[f] == vm.FReg {
+				n++
+			} else {
+				n += 1 + nibblesForValue(getField(instrs[i], f))
+			}
+		}
+	}
+	return 1 + (n+1)/2
+}
+
+// encodedSizePair is encodedSizeInstrs over the logical concatenation
+// a ++ b.
+func (p Pattern) encodedSizePair(a, b []vm.Instr) int {
+	n := 0
+	for i, pi := range p.Seq {
+		ins := instrAt(a, b, i)
+		fields := pi.Op.Fields()
+		for f, fx := range pi.Fixed {
+			if fx {
+				continue
+			}
+			if fields[f] == vm.FReg {
+				n++
+			} else {
+				n += 1 + nibblesForValue(getField(ins, f))
+			}
+		}
+	}
+	return 1 + (n+1)/2
 }
 
 // apply reconstructs the concrete instruction sequence from the

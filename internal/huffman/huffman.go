@@ -92,17 +92,28 @@ func Build(freqs []int64, maxLen uint8) (*Code, error) {
 	if maxLen == 0 || maxLen > MaxBits {
 		maxLen = MaxBits
 	}
-	h := make(buildHeap, 0, len(freqs))
+	nsym := 0
 	for s, f := range freqs {
 		if f < 0 {
 			return nil, fmt.Errorf("huffman: negative frequency for symbol %d", s)
 		}
 		if f > 0 {
-			h = append(h, &buildNode{freq: f, sym: s})
+			nsym++
 		}
 	}
-	if len(h) == 0 {
+	if nsym == 0 {
 		return nil, ErrNoSymbols
+	}
+	// All tree nodes live in one arena: nsym leaves plus at most nsym-1
+	// internal nodes. The capacity is exact, so the backing array never
+	// reallocates and pointers into it stay valid while the heap runs.
+	nodes := make([]buildNode, 0, 2*nsym-1)
+	h := make(buildHeap, 0, nsym)
+	for s, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, buildNode{freq: f, sym: s})
+			h = append(h, &nodes[len(nodes)-1])
+		}
 	}
 	lengths := make([]uint8, len(freqs))
 	if len(h) == 1 {
@@ -113,7 +124,8 @@ func Build(freqs []int64, maxLen uint8) (*Code, error) {
 	for h.Len() > 1 {
 		a := heap.Pop(&h).(*buildNode)
 		b := heap.Pop(&h).(*buildNode)
-		heap.Push(&h, &buildNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+		nodes = append(nodes, buildNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+		heap.Push(&h, &nodes[len(nodes)-1])
 	}
 	root := h[0]
 	assignDepths(root, 0, lengths)

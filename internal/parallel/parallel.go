@@ -141,6 +141,46 @@ func Map[T any](p *Pool, label string, n int, fn func(i int) (T, error)) ([]T, e
 	return out, nil
 }
 
+// Scratch recycles per-task scratch state — allocation arenas, shard
+// maps, reusable buffers — across pooled tasks and across concurrent
+// pipeline runs. It is the worker-local storage companion to Pool:
+// tasks Get a scratch value at the top, use it exclusively, and Put it
+// back on the way out, so a steady-state batch workload stops
+// allocating per-job scratch entirely no matter how many workers run.
+//
+// Semantically this wraps sync.Pool (values may be dropped under
+// memory pressure; a Get may return a fresh value at any time), with
+// two additions: construction is mandatory, so Get never returns nil,
+// and an optional reset hook runs on every Put, keeping the "value is
+// clean when obtained" invariant in one place instead of at every call
+// site.
+type Scratch[T any] struct {
+	pool  sync.Pool
+	reset func(*T)
+}
+
+// NewScratch returns a scratch recycler. mk builds a fresh value;
+// reset (optional) is applied to every value on Put, before it becomes
+// visible to other tasks.
+func NewScratch[T any](mk func() *T, reset func(*T)) *Scratch[T] {
+	s := &Scratch[T]{reset: reset}
+	s.pool.New = func() any { return mk() }
+	return s
+}
+
+// Get obtains a scratch value for exclusive use by the calling task.
+func (s *Scratch[T]) Get() *T { return s.pool.Get().(*T) }
+
+// Put returns a scratch value obtained from Get. The value must not be
+// used — and nothing returned to the caller may alias its memory —
+// after Put.
+func (s *Scratch[T]) Put(v *T) {
+	if s.reset != nil {
+		s.reset(v)
+	}
+	s.pool.Put(v)
+}
+
 // Ranges splits [0, n) into at most pieces contiguous [lo, hi) spans
 // of near-equal size, in order. It never returns an empty span; fewer
 // than pieces spans come back when n < pieces. Sharding work this way

@@ -449,9 +449,7 @@ func (e *encoder) encode() ([]byte, error) {
 		writeString(bw, g.Name)
 		writeUvarint(bw, uint64(g.Size))
 		writeUvarint(bw, uint64(len(g.Init)))
-		for _, b := range g.Init {
-			mustW(bw.WriteByte(b))
-		}
+		mustW(bw.WriteBytes(g.Init))
 	}
 	writeUvarint(bw, uint64(len(e.m.Functions)))
 	for _, f := range e.m.Functions {
@@ -467,35 +465,52 @@ func (e *encoder) encode() ([]byte, error) {
 
 	// Patternize: shape stream + per-op literal streams. A serial fold
 	// over the forest; the expensive entropy coding below is what fans
-	// out.
+	// out. One prefix-order walk per tree accumulates the shape-key
+	// bytes and streams the literals directly into dense op-indexed
+	// tables — the old three walks per tree (ShapeKey, Shape,
+	// CollectLiterals) allocated a string, an op slice, and a literal
+	// slice for every tree in the module.
 	psp := e.rec.StartSpan("wire.patternize")
 	shapeIDs := map[string]int32{}
 	var shapeDefs [][]ir.Op
 	var shapeStream []int32
-	litStreams := map[ir.Op][]int32{} // integer literals (and name indices)
+	var litStreams [ir.NumOps][]int32 // integer literals (and name indices)
+	var keyBuf []byte
+	var walkErr error
+	visit := func(n *ir.Tree) {
+		keyBuf = append(keyBuf, byte(n.Op))
+		switch n.Op.Lit() {
+		case ir.LitInt:
+			litStreams[n.Op] = append(litStreams[n.Op], int32(n.Lit))
+		case ir.LitName:
+			idx, ok := e.nameIdx[n.Name]
+			if !ok && walkErr == nil {
+				walkErr = fmt.Errorf("wire: unknown symbol %q", n.Name)
+			}
+			litStreams[n.Op] = append(litStreams[n.Op], int32(idx))
+		}
+	}
 	for _, f := range e.m.Functions {
 		for _, t := range f.Trees {
-			key := t.ShapeKey()
-			id, ok := shapeIDs[key]
+			keyBuf = keyBuf[:0]
+			t.Walk(visit)
+			if walkErr != nil {
+				psp.End()
+				return nil, walkErr
+			}
+			// The string conversion in the lookup does not allocate; the
+			// key is only materialized for first occurrences.
+			id, ok := shapeIDs[string(keyBuf)]
 			if !ok {
+				ops := make([]ir.Op, len(keyBuf))
+				for i, b := range keyBuf {
+					ops[i] = ir.Op(b)
+				}
 				id = int32(len(shapeDefs))
-				shapeIDs[key] = id
-				shapeDefs = append(shapeDefs, t.Shape())
+				shapeIDs[string(keyBuf)] = id
+				shapeDefs = append(shapeDefs, ops)
 			}
 			shapeStream = append(shapeStream, id)
-			for _, lit := range t.CollectLiterals() {
-				switch lit.Op.Lit() {
-				case ir.LitInt:
-					litStreams[lit.Op] = append(litStreams[lit.Op], int32(lit.Int))
-				case ir.LitName:
-					idx, ok := e.nameIdx[lit.Name]
-					if !ok {
-						psp.End()
-						return nil, fmt.Errorf("wire: unknown symbol %q", lit.Name)
-					}
-					litStreams[lit.Op] = append(litStreams[lit.Op], int32(idx))
-				}
-			}
 		}
 	}
 	e.stats.Trees = len(shapeStream)
@@ -565,32 +580,37 @@ func (e *encoder) encode() ([]byte, error) {
 // the decoder can slice all segments out up front and fan their
 // decoding across workers instead of parsing sequentially. A CRC32C
 // trailer follows the bytes (not counted in the length) so each segment
-// is verified before it is entropy-decoded.
+// is verified before it is entropy-decoded. Segments begin byte-aligned,
+// so both writes take the Writer's bulk-append path.
 func writeSegment(bw *bitio.Writer, seg []byte) {
 	writeUvarint(bw, uint64(len(seg)))
-	for _, b := range seg {
-		mustW(bw.WriteByte(b))
-	}
+	mustW(bw.WriteBytes(seg))
 	var crc [integrity.ChecksumLen]byte
 	binary.LittleEndian.PutUint32(crc[:], integrity.Checksum(seg))
-	for _, b := range crc {
-		mustW(bw.WriteByte(b))
-	}
+	mustW(bw.WriteBytes(crc[:]))
 }
 
-// streamScratch is the per-stream encoder state — output buffer, MTF
-// encoder, symbol/frequency scratch — recycled through scratchPool
-// across streams and across concurrent Compress calls, eliminating the
-// per-stream append-from-nil allocation churn.
+// streamScratch is the per-stream encoder state — output buffer, bit
+// writer, MTF encoder, symbol/frequency scratch — recycled through
+// scratchPool across streams and across concurrent Compress calls,
+// eliminating the per-stream append-from-nil allocation churn.
 type streamScratch struct {
 	buf     bytes.Buffer
+	bw      *bitio.Writer
 	symbols []int
 	firsts  []int32
 	freqs   []int64
 	enc     mtf.Encoder
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(streamScratch) }}
+var scratchPool = parallel.NewScratch(
+	func() *streamScratch {
+		s := new(streamScratch)
+		s.bw = bitio.NewWriter(&s.buf)
+		return s
+	},
+	nil, // state is reset at Get time, right before use
+)
 
 // encodeSymbolStream MTF-codes (per options) one stream and
 // Huffman-codes the result into a standalone byte-aligned segment.
@@ -598,10 +618,11 @@ var scratchPool = sync.Pool{New: func() any { return new(streamScratch) }}
 // or 4-byte values, as appropriate" byte packing, realized as varints
 // so the LZ stage sees uniform framing).
 func encodeSymbolStream(stream []int32, opt Options) ([]byte, error) {
-	s := scratchPool.Get().(*streamScratch)
+	s := scratchPool.Get()
 	defer scratchPool.Put(s)
 	s.buf.Reset()
-	bw := bitio.NewWriter(&s.buf)
+	s.bw.Reset(&s.buf)
+	bw := s.bw
 
 	symbols := s.symbols[:0]
 	firsts := s.firsts[:0]
@@ -636,9 +657,7 @@ func encodeSymbolStream(stream []int32, opt Options) ([]byte, error) {
 			s.freqs = make([]int64, max+1)
 		}
 		freqs := s.freqs[:max+1]
-		for i := range freqs {
-			freqs[i] = 0
-		}
+		clear(freqs)
 		for _, sym := range symbols {
 			freqs[sym]++
 		}
