@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for the short fuzz pass `check` runs.
 FUZZTIME ?= 3s
 
-.PHONY: build test bench bench-baseline check fmt vet attrib fuzz-short
+.PHONY: build test bench bench-baseline check fmt vet attrib fuzz-short metriclint trace-check
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,34 @@ fuzz-short:
 vet:
 	$(GO) vet ./...
 
+# Telemetry naming contract: literal metric names must be lowercase
+# dotted and registered from exactly one package.
+metriclint:
+	$(GO) run ./cmd/metriclint
+
+# Trace-analysis gate: record the batch-corpus pipeline twice with full
+# tracing, then require (1) the critical path to attribute >= 95% of
+# wall time to named stages (uninstrumented gaps fail the build), (2) a
+# tracescope diff of the two runs to stay inside a generous wall-clock
+# envelope, and (3) the runs' deterministic byte/count metrics to be
+# identical (benchdiff -json at a 1% threshold; timing metrics are
+# excluded). trace-check.json is the machine-readable CI artifact.
+TRACE_CHECK_DIR ?= /tmp/repro-trace-check
+trace-check: build
+	mkdir -p $(TRACE_CHECK_DIR)
+	$(GO) run ./cmd/experiments -table batch -workers 4 \
+		-trace $(TRACE_CHECK_DIR)/run1.jsonl -metrics-out $(TRACE_CHECK_DIR)/run1.json > $(TRACE_CHECK_DIR)/run1.txt
+	$(GO) run ./cmd/experiments -table batch -workers 4 \
+		-trace $(TRACE_CHECK_DIR)/run2.jsonl -metrics-out $(TRACE_CHECK_DIR)/run2.json > $(TRACE_CHECK_DIR)/run2.txt
+	$(GO) run ./cmd/tracescope report $(TRACE_CHECK_DIR)/run1.jsonl
+	$(GO) run ./cmd/tracescope critical -min-attributed 95 $(TRACE_CHECK_DIR)/run1.jsonl
+	$(GO) run ./cmd/tracescope diff -threshold 150 -min-dur 250ms \
+		$(TRACE_CHECK_DIR)/run1.jsonl $(TRACE_CHECK_DIR)/run2.jsonl
+	$(GO) run ./cmd/benchdiff -json -threshold 1 \
+		-ignore 'speedup|_ms$$|^parallel\.pool|^telemetry\.flight|^runtime\.' \
+		$(TRACE_CHECK_DIR)/run1.json $(TRACE_CHECK_DIR)/run2.json > $(TRACE_CHECK_DIR)/trace-check.json
+	@echo "trace-check: ok (artifact $(TRACE_CHECK_DIR)/trace-check.json)"
+
 # Everything CI would run: formatting, vet, build, race-enabled tests
 # (which include the Workers=1 vs Workers=N determinism suites, the
 # shared-pool stress tests, and the fault-injection sweep over every
@@ -75,9 +103,10 @@ vet:
 # swing them a few percent run to run, while the churn this gate
 # guards against (a reintroduced per-pass or per-stream allocation)
 # moves them by integer factors.
-check: fmt vet build
+check: fmt vet build metriclint
 	$(GO) test -race ./...
 	$(MAKE) fuzz-short
 	BENCH_METRICS=/tmp/BENCH_check.json $(GO) test -race -short -run='^$$' -bench='$(GATED_BENCH)' -benchtime=5x .
 	$(GO) run ./cmd/benchdiff -threshold 10 -ignore 'speedup|steps/s|bytes/op|^runtime\.|^parallel\.pool|^telemetry\.flight' BENCH_baseline.json /tmp/BENCH_check.json
 	$(MAKE) attrib
+	$(MAKE) trace-check

@@ -10,10 +10,14 @@
 //	benchdiff old.json new.json
 //	benchdiff -threshold 5 -ignore 'speedup' baseline.json current.json
 //	benchdiff -only 'bench.BenchmarkWire' old.json new.json
+//	benchdiff -json -threshold 5 old.json new.json > diff.json
 //
 // -only restricts the comparison to metrics whose names match the
 // regexp (the mirror of -ignore), and a geometric-mean summary of the
-// relative changes is printed after the table.
+// relative changes is printed after the table. -json replaces the
+// human-readable table with one machine-readable JSON document (rows,
+// geomean, verdict) on stdout — the format `make trace-check` records
+// as its CI artifact; the exit code still reflects the threshold.
 //
 // Timing-derived metrics (wall-clock speedups, span durations) are
 // machine-dependent and should be excluded from gating via -ignore;
@@ -44,10 +48,33 @@ type row struct {
 	pct      float64 // relative change in percent; NaN when old == 0
 }
 
+// jsonRow and jsonDoc are the -json output shape. Pct is omitted for
+// appeared-from-zero metrics (NaN has no JSON encoding).
+type jsonRow struct {
+	Metric    string   `json:"metric"`
+	Old       float64  `json:"old"`
+	New       float64  `json:"new"`
+	Pct       *float64 `json:"pct,omitempty"`
+	Gated     bool     `json:"gated"`
+	Regressed bool     `json:"regressed,omitempty"`
+}
+
+type jsonDoc struct {
+	Old        string    `json:"old"`
+	New        string    `json:"new"`
+	Threshold  float64   `json:"threshold"`
+	Regressed  bool      `json:"regressed"`
+	GeomeanPct *float64  `json:"geomean_pct,omitempty"`
+	Rows       []jsonRow `json:"rows"`
+	OnlyOld    []string  `json:"only_old,omitempty"`
+	OnlyNew    []string  `json:"only_new,omitempty"`
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0, "exit nonzero if any compared metric changes by more than this percent (0 = report only)")
 	ignore := flag.String("ignore", "", "regexp of metric names to exclude from gating (still reported)")
 	only := flag.String("only", "", "regexp of metric names to compare; everything else is dropped")
+	jsonOut := flag.Bool("json", false, "write one machine-readable JSON document to stdout instead of the table")
 	obs := expose.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -125,22 +152,18 @@ func main() {
 	sort.Strings(onlyOld)
 	sort.Strings(onlyNew)
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "metric\told\tnew\tdelta\n")
+	// Gate first, render second, so the table and the -json document
+	// share one verdict.
 	failed := false
-	for _, r := range rows {
-		gated := ignoreRe == nil || !ignoreRe.MatchString(r.key)
-		mark := ""
-		if *threshold > 0 && gated && rankMag(r.pct) > *threshold {
-			mark = "  REGRESSION"
+	gatedOf := make([]bool, len(rows))
+	regOf := make([]bool, len(rows))
+	for i, r := range rows {
+		gatedOf[i] = ignoreRe == nil || !ignoreRe.MatchString(r.key)
+		if *threshold > 0 && gatedOf[i] && rankMag(r.pct) > *threshold {
+			regOf[i] = true
 			failed = true
 		}
-		if !gated {
-			mark = "  (ignored)"
-		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s%s\n", r.key, num(r.old), num(r.new), pctStr(r.pct), mark)
 	}
-	tw.Flush()
 	// Geometric mean of the new/old ratios across every compared metric
 	// with well-defined logs — the one-line "did this change move the
 	// suite" summary.
@@ -152,14 +175,53 @@ func main() {
 			logN++
 		}
 	}
-	if logN > 0 {
-		fmt.Printf("geomean: %+.2f%% across %d metrics\n", 100*(math.Exp(logSum/float64(logN))-1), logN)
-	}
-	for _, k := range onlyOld {
-		fmt.Printf("only in %s: %s\n", flag.Arg(0), k)
-	}
-	for _, k := range onlyNew {
-		fmt.Printf("only in %s: %s\n", flag.Arg(1), k)
+	if *jsonOut {
+		doc := jsonDoc{
+			Old: flag.Arg(0), New: flag.Arg(1),
+			Threshold: *threshold, Regressed: failed,
+			OnlyOld: onlyOld, OnlyNew: onlyNew,
+			Rows: make([]jsonRow, 0, len(rows)),
+		}
+		if logN > 0 {
+			g := 100 * (math.Exp(logSum/float64(logN)) - 1)
+			doc.GeomeanPct = &g
+		}
+		for i, r := range rows {
+			jr := jsonRow{Metric: r.key, Old: r.old, New: r.new, Gated: gatedOf[i], Regressed: regOf[i]}
+			if !math.IsNaN(r.pct) {
+				pct := r.pct
+				jr.Pct = &pct
+			}
+			doc.Rows = append(doc.Rows, jr)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "metric\told\tnew\tdelta\n")
+		for i, r := range rows {
+			mark := ""
+			if regOf[i] {
+				mark = "  REGRESSION"
+			}
+			if !gatedOf[i] {
+				mark = "  (ignored)"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s%s\n", r.key, num(r.old), num(r.new), pctStr(r.pct), mark)
+		}
+		tw.Flush()
+		if logN > 0 {
+			fmt.Printf("geomean: %+.2f%% across %d metrics\n", 100*(math.Exp(logSum/float64(logN))-1), logN)
+		}
+		for _, k := range onlyOld {
+			fmt.Printf("only in %s: %s\n", flag.Arg(0), k)
+		}
+		for _, k := range onlyNew {
+			fmt.Printf("only in %s: %s\n", flag.Arg(1), k)
+		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: metrics moved more than %.1f%% against %s\n", *threshold, flag.Arg(0))

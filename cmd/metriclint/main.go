@@ -1,0 +1,145 @@
+// Command metriclint enforces the repository's telemetry naming
+// contract: every literal metric name passed to Recorder.Add,
+// Recorder.SetGauge, or Recorder.Observe must be lowercase dotted
+// (`pkg.metric` or deeper, [a-z0-9_] segments), and no literal name
+// may be registered from more than one package — duplicate names make
+// aggregate snapshots ambiguous and break benchdiff comparisons.
+//
+// Dynamically built names (fmt.Sprintf, "prefix"+var) cannot be
+// checked statically and are skipped; test files are exempt (they
+// exercise the recorder with throwaway names).
+//
+// Usage:
+//
+//	metriclint [dir ...]    (default: ./cmd ./internal)
+//
+// Exits nonzero and lists every violation when the contract is
+// broken.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// nameRE is the contract: at least two lowercase dotted segments.
+var nameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)+$`)
+
+// metricMethods are the Recorder registration points whose first
+// argument is the metric name.
+var metricMethods = map[string]bool{"Add": true, "SetGauge": true, "Observe": true}
+
+type site struct {
+	pos  token.Position
+	pkg  string // directory, the package identity
+	name string
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./cmd", "./internal"}
+	}
+	var sites []site
+	var parseErrs []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, perr := parser.ParseFile(fset, path, nil, 0)
+			if perr != nil {
+				parseErrs = append(parseErrs, perr.Error())
+				return nil
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !metricMethods[sel.Sel.Name] {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true // dynamic name: out of static reach
+				}
+				name, uerr := strconv.Unquote(lit.Value)
+				if uerr != nil {
+					return true
+				}
+				sites = append(sites, site{
+					pos:  fset.Position(lit.Pos()),
+					pkg:  filepath.Dir(path),
+					name: name,
+				})
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(parseErrs) > 0 {
+		for _, e := range parseErrs {
+			fmt.Fprintf(os.Stderr, "metriclint: parse: %s\n", e)
+		}
+		os.Exit(1)
+	}
+
+	var violations []string
+	byName := map[string]map[string]bool{} // name -> set of packages
+	for _, s := range sites {
+		if !nameRE.MatchString(s.name) {
+			violations = append(violations,
+				fmt.Sprintf("%s: metric name %q is not lowercase dotted", s.pos, s.name))
+		}
+		if byName[s.name] == nil {
+			byName[s.name] = map[string]bool{}
+		}
+		byName[s.name][s.pkg] = true
+	}
+	for name, pkgs := range byName {
+		if len(pkgs) < 2 {
+			continue
+		}
+		list := make([]string, 0, len(pkgs))
+		for p := range pkgs {
+			list = append(list, p)
+		}
+		sort.Strings(list)
+		violations = append(violations,
+			fmt.Sprintf("metric name %q registered from %d packages: %s",
+				name, len(list), strings.Join(list, ", ")))
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "metriclint:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: ok (%d literal metric names across %d sites)\n", len(byName), len(sites))
+}

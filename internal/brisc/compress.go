@@ -86,12 +86,19 @@ func CompressTraced(p *vm.Program, opt Options, rec *telemetry.Recorder) (*Objec
 	sp := rec.StartSpan("brisc.compress", telemetry.Int("instrs_in", int64(len(p.Code))))
 	defer sp.End()
 	prog := p
+	// Prepare: EPI peephole plus unit seeding. A named span so the
+	// pre-scan work is attributed in trace analysis instead of showing
+	// up as an unexplained gap inside brisc.compress.
+	psp := rec.StartSpan("brisc.prepare", telemetry.Int("instrs_in", int64(len(p.Code))))
 	if !opt.NoEPI {
 		prog = peepholeEPI(p)
 	}
 	if err := c.buildUnits(prog); err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.SetAttr(telemetry.Int("units", int64(len(c.units))))
+	psp.End()
 	c.run()
 	obj, err := c.finish(prog)
 	if err != nil {
@@ -397,23 +404,34 @@ func (c *compressor) materialize(k candKey) Pattern {
 // unchanged (pinned by TestArtifactGolden and the determinism suites).
 func (c *compressor) run() {
 	c.cands = c.sc.cands
+	ssp := c.rec.StartSpan("brisc.scan", telemetry.Int("units", int64(len(c.units))))
 	c.fullScan()
+	ssp.SetAttr(telemetry.Int("candidates", int64(len(c.cands))))
+	ssp.End()
 	for pass := 0; pass < c.opt.MaxPasses; pass++ {
 		c.passes++
 		sp := c.rec.StartSpan("brisc.pass", telemetry.Int("pass", int64(c.passes)))
 		nCands := len(c.cands)
+		asp := c.rec.StartSpan("brisc.adopt", telemetry.Int("candidates", int64(nCands)))
 		adopted := c.adopt()
+		asp.SetAttr(telemetry.Int("adopted", int64(len(adopted))))
+		asp.End()
 		c.rec.Add("brisc.pass.candidates", int64(nCands))
 		c.rec.Add("brisc.pass.adopted", int64(len(adopted)))
 		sp.SetAttr(
 			telemetry.Int("candidates", int64(nCands)),
 			telemetry.Int("adopted", int64(len(adopted))),
 		)
+		sp.Event("adopt", telemetry.Int("patterns", int64(len(adopted))))
 		if len(adopted) == 0 {
 			sp.End()
 			break
 		}
+		rsp := c.rec.StartSpan("brisc.rewrite", telemetry.Int("patterns", int64(len(adopted))))
 		c.rewrite(adopted)
+		rsp.SetAttr(telemetry.Int("units", int64(len(c.units))))
+		rsp.End()
+		sp.Event("rewrite", telemetry.Int("units", int64(len(c.units))))
 		sp.SetAttr(telemetry.Int("units", int64(len(c.units))))
 		sp.End()
 		if len(adopted) < c.opt.K {
@@ -443,7 +461,7 @@ func (c *compressor) fullScan() {
 	for len(sc.shards) < len(spans) {
 		sc.shards = append(sc.shards, nil)
 	}
-	c.pool.ForEach("brisc.scan", len(spans), func(si int) error {
+	c.pool.ForEach("brisc.scan_shard", len(spans), func(si int) error {
 		m := sc.shards[si]
 		if m == nil {
 			m = make(map[candKey]candStat, 1<<10)
@@ -456,6 +474,7 @@ func (c *compressor) fullScan() {
 		}
 		return nil
 	})
+	msp := c.rec.StartSpan("brisc.merge", telemetry.Int("shards", int64(len(spans))))
 	for si := range spans {
 		for k, st := range sc.shards[si] {
 			g := c.cands[k]
@@ -464,6 +483,8 @@ func (c *compressor) fullScan() {
 			c.cands[k] = g
 		}
 	}
+	msp.SetAttr(telemetry.Int("candidates", int64(len(c.cands))))
+	msp.End()
 }
 
 // scanUnit folds the candidates anchored at unit i into m with the
@@ -725,6 +746,11 @@ func (c *compressor) combineUnits(combinators []int, track bool) {
 	if nm == 0 {
 		return // no merges: the unit array is unchanged
 	}
+	// The serial tail — retract disturbed anchors, concatenate the chunk
+	// outputs, re-add against the committed array — is its own span so
+	// the trace separates fan-out time from commit time.
+	csp := c.rec.StartSpan("brisc.commit", telemetry.Int("merges", int64(nm)))
+	defer csp.End()
 	if track {
 		// Retract, against the pre-merge array, every anchor whose
 		// (unit, successor) view a merge invalidates: the merged pair's
@@ -814,6 +840,10 @@ func (c *compressor) repattern(specializers []int, track bool) {
 	if total == 0 {
 		return
 	}
+	// The serial application — retract, rewrite the changed slots,
+	// re-add — is its own span, separating it from the sharded scan.
+	asp := c.rec.StartSpan("brisc.apply", telemetry.Int("changes", int64(total)))
+	defer asp.End()
 	if track {
 		// A change at idx rewrites only slot idx, so the disturbed
 		// anchors are idx itself and its left neighbor's pair view.
@@ -960,8 +990,11 @@ func peepholeEPI(p *vm.Program) *vm.Program {
 
 // finish performs the final Markov encoding and assembles the object.
 func (c *compressor) finish(p *vm.Program) (*Object, error) {
-	sp := c.rec.StartSpan("brisc.finish")
-	defer sp.End()
+	sp := c.rec.StartSpan("brisc.finish", telemetry.Int("units", int64(len(c.units))))
+	defer func() {
+		sp.SetAttr(telemetry.Int("dict_entries", int64(len(c.dict))))
+		sp.End()
+	}()
 	// Garbage-collect learned patterns that no unit uses; base patterns
 	// (ids < NumOpcodes) are implicit and free.
 	used := make([]bool, len(c.dict))

@@ -38,7 +38,8 @@ func tools(t *testing.T) string {
 		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator),
 			"repro/cmd/mcc", "repro/cmd/wirec", "repro/cmd/briscc",
 			"repro/cmd/briscrun", "repro/cmd/experiments",
-			"repro/cmd/compscope", "repro/cmd/benchdiff")
+			"repro/cmd/compscope", "repro/cmd/benchdiff",
+			"repro/cmd/tracescope", "repro/cmd/metriclint")
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {
 			buildErr = err

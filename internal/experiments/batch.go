@@ -44,8 +44,14 @@ type BatchResult struct {
 // presets, the Word97-like profile, and every hand-written kernel —
 // as batch inputs, in deterministic name order for the kernels.
 func CompileCorpus() ([]BatchInput, error) {
+	csp := rec.StartSpan("experiments.compile_corpus")
+	defer csp.End()
 	var inputs []BatchInput
 	add := func(name, src string) error {
+		msp := rec.StartSpan("experiments.compile",
+			telemetry.String("module", name),
+			telemetry.Int("src_bytes", int64(len(src))))
+		defer msp.End()
 		mod, err := cc.Compile(name, src)
 		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", name, err)
@@ -54,11 +60,18 @@ func CompileCorpus() ([]BatchInput, error) {
 		if err != nil {
 			return fmt.Errorf("experiments: %s: %w", name, err)
 		}
+		msp.SetAttr(telemetry.Int("instrs", int64(len(prog.Code))))
 		inputs = append(inputs, BatchInput{Name: name, Module: mod, Prog: prog})
 		return nil
 	}
 	for _, p := range append(workload.Presets(), workload.Word) {
-		if err := add(p.Name, workload.Generate(p)); err != nil {
+		// Source synthesis is its own span: generating the larger presets
+		// costs tens of milliseconds the compile span should not absorb.
+		gsp := rec.StartSpan("experiments.generate", telemetry.String("module", p.Name))
+		src := workload.Generate(p)
+		gsp.SetAttr(telemetry.Int("src_bytes", int64(len(src))))
+		gsp.End()
+		if err := add(p.Name, src); err != nil {
 			return nil, err
 		}
 	}
@@ -73,6 +86,7 @@ func CompileCorpus() ([]BatchInput, error) {
 			return nil, err
 		}
 	}
+	csp.SetAttr(telemetry.Int("modules", int64(len(inputs))))
 	return inputs, nil
 }
 
@@ -89,13 +103,15 @@ func BatchCompress(inputs []BatchInput, workers int) ([]BatchResult, error) {
 		telemetry.Int("modules", int64(len(inputs))),
 		telemetry.Int("workers", int64(pool.Workers())))
 	defer sp.End()
+	// Per-module pipelines report through the same recorder, so a batch
+	// trace carries the full wire/brisc stage tree under each worker.
 	return parallel.Map(pool, "experiments.batch", len(inputs), func(i int) (BatchResult, error) {
 		in := inputs[i]
-		wb, err := wire.CompressOpts(in.Module, wire.Options{Pool: pool})
+		wb, err := wire.CompressTraced(in.Module, wire.Options{Pool: pool}, rec)
 		if err != nil {
 			return BatchResult{}, fmt.Errorf("experiments: wire %s: %w", in.Name, err)
 		}
-		obj, err := brisc.Compress(in.Prog, brisc.Options{Pool: pool})
+		obj, err := brisc.CompressTraced(in.Prog, brisc.Options{Pool: pool}, rec)
 		if err != nil {
 			return BatchResult{}, fmt.Errorf("experiments: brisc %s: %w", in.Name, err)
 		}

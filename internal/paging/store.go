@@ -163,6 +163,8 @@ func OpenStore(data []byte) (*Store, error) {
 // before entropy decode, and the expansion is bounded by the declared
 // page size — a page that inflates past it is rejected as corrupt.
 func (s *Store) Page(i int) ([]byte, error) {
+	sp := s.rec.StartSpan("paging.page", telemetry.Int("page", int64(i)))
+	defer sp.End()
 	if i < 0 || i >= len(s.pages) {
 		return nil, s.corrupt(fmt.Errorf("%w: page %d of %d", ErrCorrupt, i, len(s.pages)))
 	}
@@ -182,6 +184,9 @@ func (s *Store) Page(i int) ([]byte, error) {
 	if len(page) != want {
 		return nil, s.corrupt(fmt.Errorf("%w: page %d is %d bytes, want %d", ErrCorrupt, i, len(page), want))
 	}
+	sp.SetAttr(
+		telemetry.Int("bytes_in", int64(len(comp))),
+		telemetry.Int("bytes_out", int64(len(page))))
 	s.rec.Add("paging.pages_loaded", 1)
 	s.rec.Add("paging.bytes_decompressed", int64(len(page)))
 	return page, nil

@@ -56,9 +56,12 @@ type Pool struct {
 // tasks.
 func New(workers int) *Pool { return NewTraced(workers, nil) }
 
-// NewTraced is New with telemetry: each task that lands on a pool
-// worker records a "parallel.worker" span through rec (nil disables
-// tracing at no cost).
+// NewTraced is New with telemetry: every task a fan-out runs records
+// a span named after the fan-out's label through rec (nil disables
+// tracing at no cost). Pooled, inline-saturated, and serial execution
+// all record the same spans, so a trace attributes the fan-out's work
+// identically no matter how the scheduler placed it; pooled tasks are
+// marked with a pooled=1 attribute.
 func NewTraced(workers int, rec *telemetry.Recorder) *Pool {
 	return &Pool{tokens: make(chan struct{}, DefaultWorkers(workers)), rec: rec}
 }
@@ -78,18 +81,40 @@ func (p *Pool) Workers() int {
 // regardless of completion order. ForEach does not cancel in-flight
 // siblings on error — fn must be safe to run to completion.
 func (p *Pool) ForEach(label string, n int, fn func(i int) error) error {
+	return p.ForEachSpan(label, n, func(i int, _ *telemetry.Span) error { return fn(i) })
+}
+
+// ForEachSpan is ForEach for stages that want to annotate their task
+// spans: fn additionally receives the task's span (nil when tracing is
+// disabled) and may SetAttr on it. Each task — pooled, inline on a
+// saturated pool, or serial — runs inside a span named label, so the
+// trace attributes every microsecond of a fan-out to the stage that
+// asked for it rather than to whichever parent happened to submit it.
+func (p *Pool) ForEachSpan(label string, n int, fn func(i int, sp *telemetry.Span) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if p == nil || p.Workers() <= 1 || n == 1 {
+		var rec *telemetry.Recorder
+		if p != nil {
+			rec = p.rec
+		}
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			sp := rec.StartSpan(label, telemetry.Int("index", int64(i)))
+			err := fn(i, sp)
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	errs := make([]error, n)
+	// Span parenting is per goroutine, so worker spans are explicitly
+	// seeded under the span open on the submitting goroutine — the trace
+	// keeps its tree shape across the fan-out. Inline (saturated) tasks
+	// run on the submitter and nest naturally.
+	parent := p.rec.CurrentSpanID()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		select {
@@ -100,16 +125,18 @@ func (p *Pool) ForEach(label string, n int, fn func(i int) error) error {
 				defer func() { <-p.tokens }()
 				inFlight.Add(1)
 				defer inFlight.Add(-1)
-				sp := p.rec.StartSpan("parallel.worker",
-					telemetry.String("label", label),
-					telemetry.Int("index", int64(i)))
-				errs[i] = fn(i)
+				sp := p.rec.StartSpanUnder(parent, label,
+					telemetry.Int("index", int64(i)),
+					telemetry.Int("pooled", 1))
+				errs[i] = fn(i, sp)
 				sp.End()
 			}(i)
 		default:
 			// Pool saturated (possibly by our own parent task in a
 			// nested fan-out): run on the submitting goroutine.
-			errs[i] = fn(i)
+			sp := p.rec.StartSpan(label, telemetry.Int("index", int64(i)))
+			errs[i] = fn(i, sp)
+			sp.End()
 		}
 	}
 	wg.Wait()

@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestForEachTaskSpans pins the fan-out tracing contract: every task —
+// whether it ran on a pool goroutine, inline on a saturated pool, or
+// on the serial path — records a span named after the fan-out's label,
+// parented under the span that submitted the work.
+func TestForEachTaskSpans(t *testing.T) {
+	rec := telemetry.New()
+	p := NewTraced(2, rec)
+	outer := rec.StartSpan("outer")
+	outerID := rec.CurrentSpanID()
+	if err := p.ForEach("stage.task", 8, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	outer.End()
+
+	tasks := 0
+	for _, sr := range rec.Spans() {
+		if sr.Name != "stage.task" {
+			continue
+		}
+		tasks++
+		if sr.Parent != outerID {
+			t.Fatalf("task span parent = %d, want submitting span %d", sr.Parent, outerID)
+		}
+	}
+	if tasks != 8 {
+		t.Fatalf("task spans = %d, want 8", tasks)
+	}
+}
+
+func TestForEachSerialPathSpans(t *testing.T) {
+	rec := telemetry.New()
+	p := NewTraced(1, rec) // Workers()==1: the no-goroutine fast path
+	if err := p.ForEach("serial.task", 3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, sr := range rec.Spans() {
+		if sr.Name == "serial.task" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("serial task spans = %d, want 3", n)
+	}
+}
+
+func TestForEachSpanAttrs(t *testing.T) {
+	rec := telemetry.New()
+	p := NewTraced(2, rec)
+	err := p.ForEachSpan("attr.task", 4, func(i int, sp *telemetry.Span) error {
+		sp.SetAttr(telemetry.Int("bytes", int64(10*(i+1))))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, sr := range rec.Spans() {
+		if sr.Name != "attr.task" {
+			continue
+		}
+		for _, a := range sr.Attrs {
+			if a.Key == "bytes" {
+				total += a.Value.(int64)
+			}
+		}
+	}
+	if total != 10+20+30+40 {
+		t.Fatalf("summed bytes attr = %d", total)
+	}
+}
+
+// TestForEachSpanNilPool: a nil pool runs serially with no recorder;
+// fn must receive a nil span it can use safely.
+func TestForEachSpanNilPool(t *testing.T) {
+	var p *Pool
+	var ran atomic.Int64
+	err := p.ForEachSpan("x", 5, func(i int, sp *telemetry.Span) error {
+		sp.SetAttr(telemetry.Int("n", 1)) // nil span: no-op
+		ran.Add(1)
+		return nil
+	})
+	if err != nil || ran.Load() != 5 {
+		t.Fatalf("err=%v ran=%d", err, ran.Load())
+	}
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the binary behind a trace or debug endpoint: Go
+// toolchain, main module path/version, and the VCS revision the binary
+// was built from. Traces embed it as their first JSONL line (type
+// "buildinfo") so a recorded file is self-identifying; the expose
+// server serves the same block at /buildinfo.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`   // main module path
+	Version   string `json:"version,omitempty"`  // main module version ("(devel)" for local builds)
+	Revision  string `json:"revision,omitempty"` // VCS revision, when stamped
+	Modified  bool   `json:"modified,omitempty"` // VCS working tree was dirty at build time
+}
+
+// GetBuildInfo reads the running binary's build information. Fields the
+// toolchain did not stamp (e.g. VCS data under `go test`) are left
+// zero.
+func GetBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	bi.Module = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// attrMap renders the build info as JSONL event attributes.
+func (b BuildInfo) attrMap() map[string]any {
+	m := map[string]any{"go_version": b.GoVersion}
+	if b.Module != "" {
+		m["module"] = b.Module
+	}
+	if b.Version != "" {
+		m["version"] = b.Version
+	}
+	if b.Revision != "" {
+		m["revision"] = b.Revision
+	}
+	if b.Modified {
+		m["modified"] = true
+	}
+	return m
+}

@@ -1,0 +1,52 @@
+package expose
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestBuildinfoEndpoint checks /buildinfo serves the same identifying
+// block the -trace JSONL header carries.
+func TestBuildinfoEndpoint(t *testing.T) {
+	rec := telemetry.New()
+	defer rec.Close()
+	srv, err := StartServer("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/buildinfo")
+	if code != 200 {
+		t.Fatalf("/buildinfo = %d %q", code, body)
+	}
+	var bi telemetry.BuildInfo
+	if err := json.Unmarshal([]byte(body), &bi); err != nil {
+		t.Fatalf("/buildinfo is not JSON: %v\n%s", err, body)
+	}
+	want := telemetry.GetBuildInfo()
+	if bi.GoVersion != want.GoVersion || bi.Module != want.Module {
+		t.Fatalf("/buildinfo = %+v, want %+v", bi, want)
+	}
+	if code, body := get(t, "http://"+srv.Addr()+"/"); code != 200 ||
+		!strings.Contains(body, "/buildinfo") {
+		t.Fatalf("index does not list /buildinfo: %d %q", code, body)
+	}
+}
+
+// TestNegativeSampleRejected: -sample < 0 is a configuration error, not
+// a silent no-op.
+func TestNegativeSampleRejected(t *testing.T) {
+	tool, err := Start(Options{Sample: -time.Second})
+	if err == nil {
+		tool.Close()
+		t.Fatal("negative -sample accepted")
+	}
+	if !strings.Contains(err.Error(), "-sample") {
+		t.Fatalf("error does not name the flag: %v", err)
+	}
+}

@@ -34,7 +34,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		CPUProfile: fs.String("cpuprofile", "", "write a CPU profile to `file`"),
 		MemProfile: fs.String("memprofile", "", "write a heap profile to `file`"),
 		DebugAddr:  fs.String("debug-addr", "", "serve live debug endpoints (/metrics, /snapshot, /spans, /flight, /debug/pprof) on `host:port`"),
-		Sample:     fs.Duration("sample", 0, "runtime sampler interval (0 = 1s when -debug-addr is set, else off)"),
+		Sample:     fs.Duration("sample", 0, "runtime sampler interval; a positive value enables the sampler on its own, 0 means off unless -debug-addr is set (which defaults it to 1s); negative is rejected"),
 	}
 }
 
@@ -42,7 +42,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 type Options struct {
 	telemetry.ToolOptions
 	DebugAddr string        // debug HTTP server address ("" = off)
-	Sample    time.Duration // runtime sampler interval (0 = 1s when DebugAddr set, else off)
+	Sample    time.Duration // runtime sampler interval (0 = 1s when DebugAddr set, else off; < 0 is an error)
 }
 
 // Start activates everything the parsed flags requested.
@@ -76,6 +76,9 @@ type Tool struct {
 // before process exit (it is idempotent); Fail is the fatal-path
 // variant that also trips the flight recorder.
 func Start(opts Options) (*Tool, error) {
+	if opts.Sample < 0 {
+		return nil, fmt.Errorf("expose: -sample must be >= 0, got %v", opts.Sample)
+	}
 	if opts.DebugAddr != "" || opts.Sample > 0 {
 		opts.NeedRecorder = true
 		if opts.Sample == 0 {

@@ -11,6 +11,7 @@ package expose
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -49,8 +50,15 @@ func StartServer(addr string, rec *telemetry.Recorder) (*Server, error) {
 		fmt.Fprintf(w, "  /snapshot      aggregate state as JSON\n")
 		fmt.Fprintf(w, "  /spans         human-readable span/metric summary\n")
 		fmt.Fprintf(w, "  /flight        flight-recorder ring dump\n")
+		fmt.Fprintf(w, "  /buildinfo     binary identity (Go version, module, VCS revision)\n")
 		fmt.Fprintf(w, "  /healthz       liveness probe\n")
 		fmt.Fprintf(w, "  /debug/pprof/  Go runtime profiles\n")
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(telemetry.GetBuildInfo())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The recorder keys span parent stacks by goroutine so concurrent
+// pipelines (pool workers, batch compression) cannot scramble each
+// other's nesting. The runtime does not expose goroutine IDs directly;
+// curGID parses the header line of runtime.Stack, which is stable
+// ("goroutine N [running]:") and documented enough that the runtime's
+// own tests rely on it. The buffer is pooled and the call takes ~1µs —
+// paid once per span start, never on the disabled path.
+
+var gidBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64)
+	return &b
+}}
+
+// curGID returns the calling goroutine's runtime ID.
+func curGID() uint64 {
+	bp := gidBufPool.Get().(*[]byte)
+	b := *bp
+	n := runtime.Stack(b, false)
+	var id uint64
+	for i := len("goroutine "); i < n; i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	gidBufPool.Put(bp)
+	return id
+}

@@ -8,7 +8,8 @@ import (
 	"sync"
 )
 
-// Event is one line of a JSONL trace. Type is "span", "counter",
+// Event is one line of a JSONL trace. Type is "buildinfo" (the
+// identifying header, first line of a tool trace), "span", "counter",
 // "gauge", or "hist"; unused fields are zero.
 type Event struct {
 	Type    string         `json:"type"`
@@ -16,9 +17,11 @@ type Event struct {
 	Trace   string         `json:"trace,omitempty"` // hex trace ID shared by a run's spans
 	ID      uint64         `json:"id,omitempty"`
 	Parent  uint64         `json:"parent,omitempty"`
+	GID     uint64         `json:"gid,omitempty"`      // starting goroutine's runtime ID
 	StartUS int64          `json:"start_us,omitempty"` // offset from the recorder epoch
 	DurUS   int64          `json:"dur_us,omitempty"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
+	Events  []PointEvent   `json:"events,omitempty"` // span point events, in record order
 	Value   float64        `json:"value,omitempty"`
 	Count   int64          `json:"count,omitempty"`
 	Sum     float64        `json:"sum,omitempty"`
@@ -27,6 +30,28 @@ type Event struct {
 	P50     float64        `json:"p50,omitempty"`
 	P90     float64        `json:"p90,omitempty"`
 	P99     float64        `json:"p99,omitempty"`
+}
+
+// PointEvent is one Span.Event mark as serialized inside a span line;
+// AtUS shares the span's time base (recorder-epoch offset when the
+// sink is anchored).
+type PointEvent struct {
+	Name  string         `json:"name"`
+	AtUS  int64          `json:"at_us"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// attrMap converts span attributes to the JSON map shape shared by the
+// JSONL sink, snapshots, and the trace_event exporter (nil when empty).
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
 }
 
 // traceHex renders a trace ID for the wire formats (0 → "").
@@ -91,6 +116,15 @@ func (j *JSONL) emit(e Event) {
 	}
 }
 
+// Header writes the identifying buildinfo line for a trace; call it
+// once, before any span ends, so the first line of the file names the
+// producing binary and the run's trace ID.
+func (j *JSONL) Header(trace uint64, bi BuildInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emit(Event{Type: "buildinfo", Name: bi.Module, Trace: traceHex(trace), Attrs: bi.attrMap()})
+}
+
 // SpanEnd implements Sink.
 func (j *JSONL) SpanEnd(sr SpanRecord) {
 	j.mu.Lock()
@@ -101,18 +135,23 @@ func (j *JSONL) SpanEnd(sr SpanRecord) {
 		Trace:  traceHex(sr.Trace),
 		ID:     sr.ID,
 		Parent: sr.Parent,
+		GID:    sr.GID,
 		DurUS:  sr.Dur.Microseconds(),
+		Attrs:  attrMap(sr.Attrs),
 	}
 	if j.rec != nil {
 		e.StartUS = sr.Start.Sub(j.rec.Epoch()).Microseconds()
 	} else {
 		e.StartUS = sr.Start.UnixMicro()
 	}
-	if len(sr.Attrs) > 0 {
-		e.Attrs = make(map[string]any, len(sr.Attrs))
-		for _, a := range sr.Attrs {
-			e.Attrs[a.Key] = a.Value
+	for _, ev := range sr.Events {
+		pe := PointEvent{Name: ev.Name, Attrs: attrMap(ev.Attrs)}
+		if j.rec != nil {
+			pe.AtUS = ev.At.Sub(j.rec.Epoch()).Microseconds()
+		} else {
+			pe.AtUS = ev.At.UnixMicro()
 		}
+		e.Events = append(e.Events, pe)
 	}
 	j.emit(e)
 }

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPerGoroutineParenting pins the parenting contract: spans nest per
+// goroutine, so a span started on a fresh goroutine is a root unless
+// the submitter's span is threaded through StartSpanUnder.
+func TestPerGoroutineParenting(t *testing.T) {
+	rec := New()
+	root := rec.StartSpan("root")
+	parent := rec.CurrentSpanID()
+	if parent == 0 {
+		t.Fatal("CurrentSpanID = 0 with a span open")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if id := rec.CurrentSpanID(); id != 0 {
+			t.Errorf("fresh goroutine CurrentSpanID = %d, want 0", id)
+		}
+		rec.StartSpan("detached").End()
+		rec.StartSpanUnder(parent, "attached").End()
+	}()
+	<-done
+	root.End()
+
+	byName := map[string]SpanRecord{}
+	for _, sr := range rec.Spans() {
+		byName[sr.Name] = sr
+	}
+	if got := byName["detached"].Parent; got != 0 {
+		t.Fatalf("detached parent = %d, want 0 (per-goroutine stacks must not leak)", got)
+	}
+	if got := byName["attached"].Parent; got != parent {
+		t.Fatalf("attached parent = %d, want %d", got, parent)
+	}
+	if byName["detached"].GID == byName["root"].GID {
+		t.Fatal("goroutine IDs should differ across goroutines")
+	}
+	if byName["root"].GID == 0 {
+		t.Fatal("span GID not recorded")
+	}
+}
+
+// TestStartSpanUnderNestsOnOwnGoroutine checks that a span seeded with
+// an explicit parent still anchors the local stack: spans opened after
+// it on the same goroutine nest under it, not under the remote parent.
+func TestStartSpanUnderNestsOnOwnGoroutine(t *testing.T) {
+	rec := New()
+	root := rec.StartSpan("root")
+	parent := rec.CurrentSpanID()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := rec.StartSpanUnder(parent, "worker")
+		rec.StartSpan("inner").End()
+		w.End()
+	}()
+	<-done
+	root.End()
+	byName := map[string]SpanRecord{}
+	for _, sr := range rec.Spans() {
+		byName[sr.Name] = sr
+	}
+	if byName["inner"].Parent != byName["worker"].ID {
+		t.Fatalf("inner parent = %d, want worker %d", byName["inner"].Parent, byName["worker"].ID)
+	}
+}
+
+func TestSpanEventJSONLRoundTrip(t *testing.T) {
+	rec := New()
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf).Anchor(rec)
+	sink.Header(rec.TraceID(), GetBuildInfo())
+	rec.AttachSink(sink)
+
+	sp := rec.StartSpan("brisc.pass", Int("pass", 1))
+	sp.Event("adopt", Int("patterns", 4))
+	sp.End()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0].Type != "buildinfo" {
+		t.Fatalf("first line is not the buildinfo header: %+v", events)
+	}
+	bi := events[0]
+	if bi.Attrs["module"] == "" || bi.Attrs["go_version"] == "" {
+		t.Fatalf("buildinfo attrs incomplete: %v", bi.Attrs)
+	}
+	if bi.Trace == "" {
+		t.Fatalf("buildinfo has no trace id: %+v", bi)
+	}
+
+	var span *Event
+	for i := range events {
+		if events[i].Type == "span" && events[i].Name == "brisc.pass" {
+			span = &events[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("span line missing")
+	}
+	if span.GID == 0 {
+		t.Fatal("span line has no gid")
+	}
+	if span.Trace != bi.Trace {
+		t.Fatalf("span trace %q != header trace %q", span.Trace, bi.Trace)
+	}
+	if len(span.Events) != 1 || span.Events[0].Name != "adopt" {
+		t.Fatalf("point events = %+v", span.Events)
+	}
+	ev := span.Events[0]
+	if n, _ := ev.Attrs["patterns"].(float64); n != 4 {
+		t.Fatalf("event attrs = %v", ev.Attrs)
+	}
+	if ev.AtUS < span.StartUS || ev.AtUS > span.StartUS+span.DurUS+1 {
+		t.Fatalf("event at_us %d outside span [%d,%d]", ev.AtUS, span.StartUS, span.StartUS+span.DurUS)
+	}
+}
+
+func TestGetBuildInfo(t *testing.T) {
+	bi := GetBuildInfo()
+	if bi.GoVersion == "" {
+		t.Fatal("GoVersion empty")
+	}
+	if bi.Module != "repro" {
+		t.Fatalf("Module = %q, want repro", bi.Module)
+	}
+	m := bi.attrMap()
+	if m["go_version"] != bi.GoVersion || m["module"] != bi.Module {
+		t.Fatalf("attrMap = %v", m)
+	}
+}
+
+func TestSpanEventNilSafe(t *testing.T) {
+	var sp *Span
+	sp.Event("x", Int("n", 1)) // must not panic
+	sp.SetAttr(Int("n", 2))
+	sp.End()
+	var rec *Recorder
+	if rec.CurrentSpanID() != 0 {
+		t.Fatal("nil recorder CurrentSpanID != 0")
+	}
+	if s := rec.StartSpanUnder(7, "x"); s != nil {
+		t.Fatal("nil recorder StartSpanUnder != nil")
+	}
+}

@@ -78,6 +78,7 @@ func formatFloat(v float64) string {
 type aggSpan struct {
 	name     string
 	count    int
+	events   int // total point events across constituents
 	total    time.Duration
 	attrs    []Attr // attrs of the first constituent span
 	children []SpanRecord
@@ -115,6 +116,7 @@ func writeSpanTree(w io.Writer, spans []SpanRecord) {
 				order = append(order, a)
 			}
 			a.count++
+			a.events += len(sr.Events)
 			a.total += sr.Dur
 			a.children = append(a.children, children[sr.ID]...)
 		}
@@ -127,6 +129,9 @@ func writeSpanTree(w io.Writer, spans []SpanRecord) {
 					parts = append(parts, fmt.Sprintf("%s=%v", at.Key, at.Value))
 				}
 				attrs = "  [" + strings.Join(parts, " ") + "]"
+			}
+			if a.events > 0 {
+				attrs += fmt.Sprintf("  (%d events)", a.events)
 			}
 			fmt.Fprintf(w, "%-38s %6d× %12s%s\n", label, a.count, a.total.Round(time.Microsecond), attrs)
 			if len(a.children) > 0 {
@@ -160,14 +165,17 @@ func TakeSnapshot(r *Recorder) Snapshot {
 			Trace:   traceHex(sr.Trace),
 			ID:      sr.ID,
 			Parent:  sr.Parent,
+			GID:     sr.GID,
 			StartUS: sr.Start.Sub(r.Epoch()).Microseconds(),
 			DurUS:   sr.Dur.Microseconds(),
+			Attrs:   attrMap(sr.Attrs),
 		}
-		if len(sr.Attrs) > 0 {
-			e.Attrs = make(map[string]any, len(sr.Attrs))
-			for _, a := range sr.Attrs {
-				e.Attrs[a.Key] = a.Value
-			}
+		for _, ev := range sr.Events {
+			e.Events = append(e.Events, PointEvent{
+				Name:  ev.Name,
+				AtUS:  ev.At.Sub(r.Epoch()).Microseconds(),
+				Attrs: attrMap(ev.Attrs),
+			})
 		}
 		snap.Spans = append(snap.Spans, e)
 	}

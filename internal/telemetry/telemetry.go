@@ -38,29 +38,45 @@ func Float(key string, v float64) Attr { return Attr{Key: key, Value: v} }
 // String builds a string attribute.
 func String(key, v string) Attr { return Attr{Key: key, Value: v} }
 
+// SpanEvent is a point-in-time mark inside a span (a rewrite commit, a
+// segment flush): a name, a timestamp, and optional attributes.
+type SpanEvent struct {
+	Name  string
+	At    time.Time
+	Attrs []Attr
+}
+
 // SpanRecord is a finished span as delivered to sinks and returned by
 // Recorder.Spans. Trace is the recorder's trace ID, shared by every
 // span of one run; (Trace, ID, Parent) is the identity triple the
-// JSONL and Chrome trace_event exporters thread through unchanged.
+// JSONL and Chrome trace_event exporters thread through unchanged. GID
+// is the runtime ID of the goroutine that started the span — spans on
+// one goroutine nest properly, so exporters use it as the thread track.
 type SpanRecord struct {
 	Trace  uint64
 	ID     uint64
 	Parent uint64 // 0 for root spans
+	GID    uint64 // starting goroutine's runtime ID
 	Name   string
 	Start  time.Time
 	Dur    time.Duration
 	Attrs  []Attr
+	Events []SpanEvent
 }
 
 // Span is an in-flight span. A nil *Span (returned when telemetry is
-// disabled) accepts every method as a no-op.
+// disabled) accepts every method as a no-op. A Span is owned by the
+// goroutine that started it: SetAttr, Event, and End are not safe for
+// concurrent use on one span.
 type Span struct {
 	rec    *Recorder
 	id     uint64
 	parent uint64
+	gid    uint64
 	name   string
 	start  time.Time
 	attrs  []Attr
+	events []SpanEvent
 	ended  bool
 }
 
@@ -70,6 +86,15 @@ func (s *Span) SetAttr(attrs ...Attr) {
 		return
 	}
 	s.attrs = append(s.attrs, attrs...)
+}
+
+// Event records a point-in-time mark inside the span (delivered with
+// the span when it ends).
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, SpanEvent{Name: name, At: time.Now(), Attrs: attrs})
 }
 
 // End finishes the span, recording its duration and handing it to the
@@ -194,7 +219,7 @@ type Recorder struct {
 	mu       sync.Mutex
 	epoch    time.Time
 	nextID   uint64
-	stack    []uint64 // open span ids; top is the current parent
+	stacks   map[uint64][]uint64 // per-goroutine open span ids; top is the current parent
 	spans    []SpanRecord
 	counters map[string]int64
 	gauges   map[string]float64
@@ -237,6 +262,7 @@ func New() *Recorder {
 	r := &Recorder{
 		epoch:    time.Now(),
 		trace:    newTraceID(),
+		stacks:   map[uint64][]uint64{},
 		counters: map[string]int64{},
 		gauges:   map[string]float64{},
 		hists:    map[string]*hist{},
@@ -286,22 +312,59 @@ func (r *Recorder) AttachSink(s Sink) {
 }
 
 // StartSpan opens a span as a child of the most recent unfinished span
-// started on this recorder. It returns nil when disabled; every method
-// of a nil *Span is a no-op.
+// started on the calling goroutine. Parenting is per goroutine — spans
+// started concurrently from pool workers do not nest under each other —
+// so a span opened on a freshly spawned goroutine is a root unless the
+// caller threads the submitting span through StartSpanUnder. StartSpan
+// returns nil when disabled; every method of a nil *Span is a no-op.
 func (r *Recorder) StartSpan(name string, attrs ...Attr) *Span {
 	if !r.Enabled() {
 		return nil
 	}
+	return r.startSpan(curGID(), name, attrs, false, 0)
+}
+
+// StartSpanUnder opens a span as an explicit child of parent (the
+// value of CurrentSpanID captured on another goroutine; 0 starts a
+// root). It is how fan-out code stitches worker-goroutine spans under
+// the span that submitted the work.
+func (r *Recorder) StartSpanUnder(parent uint64, name string, attrs ...Attr) *Span {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.startSpan(curGID(), name, attrs, true, parent)
+}
+
+func (r *Recorder) startSpan(gid uint64, name string, attrs []Attr, explicit bool, parent uint64) *Span {
 	r.mu.Lock()
 	r.nextID++
-	s := &Span{rec: r, id: r.nextID, name: name, attrs: attrs}
-	if n := len(r.stack); n > 0 {
-		s.parent = r.stack[n-1]
+	s := &Span{rec: r, id: r.nextID, gid: gid, name: name, attrs: attrs}
+	if explicit {
+		s.parent = parent
+	} else if st := r.stacks[gid]; len(st) > 0 {
+		s.parent = st[len(st)-1]
 	}
-	r.stack = append(r.stack, s.id)
+	r.stacks[gid] = append(r.stacks[gid], s.id)
 	r.mu.Unlock()
 	s.start = time.Now()
 	return s
+}
+
+// CurrentSpanID returns the ID of the innermost unfinished span started
+// on the calling goroutine (0 when none, or when disabled). Capture it
+// before handing work to another goroutine and pass it to
+// StartSpanUnder there.
+func (r *Recorder) CurrentSpanID() uint64 {
+	if !r.Enabled() {
+		return 0
+	}
+	gid := curGID()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.stacks[gid]; len(st) > 0 {
+		return st[len(st)-1]
+	}
+	return 0
 }
 
 func (r *Recorder) endSpan(s *Span) {
@@ -310,19 +373,29 @@ func (r *Recorder) endSpan(s *Span) {
 		Trace:  r.trace,
 		ID:     s.id,
 		Parent: s.parent,
+		GID:    s.gid,
 		Name:   s.name,
 		Start:  s.start,
 		Dur:    dur,
 		Attrs:  s.attrs,
+		Events: s.events,
 	}
 	r.mu.Lock()
-	// Pop the stack down to (and including) this span; spans ended out
-	// of order implicitly end their unfinished children.
-	for i := len(r.stack) - 1; i >= 0; i-- {
-		if r.stack[i] == s.id {
-			r.stack = r.stack[:i]
+	// Pop this goroutine's stack down to (and including) this span;
+	// spans ended out of order implicitly end their unfinished children.
+	// Empty stacks are deleted so short-lived goroutines don't leak map
+	// entries.
+	st := r.stacks[s.gid]
+	for i := len(st) - 1; i >= 0; i-- {
+		if st[i] == s.id {
+			st = st[:i]
 			break
 		}
+	}
+	if len(st) == 0 {
+		delete(r.stacks, s.gid)
+	} else {
+		r.stacks[s.gid] = st
 	}
 	r.spans = append(r.spans, sr)
 	r.flightRecord(FlightEvent{When: s.start, Kind: "span", Name: s.name, Dur: dur, Attrs: s.attrs})

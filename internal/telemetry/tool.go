@@ -63,7 +63,11 @@ func StartTool(opts ToolOptions) (*Tool, error) {
 			return nil, fmt.Errorf("telemetry: trace: %w", err)
 		}
 		t.traceFile = f
-		t.Rec.AttachSink(NewJSONL(f).Anchor(t.Rec))
+		sink := NewJSONL(f).Anchor(t.Rec)
+		// First line identifies the producing binary and the run's trace
+		// ID, so recorded traces are self-describing.
+		sink.Header(t.Rec.TraceID(), GetBuildInfo())
+		t.Rec.AttachSink(sink)
 	}
 	if opts.CPUProfile != "" {
 		f, err := os.Create(opts.CPUProfile)

@@ -9,19 +9,22 @@ import (
 // Chrome trace_event exporter: renders a recorder's spans as the JSON
 // trace format Perfetto (ui.perfetto.dev) and chrome://tracing load
 // directly. Spans become "X" (complete) events carrying the
-// trace/span/parent identity triple in args; each root span gets its
-// own thread track so concurrent pipelines (pool workers, batch
-// compression) render side by side instead of as a garbled single
-// stack. Counters are appended as "C" events at the trace end.
+// trace/span/parent identity triple in args; the thread track is the
+// goroutine that ran the span, so concurrent pipelines (pool workers,
+// batch compression) render side by side and spans on one track nest
+// properly by construction. Span point events become "i" (instant)
+// events on the same track; counters are appended as "C" events at the
+// trace end.
 
 type traceEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	TS   int64          `json:"ts"` // microseconds from the recorder epoch
-	Dur  int64          `json:"dur,omitempty"`
-	PID  int            `json:"pid"`
-	TID  uint64         `json:"tid"`
-	Args map[string]any `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds from the recorder epoch
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope ("t" = thread)
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 type traceEventFile struct {
@@ -39,20 +42,16 @@ func WriteTraceEvents(w io.Writer, r *Recorder) error {
 	epoch := r.Epoch()
 	traceID := fmt.Sprintf("%016x", r.TraceID())
 
-	// Assign each span to the track of its root ancestor.
-	parent := make(map[uint64]uint64, len(spans))
+	// Name each goroutine track after its earliest-starting span — the
+	// outermost work that ran there.
+	trackName := map[uint64]string{}
+	trackStart := map[uint64]int64{}
 	for _, sr := range spans {
-		parent[sr.ID] = sr.Parent
-	}
-	rootOf := func(id uint64) uint64 {
-		for seen := 0; seen < len(spans)+1; seen++ {
-			p, ok := parent[id]
-			if !ok || p == 0 {
-				return id
-			}
-			id = p
+		ts := sr.Start.Sub(epoch).Microseconds()
+		if prev, ok := trackStart[sr.GID]; !ok || ts < prev {
+			trackStart[sr.GID] = ts
+			trackName[sr.GID] = sr.Name
 		}
-		return id
 	}
 
 	out := traceEventFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{{
@@ -62,19 +61,12 @@ func WriteTraceEvents(w io.Writer, r *Recorder) error {
 	named := map[uint64]bool{}
 	var endTS int64
 	for _, sr := range spans {
-		tid := rootOf(sr.ID)
+		tid := sr.GID
 		if !named[tid] {
 			named[tid] = true
-			rootName := sr.Name
-			for _, cand := range spans {
-				if cand.ID == tid {
-					rootName = cand.Name
-					break
-				}
-			}
 			out.TraceEvents = append(out.TraceEvents, traceEvent{
 				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
-				Args: map[string]any{"name": rootName},
+				Args: map[string]any{"name": trackName[tid]},
 			})
 		}
 		args := map[string]any{
@@ -93,6 +85,16 @@ func WriteTraceEvents(w io.Writer, r *Recorder) error {
 			Name: sr.Name, Ph: "X", TS: ts, Dur: sr.Dur.Microseconds(),
 			PID: 1, TID: tid, Args: args,
 		})
+		for _, ev := range sr.Events {
+			eargs := map[string]any{"span_id": sr.ID}
+			for _, a := range ev.Attrs {
+				eargs[a.Key] = a.Value
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: ev.Name, Ph: "i", TS: ev.At.Sub(epoch).Microseconds(),
+				PID: 1, TID: tid, Scope: "t", Args: eargs,
+			})
+		}
 	}
 	counters := r.Counters()
 	for _, k := range sortedKeys(counters) {

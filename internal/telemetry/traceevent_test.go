@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// teEvent mirrors the exporter's output shape for decoding in tests.
+type teEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+type teFile struct {
+	TraceEvents     []teEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+// recordFanOut builds a recorder with a nested span, a point event, a
+// parallel fan-out (two worker goroutines seeded via StartSpanUnder),
+// and one counter — the shapes the exporter must render.
+func recordFanOut(t *testing.T) *Recorder {
+	t.Helper()
+	rec := New()
+	root := rec.StartSpan("root")
+	root.Event("mark", Int("n", 1))
+	child := rec.StartSpan("child", Int("bytes", 7))
+	time.Sleep(time.Millisecond)
+	child.End()
+	parent := rec.CurrentSpanID()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := rec.StartSpanUnder(parent, "worker")
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	rec.Add("bytes.total", 42)
+	return rec
+}
+
+func TestWriteTraceEventsRoundTrip(t *testing.T) {
+	rec := recordFanOut(t)
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var f teFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+
+	var xs []teEvent
+	var rootEv, counterEv *teEvent
+	instants := map[string]teEvent{}
+	threadNames := map[uint64]string{}
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xs = append(xs, e)
+			if e.Name == "root" {
+				rootEv = &f.TraceEvents[i]
+			}
+		case "i":
+			instants[e.Name] = e
+		case "C":
+			counterEv = &f.TraceEvents[i]
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames[e.TID] = e.Args["name"].(string)
+			}
+		}
+	}
+	if len(xs) != 4 { // root, child, worker ×2
+		t.Fatalf("complete events = %d, want 4", len(xs))
+	}
+	if rootEv == nil {
+		t.Fatal("no root X event")
+	}
+
+	// The identity triple threads through: workers parent to root's
+	// span id even though they ran on other goroutines.
+	rootID := rootEv.Args["span_id"].(float64)
+	workers := 0
+	for _, e := range xs {
+		if e.Name != "worker" {
+			continue
+		}
+		workers++
+		if e.Args["parent_id"].(float64) != rootID {
+			t.Fatalf("worker parent_id = %v, want %v", e.Args["parent_id"], rootID)
+		}
+		if e.TID == rootEv.TID {
+			t.Fatal("worker should render on its own goroutine track")
+		}
+	}
+	if workers != 2 {
+		t.Fatalf("workers = %d", workers)
+	}
+
+	// Per-tid X intervals nest or are disjoint — never torn. Start and
+	// dur are truncated to µs independently, so allow 2µs of slack.
+	const slack = 2
+	for i, a := range xs {
+		for j, b := range xs {
+			if i == j || a.TID != b.TID {
+				continue
+			}
+			aEnd, bEnd := a.TS+a.Dur, b.TS+b.Dur
+			disjoint := aEnd <= b.TS+slack || bEnd <= a.TS+slack
+			nested := (a.TS >= b.TS-slack && aEnd <= bEnd+slack) ||
+				(b.TS >= a.TS-slack && bEnd <= aEnd+slack)
+			if !disjoint && !nested {
+				t.Fatalf("events on tid %d overlap without nesting: %+v / %+v", a.TID, a, b)
+			}
+		}
+	}
+
+	// The point event renders as a thread-scoped instant on root's track.
+	mark, ok := instants["mark"]
+	if !ok || mark.S != "t" || mark.TID != rootEv.TID {
+		t.Fatalf("mark instant = %+v", mark)
+	}
+	if mark.Args["span_id"].(float64) != rootID || mark.Args["n"].(float64) != 1 {
+		t.Fatalf("mark args = %v", mark.Args)
+	}
+	if mark.TS < rootEv.TS || mark.TS > rootEv.TS+rootEv.Dur+1 {
+		t.Fatalf("mark ts %d outside root [%d,%d]", mark.TS, rootEv.TS, rootEv.TS+rootEv.Dur)
+	}
+
+	// Counters land at the trace end.
+	if counterEv == nil || counterEv.Name != "bytes.total" || counterEv.Args["value"].(float64) != 42 {
+		t.Fatalf("counter event = %+v", counterEv)
+	}
+	var maxEnd int64
+	for _, e := range xs {
+		if e.TS+e.Dur > maxEnd {
+			maxEnd = e.TS + e.Dur
+		}
+	}
+	if counterEv.TS != maxEnd {
+		t.Fatalf("counter ts = %d, want trace end %d", counterEv.TS, maxEnd)
+	}
+
+	// Tracks are named after the earliest span that ran on them.
+	if threadNames[rootEv.TID] != "root" {
+		t.Fatalf("root track named %q", threadNames[rootEv.TID])
+	}
+	for _, e := range xs {
+		if e.Name == "worker" && threadNames[e.TID] != "worker" {
+			t.Fatalf("worker track named %q", threadNames[e.TID])
+		}
+	}
+}
+
+func TestWriteTraceEventsNilRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder: err=%v len=%d", err, buf.Len())
+	}
+}

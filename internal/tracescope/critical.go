@@ -1,0 +1,137 @@
+package tracescope
+
+import (
+	"sort"
+	"time"
+)
+
+// Critical-path derivation. A trace of a parallel run is a forest of
+// interval trees; the critical path of one root is the backward walk
+// from its end: at every instant the path sits in the deepest span
+// covering it, preferring the child whose interval ends latest (the
+// one the parent was actually waiting on). Fan-outs are handled
+// naturally — overlapping worker spans chain through whichever worker
+// finished last, which is exactly the chain that bounded the wall
+// clock.
+//
+// Every microsecond of the walk is attributed to a stage name. Time
+// spent inside a leaf span belongs to that stage. Time inside a span
+// that has children but is not covered by any of them is a gap —
+// uninstrumented work — and is reported per owning stage as
+// "<name> (gap)" and summed into the Unattributed residual that the
+// tracescope CLI gates on: if more than a few percent of the wall
+// clock is gaps, the instrumentation no longer explains where the
+// time goes.
+
+// CritStage is critical-path time attributed to one stage name.
+type CritStage struct {
+	Name string
+	Time time.Duration
+	Gap  bool // true when this is un-instrumented self-time of a non-leaf span
+}
+
+// Critical is the critical-path attribution of a whole trace.
+type Critical struct {
+	Wall         time.Duration // sum of root durations
+	Attributed   time.Duration // critical-path time inside leaf spans
+	Unattributed time.Duration // critical-path time in non-leaf gaps
+	Stages       []CritStage   // sorted by time, descending
+}
+
+// AttributedPct is the share of wall time the instrumentation
+// explains, in percent (100 for an empty trace).
+func (c Critical) AttributedPct() float64 {
+	if c.Wall == 0 {
+		return 100
+	}
+	return 100 * float64(c.Attributed) / float64(c.Wall)
+}
+
+// CriticalPath walks every root span and aggregates per-stage
+// critical-path time.
+func (t *Trace) CriticalPath() Critical {
+	w := &critWalker{byName: map[string]*CritStage{}}
+	for _, r := range t.Roots {
+		w.walk(r, r.Start, r.End)
+	}
+	c := Critical{Wall: t.Wall(), Attributed: w.attributed, Unattributed: w.unattributed}
+	for _, st := range w.byName {
+		c.Stages = append(c.Stages, *st)
+	}
+	sort.Slice(c.Stages, func(i, j int) bool {
+		if c.Stages[i].Time != c.Stages[j].Time {
+			return c.Stages[i].Time > c.Stages[j].Time
+		}
+		return c.Stages[i].Name < c.Stages[j].Name
+	})
+	return c
+}
+
+type critWalker struct {
+	byName       map[string]*CritStage
+	attributed   time.Duration
+	unattributed time.Duration
+}
+
+func (w *critWalker) add(name string, lo, hi int64, gap bool) {
+	if hi <= lo {
+		return
+	}
+	d := time.Duration(hi-lo) * time.Microsecond
+	key := name
+	if gap {
+		key = name + " (gap)"
+		w.unattributed += d
+	} else {
+		w.attributed += d
+	}
+	st, ok := w.byName[key]
+	if !ok {
+		st = &CritStage{Name: key, Gap: gap}
+		w.byName[key] = st
+	}
+	st.Time += d
+}
+
+// walk attributes the interval [lo, hi] of span s, recursing into the
+// children the parent was waiting on.
+func (w *critWalker) walk(s *Span, lo, hi int64) {
+	if len(s.Children) == 0 {
+		w.add(s.Name, lo, hi, false)
+		return
+	}
+	t := hi
+	for t > lo {
+		// The child the path was waiting on at time t: starts before t,
+		// still running closest to t (maximal end).
+		var best *Span
+		var bestEnd int64
+		for _, c := range s.Children {
+			if c.Start >= t || c.End <= lo || c.End <= c.Start {
+				continue
+			}
+			end := c.End
+			if end > t {
+				end = t
+			}
+			if best == nil || end > bestEnd || (end == bestEnd && c.Start < best.Start) {
+				best, bestEnd = c, end
+			}
+		}
+		if best == nil {
+			// No child covers (lo, t]: the remainder is the parent's own
+			// (uninstrumented) work.
+			w.add(s.Name, lo, t, true)
+			return
+		}
+		if bestEnd < t {
+			w.add(s.Name, bestEnd, t, true)
+		}
+		bLo := best.Start
+		if bLo < lo {
+			bLo = lo
+		}
+		w.walk(best, bLo, bestEnd)
+		t = bLo
+	}
+}

@@ -1,0 +1,103 @@
+package tracescope
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Trace diffing, à la benchdiff: aggregate both traces per stage name
+// and compare totals. Wall-clock numbers are machine- and run-
+// dependent, so the verdict uses two guards — a relative threshold
+// (percent) and an absolute floor (minimum new total) — before calling
+// a stage's growth a regression; sub-floor stages can double without
+// failing a diff, which keeps the gate quiet on scheduler noise in
+// microsecond-scale stages.
+
+// StageDelta compares one stage name across two traces.
+type StageDelta struct {
+	Name               string
+	OldCount, NewCount int
+	OldTotal, NewTotal time.Duration
+	OldSelf, NewSelf   time.Duration
+	Pct                float64 // relative total change in percent; NaN when OldTotal == 0
+	Regressed          bool
+}
+
+// DiffResult is the stage-by-stage comparison of two traces.
+type DiffResult struct {
+	Wall      [2]time.Duration
+	Stages    []StageDelta // common stages, sorted by |Pct| descending
+	OnlyOld   []string     // stage names present only in the old trace
+	OnlyNew   []string     // stage names present only in the new trace
+	Regressed bool
+}
+
+// Diff compares old and new per stage. A stage regresses when its
+// total grew by more than thresholdPct percent AND its new total is at
+// least minDur (the noise floor). Structural drift — stages appearing
+// or disappearing — is reported but does not fail the diff: trace
+// shape legitimately changes with worker count and input.
+func Diff(oldT, newT *Trace, thresholdPct float64, minDur time.Duration) DiffResult {
+	oldStages := stageMap(oldT)
+	newStages := stageMap(newT)
+	res := DiffResult{Wall: [2]time.Duration{oldT.Wall(), newT.Wall()}}
+	for name, os := range oldStages {
+		ns, ok := newStages[name]
+		if !ok {
+			res.OnlyOld = append(res.OnlyOld, name)
+			continue
+		}
+		d := StageDelta{
+			Name:     name,
+			OldCount: os.Count, NewCount: ns.Count,
+			OldTotal: os.Total, NewTotal: ns.Total,
+			OldSelf: os.Self, NewSelf: ns.Self,
+		}
+		switch {
+		case os.Total == ns.Total:
+			d.Pct = 0
+		case os.Total == 0:
+			d.Pct = math.NaN()
+		default:
+			d.Pct = 100 * float64(ns.Total-os.Total) / float64(os.Total)
+		}
+		if thresholdPct > 0 && ns.Total >= minDur &&
+			(math.IsNaN(d.Pct) || d.Pct > thresholdPct) {
+			d.Regressed = true
+			res.Regressed = true
+		}
+		res.Stages = append(res.Stages, d)
+	}
+	for name := range newStages {
+		if _, ok := oldStages[name]; !ok {
+			res.OnlyNew = append(res.OnlyNew, name)
+		}
+	}
+	sort.Slice(res.Stages, func(i, j int) bool {
+		mi, mj := pctMag(res.Stages[i].Pct), pctMag(res.Stages[j].Pct)
+		if mi != mj {
+			return mi > mj
+		}
+		return res.Stages[i].Name < res.Stages[j].Name
+	})
+	sort.Strings(res.OnlyOld)
+	sort.Strings(res.OnlyNew)
+	return res
+}
+
+func stageMap(t *Trace) map[string]Stage {
+	out := map[string]Stage{}
+	for _, st := range t.Stages() {
+		out[st.Name] = st
+	}
+	return out
+}
+
+// pctMag ranks a relative change; NaN (grew from zero) ranks infinite.
+func pctMag(pct float64) float64 {
+	if math.IsNaN(pct) {
+		return math.Inf(1)
+	}
+	return math.Abs(pct)
+}

@@ -1,0 +1,134 @@
+package tracescope
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Human-readable renderings of the three analyses, shared by
+// cmd/tracescope and the tests. All durations are rounded to the
+// microsecond the trace was recorded at.
+
+// WriteReport prints the per-stage table: counts, total vs self time,
+// duration quantiles, and the summed byte/count attributes.
+func WriteReport(w io.Writer, t *Trace) {
+	writeHeader(w, t)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stage\tcount\ttotal\tself\tp50\tp90\tp99\tattrs\n")
+	for _, st := range t.Stages() {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			st.Name, st.Count, rnd(st.Total), rnd(st.Self),
+			rnd(st.P50), rnd(st.P90), rnd(st.P99), attrSummary(st.Attrs))
+	}
+	tw.Flush()
+}
+
+// WriteCritical prints the critical-path attribution and the
+// attributed-share verdict line.
+func WriteCritical(w io.Writer, t *Trace, minAttributedPct float64) {
+	writeHeader(w, t)
+	c := t.CriticalPath()
+	fmt.Fprintf(w, "critical path over %d root span(s), wall %s\n", len(t.Roots), rnd(c.Wall))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stage\ttime\tshare\n")
+	for _, st := range c.Stages {
+		share := 0.0
+		if c.Wall > 0 {
+			share = 100 * float64(st.Time) / float64(c.Wall)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\n", st.Name, rnd(st.Time), share)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "attributed to named stages: %.1f%% (unattributed gaps: %s)\n",
+		c.AttributedPct(), rnd(c.Unattributed))
+	if minAttributedPct > 0 {
+		if c.AttributedPct() < minAttributedPct {
+			fmt.Fprintf(w, "verdict: FAIL — below the %.1f%% attribution floor\n", minAttributedPct)
+		} else {
+			fmt.Fprintf(w, "verdict: ok (floor %.1f%%)\n", minAttributedPct)
+		}
+	}
+}
+
+// WriteDiff prints the stage-by-stage comparison and the regression
+// verdict line.
+func WriteDiff(w io.Writer, oldName, newName string, res DiffResult, thresholdPct float64, minDur time.Duration) {
+	fmt.Fprintf(w, "wall: %s -> %s\n", rnd(res.Wall[0]), rnd(res.Wall[1]))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stage\told\tnew\tdelta\told-n\tnew-n\n")
+	for _, d := range res.Stages {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s%s\t%d\t%d\n",
+			d.Name, rnd(d.OldTotal), rnd(d.NewTotal), pctStr(d.Pct), mark, d.OldCount, d.NewCount)
+	}
+	tw.Flush()
+	for _, name := range res.OnlyOld {
+		fmt.Fprintf(w, "only in %s: %s\n", oldName, name)
+	}
+	for _, name := range res.OnlyNew {
+		fmt.Fprintf(w, "only in %s: %s\n", newName, name)
+	}
+	if res.Regressed {
+		fmt.Fprintf(w, "verdict: REGRESSION — stage totals grew past %.1f%% (floor %s)\n",
+			thresholdPct, rnd(minDur))
+	} else {
+		fmt.Fprintf(w, "verdict: ok (threshold %.1f%%, floor %s)\n", thresholdPct, rnd(minDur))
+	}
+}
+
+func writeHeader(w io.Writer, t *Trace) {
+	id := t.TraceID
+	if id == "" {
+		id = "?"
+	}
+	fmt.Fprintf(w, "trace %s", id)
+	if t.Build != nil {
+		parts := []string{}
+		for _, k := range []string{"module", "version", "go_version", "revision"} {
+			if v, ok := t.Build.Attrs[k]; ok {
+				parts = append(parts, fmt.Sprintf("%v", v))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(w, "  (%s)", strings.Join(parts, " "))
+		}
+	}
+	fmt.Fprintf(w, "  %d spans, wall %s\n", len(t.Spans), rnd(t.Wall()))
+}
+
+// attrSummary renders the largest summed attributes compactly.
+func attrSummary(attrs map[string]int64) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 4 {
+		keys = keys[:4]
+	}
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, attrs[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func pctStr(pct float64) string {
+	if math.IsNaN(pct) {
+		return "new!=0"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+func rnd(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

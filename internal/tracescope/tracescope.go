@@ -1,0 +1,261 @@
+// Package tracescope is the offline half of the observability plane:
+// it parses a JSONL telemetry trace (the -trace output) back into a
+// span forest and answers the questions the live plane cannot — where
+// the wall time went per stage (self vs child time), what the critical
+// path through a parallel fan-out was, how repeated spans distribute
+// (p50/p90/p99), and whether a second trace of the same workload
+// regressed. It is the time-side companion to internal/attrib's
+// byte-exact attribution: compscope accounts for every byte of an
+// artifact, tracescope accounts for every microsecond of a run.
+package tracescope
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Span is one node of the parsed span forest. Start and End are
+// microseconds on the trace's own time base (the recorder epoch for
+// anchored traces).
+type Span struct {
+	Name     string
+	ID       uint64
+	Parent   uint64
+	GID      uint64
+	Start    int64 // µs
+	End      int64 // µs
+	Attrs    map[string]any
+	Events   []telemetry.PointEvent
+	Children []*Span // sorted by start time
+}
+
+// Dur returns the span's duration.
+func (s *Span) Dur() time.Duration { return time.Duration(s.End-s.Start) * time.Microsecond }
+
+// Trace is a fully parsed JSONL trace: the span forest plus the
+// trailing aggregate metrics and the identifying header, when present.
+type Trace struct {
+	Build    *telemetry.Event // buildinfo header line, nil when absent
+	TraceID  string           // hex trace ID from the first span (or header)
+	Roots    []*Span          // parentless spans, sorted by start time
+	Spans    []*Span          // every span, in file (end) order
+	Counters map[string]float64
+}
+
+// Wall returns the trace's total wall time: the sum of root-span
+// durations. Roots in one CLI trace run sequentially, so the sum is
+// the run's instrumented wall clock.
+func (t *Trace) Wall() time.Duration {
+	var total time.Duration
+	for _, r := range t.Roots {
+		total += r.Dur()
+	}
+	return total
+}
+
+// Parse builds a Trace from parsed JSONL events. Spans whose parent is
+// missing from the trace (e.g. a truncated file) are promoted to
+// roots, so analysis degrades instead of failing.
+func Parse(events []telemetry.Event) (*Trace, error) {
+	t := &Trace{Counters: map[string]float64{}}
+	byID := map[uint64]*Span{}
+	for _, e := range events {
+		switch e.Type {
+		case "buildinfo":
+			ev := e
+			t.Build = &ev
+			if t.TraceID == "" {
+				t.TraceID = e.Trace
+			}
+		case "span":
+			if e.ID == 0 {
+				return nil, fmt.Errorf("tracescope: span %q has no id", e.Name)
+			}
+			s := &Span{
+				Name:   e.Name,
+				ID:     e.ID,
+				Parent: e.Parent,
+				GID:    e.GID,
+				Start:  e.StartUS,
+				End:    e.StartUS + e.DurUS,
+				Attrs:  e.Attrs,
+				Events: e.Events,
+			}
+			byID[s.ID] = s
+			t.Spans = append(t.Spans, s)
+			if t.TraceID == "" {
+				t.TraceID = e.Trace
+			}
+		case "counter":
+			t.Counters[e.Name] = e.Value
+		}
+	}
+	for _, s := range t.Spans {
+		if p, ok := byID[s.Parent]; ok && s.Parent != 0 && p != s {
+			p.Children = append(p.Children, s)
+		} else {
+			t.Roots = append(t.Roots, s)
+		}
+	}
+	for _, s := range t.Spans {
+		sort.Slice(s.Children, func(i, j int) bool {
+			if s.Children[i].Start != s.Children[j].Start {
+				return s.Children[i].Start < s.Children[j].Start
+			}
+			return s.Children[i].ID < s.Children[j].ID
+		})
+	}
+	sort.Slice(t.Roots, func(i, j int) bool {
+		if t.Roots[i].Start != t.Roots[j].Start {
+			return t.Roots[i].Start < t.Roots[j].Start
+		}
+		return t.Roots[i].ID < t.Roots[j].ID
+	})
+	return t, nil
+}
+
+// ParseReader reads and parses one JSONL trace.
+func ParseReader(r io.Reader) (*Trace, error) {
+	events, err := telemetry.ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(events)
+}
+
+// ParseFile reads and parses the JSONL trace at path.
+func ParseFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ParseReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Stage aggregates every span sharing one name: totals, self-time
+// (duration not covered by child spans), exact duration quantiles, and
+// the sum of each integer attribute across constituents.
+type Stage struct {
+	Name   string
+	Count  int
+	Events int           // total point events across constituents
+	Total  time.Duration // sum of span durations
+	Self   time.Duration // Total minus child-covered time
+	P50    time.Duration // exact nearest-rank quantiles of span durations
+	P90    time.Duration
+	P99    time.Duration
+	Attrs  map[string]int64 // summed integer attributes
+}
+
+// Stages aggregates the trace's spans per name, sorted by self-time
+// (descending) — the stages doing the most unshared work first.
+func (t *Trace) Stages() []Stage {
+	byName := map[string]*Stage{}
+	durs := map[string][]int64{}
+	var order []string
+	for _, s := range t.Spans {
+		st, ok := byName[s.Name]
+		if !ok {
+			st = &Stage{Name: s.Name, Attrs: map[string]int64{}}
+			byName[s.Name] = st
+			order = append(order, s.Name)
+		}
+		st.Count++
+		st.Events += len(s.Events)
+		st.Total += s.Dur()
+		st.Self += selfTime(s)
+		durs[s.Name] = append(durs[s.Name], s.End-s.Start)
+		for k, v := range s.Attrs {
+			if n, ok := asInt(v); ok {
+				st.Attrs[k] += n
+			}
+		}
+	}
+	out := make([]Stage, 0, len(order))
+	for _, name := range order {
+		st := byName[name]
+		d := durs[name]
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		st.P50 = usQuantile(d, 0.50)
+		st.P90 = usQuantile(d, 0.90)
+		st.P99 = usQuantile(d, 0.99)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// selfTime is the span duration minus the union of its children's
+// intervals (clipped to the span). Children overlapping in time —
+// parallel fan-outs — are unioned, not double-counted.
+func selfTime(s *Span) time.Duration {
+	if len(s.Children) == 0 {
+		return s.Dur()
+	}
+	covered := int64(0)
+	cursor := s.Start
+	for _, c := range s.Children { // sorted by start
+		lo, hi := c.Start, c.End
+		if lo < cursor {
+			lo = cursor
+		}
+		if hi > s.End {
+			hi = s.End
+		}
+		if hi > lo {
+			covered += hi - lo
+			cursor = hi
+		}
+	}
+	self := (s.End - s.Start) - covered
+	if self < 0 {
+		self = 0
+	}
+	return time.Duration(self) * time.Microsecond
+}
+
+// usQuantile is the nearest-rank quantile of sorted microsecond
+// durations.
+func usQuantile(sorted []int64, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return time.Duration(sorted[i]) * time.Microsecond
+}
+
+func asInt(v any) (int64, bool) {
+	switch n := v.(type) {
+	case float64:
+		if n == float64(int64(n)) {
+			return int64(n), true
+		}
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	}
+	return 0, false
+}

@@ -1,0 +1,235 @@
+package tracescope
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// span builds one synthetic span event; start and dur are microseconds.
+func span(id, parent uint64, name string, start, dur int64, attrs map[string]any) telemetry.Event {
+	return telemetry.Event{
+		Type: "span", Name: name, Trace: "00000000deadbeef",
+		ID: id, Parent: parent, StartUS: start, DurUS: dur, Attrs: attrs,
+	}
+}
+
+func mustParse(t *testing.T, events []telemetry.Event) *Trace {
+	t.Helper()
+	tr, err := Parse(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestParseForest(t *testing.T) {
+	events := []telemetry.Event{
+		{Type: "buildinfo", Name: "repro", Trace: "00000000deadbeef",
+			Attrs: map[string]any{"module": "repro", "go_version": "go1.24.0"}},
+		span(1, 0, "root", 0, 100, nil),
+		span(3, 1, "b", 10, 80, nil),
+		span(2, 1, "a", 0, 60, nil),
+		span(4, 99, "orphan", 200, 10, nil), // parent 99 missing: promoted
+		{Type: "counter", Name: "bytes.total", Value: 42},
+	}
+	tr := mustParse(t, events)
+	if tr.Build == nil || tr.Build.Attrs["module"] != "repro" {
+		t.Fatalf("buildinfo header not retained: %+v", tr.Build)
+	}
+	if tr.TraceID != "00000000deadbeef" {
+		t.Fatalf("TraceID = %q", tr.TraceID)
+	}
+	if len(tr.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(tr.Spans))
+	}
+	if len(tr.Roots) != 2 || tr.Roots[0].Name != "root" || tr.Roots[1].Name != "orphan" {
+		t.Fatalf("roots = %+v", tr.Roots)
+	}
+	kids := tr.Roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "a" || kids[1].Name != "b" {
+		t.Fatalf("children not sorted by start: %+v", kids)
+	}
+	if tr.Counters["bytes.total"] != 42 {
+		t.Fatalf("counters = %v", tr.Counters)
+	}
+	if want := 110 * time.Microsecond; tr.Wall() != want {
+		t.Fatalf("Wall = %v, want %v", tr.Wall(), want)
+	}
+}
+
+func TestParseReaderJSONL(t *testing.T) {
+	jsonl := strings.Join([]string{
+		`{"type":"buildinfo","name":"repro","trace":"0abc","attrs":{"module":"repro"}}`,
+		`{"type":"span","name":"root","trace":"0abc","id":1,"start_us":0,"dur_us":50}`,
+		`{"type":"span","name":"leaf","trace":"0abc","id":2,"parent":1,"start_us":5,"dur_us":40}`,
+	}, "\n")
+	tr, err := ParseReader(strings.NewReader(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Roots) != 1 || len(tr.Roots[0].Children) != 1 {
+		t.Fatalf("forest shape wrong: %+v", tr.Roots)
+	}
+}
+
+func TestParseRejectsSpanWithoutID(t *testing.T) {
+	if _, err := Parse([]telemetry.Event{{Type: "span", Name: "x"}}); err == nil {
+		t.Fatal("want error for span without id")
+	}
+}
+
+func TestStagesSelfTimeAndAttrs(t *testing.T) {
+	// Two overlapping children (a parallel fan-out): [0,40) and [30,70)
+	// union to 70µs of the 100µs parent, leaving 30µs of self time.
+	events := []telemetry.Event{
+		span(1, 0, "stage", 0, 100, nil),
+		span(2, 1, "work", 0, 40, map[string]any{"bytes": float64(5)}),
+		span(3, 1, "work", 30, 40, map[string]any{"bytes": float64(7)}),
+	}
+	st := mustParse(t, events).Stages()
+	byName := map[string]Stage{}
+	for _, s := range st {
+		byName[s.Name] = s
+	}
+	stage := byName["stage"]
+	if stage.Self != 30*time.Microsecond {
+		t.Fatalf("stage self = %v, want 30µs", stage.Self)
+	}
+	work := byName["work"]
+	if work.Count != 2 || work.Total != 80*time.Microsecond || work.Self != 80*time.Microsecond {
+		t.Fatalf("work stage = %+v", work)
+	}
+	if work.Attrs["bytes"] != 12 {
+		t.Fatalf("summed attrs = %v", work.Attrs)
+	}
+	if work.P50 != 40*time.Microsecond || work.P99 != 40*time.Microsecond {
+		t.Fatalf("quantiles = %v %v", work.P50, work.P99)
+	}
+}
+
+func TestCriticalPathParallelFanOut(t *testing.T) {
+	// root [0,100] waits on b [10,90] (the straggler) which supersedes
+	// a [0,60]; the tail (90,100] is the root's own uninstrumented work.
+	events := []telemetry.Event{
+		span(1, 0, "root", 0, 100, nil),
+		span(2, 1, "a", 0, 60, nil),
+		span(3, 1, "b", 10, 80, nil),
+	}
+	c := mustParse(t, events).CriticalPath()
+	if c.Wall != 100*time.Microsecond {
+		t.Fatalf("wall = %v", c.Wall)
+	}
+	got := map[string]time.Duration{}
+	for _, s := range c.Stages {
+		got[s.Name] = s.Time
+	}
+	if got["b"] != 80*time.Microsecond || got["a"] != 10*time.Microsecond {
+		t.Fatalf("stage times = %v", got)
+	}
+	if got["root (gap)"] != 10*time.Microsecond {
+		t.Fatalf("gap = %v", got)
+	}
+	if c.Attributed != 90*time.Microsecond || c.Unattributed != 10*time.Microsecond {
+		t.Fatalf("attributed %v / unattributed %v", c.Attributed, c.Unattributed)
+	}
+	if pct := c.AttributedPct(); math.Abs(pct-90) > 1e-9 {
+		t.Fatalf("pct = %v", pct)
+	}
+}
+
+func TestCriticalPathLeafRootFullyAttributed(t *testing.T) {
+	c := mustParse(t, []telemetry.Event{span(1, 0, "only", 0, 50, nil)}).CriticalPath()
+	if c.Unattributed != 0 || c.AttributedPct() != 100 {
+		t.Fatalf("leaf root should be fully attributed: %+v", c)
+	}
+}
+
+func TestCriticalPathEmptyTrace(t *testing.T) {
+	c := mustParse(t, nil).CriticalPath()
+	if c.AttributedPct() != 100 {
+		t.Fatalf("empty trace pct = %v", c.AttributedPct())
+	}
+}
+
+func diffTraces(t *testing.T) (*Trace, *Trace) {
+	t.Helper()
+	oldT := mustParse(t, []telemetry.Event{
+		span(1, 0, "root", 0, 20000, nil),
+		span(2, 1, "hot", 0, 10000, nil),
+		span(3, 1, "tiny", 10000, 100, nil),
+		span(4, 1, "gone", 10100, 100, nil),
+	})
+	newT := mustParse(t, []telemetry.Event{
+		span(1, 0, "root", 0, 31000, nil),
+		span(2, 1, "hot", 0, 20000, nil), // +100%: regression
+		span(3, 1, "tiny", 20000, 300, nil),
+		span(5, 1, "fresh", 20300, 100, nil),
+	})
+	return oldT, newT
+}
+
+func TestDiffRegressionVerdict(t *testing.T) {
+	oldT, newT := diffTraces(t)
+	res := Diff(oldT, newT, 25, time.Millisecond)
+	if !res.Regressed {
+		t.Fatal("want regression")
+	}
+	byName := map[string]StageDelta{}
+	for _, d := range res.Stages {
+		byName[d.Name] = d
+	}
+	if !byName["hot"].Regressed {
+		t.Fatalf("hot should regress: %+v", byName["hot"])
+	}
+	// tiny tripled but its new total (300µs) is under the 1ms floor.
+	if byName["tiny"].Regressed {
+		t.Fatalf("tiny is under the noise floor: %+v", byName["tiny"])
+	}
+	if len(res.OnlyOld) != 1 || res.OnlyOld[0] != "gone" ||
+		len(res.OnlyNew) != 1 || res.OnlyNew[0] != "fresh" {
+		t.Fatalf("structural drift: only_old=%v only_new=%v", res.OnlyOld, res.OnlyNew)
+	}
+}
+
+func TestDiffIdenticalTracesOK(t *testing.T) {
+	oldT, _ := diffTraces(t)
+	again, _ := diffTraces(t)
+	res := Diff(oldT, again, 25, time.Millisecond)
+	if res.Regressed {
+		t.Fatalf("identical traces must not regress: %+v", res.Stages)
+	}
+	for _, d := range res.Stages {
+		if d.Pct != 0 {
+			t.Fatalf("stage %s pct = %v, want 0", d.Name, d.Pct)
+		}
+	}
+}
+
+func TestDiffThresholdZeroReportsOnly(t *testing.T) {
+	oldT, newT := diffTraces(t)
+	if res := Diff(oldT, newT, 0, time.Millisecond); res.Regressed {
+		t.Fatal("threshold 0 must never regress")
+	}
+}
+
+func TestWriteReportAndCritical(t *testing.T) {
+	events := []telemetry.Event{
+		{Type: "buildinfo", Name: "repro", Trace: "0abc", Attrs: map[string]any{"module": "repro"}},
+		span(1, 0, "root", 0, 100, nil),
+		span(2, 1, "leaf", 0, 100, nil),
+	}
+	tr := mustParse(t, events)
+	var rep, crit strings.Builder
+	WriteReport(&rep, tr)
+	if !strings.Contains(rep.String(), "leaf") || !strings.Contains(rep.String(), "repro") {
+		t.Fatalf("report output:\n%s", rep.String())
+	}
+	WriteCritical(&crit, tr, 95)
+	if !strings.Contains(crit.String(), "verdict: ok") {
+		t.Fatalf("critical output:\n%s", crit.String())
+	}
+}

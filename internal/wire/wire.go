@@ -530,16 +530,35 @@ func (e *encoder) encode() ([]byte, error) {
 		jobs = append(jobs, litStreams[op])
 	}
 	ssp := e.rec.StartSpan("wire.encode_streams", telemetry.Int("streams", int64(len(jobs))))
-	segs, err := parallel.Map(e.pool, "wire.stream", len(jobs), func(i int) ([]byte, error) {
+	segs := make([][]byte, len(jobs))
+	err := e.pool.ForEachSpan("wire.stream", len(jobs), func(i int, wsp *telemetry.Span) error {
 		if len(jobs[i]) == 0 {
-			return nil, nil
+			return nil
 		}
-		return encodeSymbolStream(jobs[i], e.opt)
+		// Per-segment span attributes: raw symbol payload in, coded
+		// segment out. Stream 0 is the shape stream, the rest are
+		// literal streams in opcode order.
+		wsp.SetAttr(telemetry.Int("symbols", int64(len(jobs[i]))))
+		seg, serr := encodeSymbolStream(jobs[i], e.opt)
+		if serr != nil {
+			return serr
+		}
+		wsp.SetAttr(
+			telemetry.Int("raw_bytes", int64(4*len(jobs[i]))),
+			telemetry.Int("coded_bytes", int64(len(seg))))
+		segs[i] = seg
+		return nil
 	})
-	ssp.End()
 	if err != nil {
+		ssp.End()
 		return nil, err
 	}
+	var codedTotal int64
+	for _, seg := range segs {
+		codedTotal += int64(len(seg))
+	}
+	ssp.SetAttr(telemetry.Int("coded_bytes", codedTotal))
+	ssp.End()
 
 	// Operators section: shape definitions in first-occurrence order,
 	// then the shape-stream segment.
