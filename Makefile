@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for the short fuzz pass `check` runs.
 FUZZTIME ?= 3s
 
-.PHONY: build test bench bench-baseline check fmt vet attrib fuzz-short metriclint trace-check
+.PHONY: build test bench bench-baseline check fmt vet attrib fuzz-short metriclint trace-check service-check
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,37 @@ trace-check: build
 		$(TRACE_CHECK_DIR)/run1.json $(TRACE_CHECK_DIR)/run2.json > $(TRACE_CHECK_DIR)/trace-check.json
 	@echo "trace-check: ok (artifact $(TRACE_CHECK_DIR)/trace-check.json)"
 
+# Service robustness gate for the compressd daemon. Two layers: the
+# race-enabled drain/overload/chaos suites (in-process and end-to-end
+# via the built binary with a real SIGTERM), then a black-box smoke —
+# start the daemon on an ephemeral port, compress over HTTP, require
+# the compressd_* series in /metrics, SIGTERM, and require a clean
+# (exit 0) drain.
+SERVICE_BIN ?= /tmp/repro-compressd
+SERVICE_OUT ?= /tmp/repro-compressd.out
+service-check:
+	$(GO) test -race -count=1 -run 'Drain|Shed|Admission|Chaos|FromContext' \
+		./internal/compressd/ ./internal/guard/ ./internal/telemetry/expose/
+	$(GO) test -count=1 -run 'TestCompressd' ./internal/clitest/
+	$(GO) build -o $(SERVICE_BIN) ./cmd/compressd
+	@set -e; \
+	$(SERVICE_BIN) -addr 127.0.0.1:0 > $(SERVICE_OUT) 2>/dev/null & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 50); do \
+		addr=$$(sed -n 's/^compressd: listening on //p' $(SERVICE_OUT)); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { kill $$pid 2>/dev/null; echo "service-check: daemon never announced an address"; exit 1; }; \
+	curl -sf -X POST "http://$$addr/v1/compress" \
+		-d '{"source":"int main(void) { putint(42); return 0; }"}' | grep -q '"artifact"' \
+		|| { kill $$pid 2>/dev/null; echo "service-check: compress smoke failed"; exit 1; }; \
+	curl -sf "http://$$addr/metrics" | grep -q '^compressd_' \
+		|| { kill $$pid 2>/dev/null; echo "service-check: no compressd_* series in /metrics"; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "service-check: daemon did not drain cleanly"; exit 1; }; \
+	echo "service-check: ok"
+
 # Everything CI would run: formatting, vet, build, race-enabled tests
 # (which include the Workers=1 vs Workers=N determinism suites, the
 # shared-pool stress tests, and the fault-injection sweep over every
@@ -110,3 +141,4 @@ check: fmt vet build metriclint
 	$(GO) run ./cmd/benchdiff -threshold 10 -ignore 'speedup|steps/s|bytes/op|^runtime\.|^parallel\.pool|^telemetry\.flight' BENCH_baseline.json /tmp/BENCH_check.json
 	$(MAKE) attrib
 	$(MAKE) trace-check
+	$(MAKE) service-check

@@ -39,7 +39,8 @@ func tools(t *testing.T) string {
 			"repro/cmd/mcc", "repro/cmd/wirec", "repro/cmd/briscc",
 			"repro/cmd/briscrun", "repro/cmd/experiments",
 			"repro/cmd/compscope", "repro/cmd/benchdiff",
-			"repro/cmd/tracescope", "repro/cmd/metriclint")
+			"repro/cmd/tracescope", "repro/cmd/metriclint",
+			"repro/cmd/compressd")
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {
 			buildErr = err

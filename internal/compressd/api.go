@@ -1,0 +1,90 @@
+package compressd
+
+// The HTTP/JSON wire types. Artifacts travel as JSON []byte fields
+// (base64 on the wire); limits are plain integers so clients never
+// need Go-side types. Every error response carries a stable `kind`
+// string drawn from the errmap taxonomy, so clients can branch on the
+// failure class without parsing message text.
+
+// CompressRequest asks the service to compile MiniC source and
+// compress it into an artifact.
+type CompressRequest struct {
+	// Name labels the translation unit in diagnostics (default "req").
+	Name string `json:"name,omitempty"`
+	// Source is the MiniC translation unit.
+	Source string `json:"source"`
+	// Format selects the artifact format: "wire" (default) or "brisc".
+	Format string `json:"format,omitempty"`
+}
+
+// CompressResponse returns the artifact and its size economics.
+type CompressResponse struct {
+	Format        string  `json:"format"`
+	Artifact      []byte  `json:"artifact"`
+	SourceBytes   int     `json:"source_bytes"`
+	ArtifactBytes int     `json:"artifact_bytes"`
+	Ratio         float64 `json:"ratio"` // artifact / source
+}
+
+// DecompressRequest asks the service to decode an artifact.
+type DecompressRequest struct {
+	// Format names the artifact format: "wire" (default) or "brisc".
+	Format string `json:"format,omitempty"`
+	// Artifact is the compressed object (base64 in JSON).
+	Artifact []byte `json:"artifact"`
+	// DumpIR additionally renders the reconstructed tree IR (wire only).
+	DumpIR bool `json:"dump_ir,omitempty"`
+}
+
+// DecompressResponse reports what the artifact decoded to.
+type DecompressResponse struct {
+	Format    string `json:"format"`
+	Functions int    `json:"functions"`
+	IR        string `json:"ir,omitempty"`
+}
+
+// LimitsSpec is the client-facing slice of guard.Limits. Zero fields
+// inherit the server's per-request defaults; a client may tighten the
+// server ceiling but never exceed it.
+type LimitsSpec struct {
+	MaxSteps     int64 `json:"max_steps,omitempty"`
+	MaxMem       int   `json:"max_mem,omitempty"`
+	MaxCallDepth int   `json:"max_call_depth,omitempty"`
+	TimeoutMS    int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunRequest executes a program under resource limits. Exactly one of
+// Source (compile-and-run) or Artifact (decode-and-run) must be set.
+type RunRequest struct {
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+	// Artifact runs a previously compressed object; Format names its
+	// encoding ("wire" or "brisc", default "wire").
+	Artifact []byte `json:"artifact,omitempty"`
+	Format   string `json:"format,omitempty"`
+	// Engine selects the execution engine: "vm" (native, default for
+	// source and wire artifacts), "brisc" (interpret in place, default
+	// for brisc artifacts), or "jit".
+	Engine string     `json:"engine,omitempty"`
+	Limits LimitsSpec `json:"limits,omitempty"`
+}
+
+// RunResponse reports the execution outcome.
+type RunResponse struct {
+	ExitCode        int32  `json:"exit_code"`
+	Output          string `json:"output"`
+	OutputTruncated bool   `json:"output_truncated,omitempty"`
+	Engine          string `json:"engine"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind is the stable failure class: "bad-request", "compile",
+	// "corrupt", "truncated", "version", "too-large", "limit:steps",
+	// "limit:mem", "limit:call-depth", "limit:deadline", "shed",
+	// "draining", "internal".
+	Kind string `json:"kind"`
+	// RetryAfterMS mirrors the Retry-After header on 429/503 responses.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}

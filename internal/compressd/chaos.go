@@ -1,0 +1,113 @@
+package compressd
+
+// Chaos is the service's deterministic fault-injection layer: the
+// faultify idea (seeded, replayable corruption) lifted from artifacts
+// on disk to requests in flight. With a seed configured, the server
+// perturbs a configurable fraction of requests — corrupting artifact
+// bytes before decode, delaying handlers, or forcing the request's
+// deadline into the past — so every failure path the errmap defines is
+// exercised continuously in CI and soak tests rather than discovered
+// in production. All randomness flows from one seeded stream, so a
+// failing (seed, request-ordinal) pair replays the exact injection.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/faultify"
+	"repro/internal/guard"
+	"repro/internal/telemetry"
+)
+
+// ChaosConfig enables deterministic request-path fault injection.
+// The zero value disables it entirely.
+type ChaosConfig struct {
+	// Seed drives every injection decision; sweeps replay from it.
+	Seed int64
+	// CorruptRate is the probability an artifact is faultify-mutated
+	// before decoding.
+	CorruptRate float64
+	// LatencyRate is the probability a request is delayed by up to
+	// MaxLatency before it runs.
+	LatencyRate float64
+	// MaxLatency bounds an injected delay (0 = 50ms).
+	MaxLatency time.Duration
+	// TrapRate is the probability a run request's deadline is forced
+	// into the past, trapping at the first governor check.
+	TrapRate float64
+}
+
+// Enabled reports whether any injection can fire.
+func (c ChaosConfig) Enabled() bool {
+	return c.CorruptRate > 0 || c.LatencyRate > 0 || c.TrapRate > 0
+}
+
+// chaos holds the seeded stream; decisions are serialized so the
+// stream is consumed in request-arrival order.
+type chaos struct {
+	cfg  ChaosConfig
+	muts []faultify.Mutator
+	rec  *telemetry.Recorder
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newChaos(cfg ChaosConfig, rec *telemetry.Recorder) *chaos {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 50 * time.Millisecond
+	}
+	return &chaos{cfg: cfg, muts: faultify.Mutators(), rec: rec, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Latency draws a delay for this request (0 = none). Nil-safe.
+func (c *chaos) Latency() time.Duration {
+	if c == nil || c.cfg.LatencyRate <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.cfg.LatencyRate {
+		return 0
+	}
+	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxLatency)))
+	c.rec.Add("compressd.chaos.latency", 1)
+	return d
+}
+
+// Artifact possibly replaces data with a faultify mutant; callers hand
+// it every artifact on its way into a decoder. Nil-safe; the input is
+// never modified in place.
+func (c *chaos) Artifact(data []byte) []byte {
+	if c == nil || c.cfg.CorruptRate <= 0 || len(data) == 0 {
+		return data
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.cfg.CorruptRate {
+		return data
+	}
+	m := c.muts[c.rng.Intn(len(c.muts))]
+	c.rec.Add("compressd.chaos.corrupt", 1)
+	return m.Apply(data, c.rng)
+}
+
+// Limits possibly forces the request's deadline into the past so the
+// engine traps immediately — the injected-overrun case. Nil-safe.
+func (c *chaos) Limits(l guard.Limits) guard.Limits {
+	if c == nil || c.cfg.TrapRate <= 0 {
+		return l
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.cfg.TrapRate {
+		return l
+	}
+	c.rec.Add("compressd.chaos.trap", 1)
+	l.Deadline = time.Unix(0, 1)
+	return l
+}

@@ -1,0 +1,113 @@
+package compressd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/telemetry"
+)
+
+// TestChaosDeterministic: two instances with the same seed draw the
+// same injection sequence — the replayability contract a failing soak
+// report relies on.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 42, CorruptRate: 0.5, LatencyRate: 0.5, TrapRate: 0.5, MaxLatency: 10 * time.Millisecond}
+	a := newChaos(cfg, telemetry.New())
+	b := newChaos(cfg, telemetry.New())
+	artifact := []byte("WIR2 some artifact bytes to mutate deterministically")
+	for i := 0; i < 200; i++ {
+		la, lb := a.Latency(), b.Latency()
+		if la != lb {
+			t.Fatalf("iteration %d: latency diverged (%v vs %v)", i, la, lb)
+		}
+		ma, mb := a.Artifact(artifact), b.Artifact(artifact)
+		if !bytes.Equal(ma, mb) {
+			t.Fatalf("iteration %d: mutants diverged", i)
+		}
+		ta, tb := a.Limits(guard.Limits{}), b.Limits(guard.Limits{})
+		if ta.Deadline != tb.Deadline {
+			t.Fatalf("iteration %d: trap decision diverged", i)
+		}
+	}
+}
+
+// TestChaosDisabled: a zero config never perturbs anything.
+func TestChaosDisabled(t *testing.T) {
+	c := newChaos(ChaosConfig{}, nil)
+	if c != nil {
+		t.Fatal("zero config must disable chaos")
+	}
+	// Nil receiver is the disabled path used by the server.
+	if d := c.Latency(); d != 0 {
+		t.Fatalf("nil chaos latency = %v", d)
+	}
+	data := []byte{1, 2, 3}
+	if got := c.Artifact(data); &got[0] != &data[0] {
+		t.Fatal("nil chaos must pass the artifact through")
+	}
+	l := guard.Limits{MaxSteps: 7}
+	if got := c.Limits(l); got != l {
+		t.Fatalf("nil chaos changed limits: %+v", got)
+	}
+}
+
+// TestChaosForcedTrap: with TrapRate 1 every run request traps
+// immediately and surfaces as 408 limit:deadline.
+func TestChaosForcedTrap(t *testing.T) {
+	srv, base := startServer(t, Config{Chaos: ChaosConfig{Seed: 1, TrapRate: 1}})
+	code, kind := errKind(t, base+"/v1/run", RunRequest{Source: fibSrc})
+	if code != 408 || kind != "limit:"+guard.LimitDeadline {
+		t.Fatalf("forced trap = %d %q", code, kind)
+	}
+	if srv.rec.Counter("compressd.chaos.trap") == 0 {
+		t.Fatal("chaos trap not counted")
+	}
+}
+
+// TestChaosCorruptionSurfacesTyped: with CorruptRate 1 every
+// decompress sees a faultify mutant; the response must be a typed
+// client-class error (or a clean 200 when the mutant happens to stay
+// valid), never a 5xx.
+func TestChaosCorruptionSurfacesTyped(t *testing.T) {
+	// Compress on a clean server first so the artifact is valid.
+	_, cleanBase := startServer(t, Config{})
+	var cr CompressResponse
+	post(t, cleanBase+"/v1/compress", CompressRequest{Source: fibSrc}, &cr)
+
+	srv, base := startServer(t, Config{Chaos: ChaosConfig{Seed: 7, CorruptRate: 1}})
+	sawTyped := false
+	for i := 0; i < 20; i++ {
+		var er ErrorResponse
+		resp, body := doPost(t, base+"/v1/decompress", DecompressRequest{Artifact: cr.Artifact})
+		if resp.StatusCode >= 500 {
+			t.Fatalf("iteration %d: chaos produced %d:\n%s", i, resp.StatusCode, body)
+		}
+		if resp.StatusCode != 200 {
+			if err := jsonUnmarshal(body, &er); err != nil || er.Kind == "" {
+				t.Fatalf("iteration %d: untyped error %d %s", i, resp.StatusCode, body)
+			}
+			sawTyped = true
+		}
+	}
+	if !sawTyped {
+		t.Fatal("20 forced corruptions never surfaced an error — corruption not happening?")
+	}
+	if srv.rec.Counter("compressd.chaos.corrupt") == 0 {
+		t.Fatal("chaos corruption not counted")
+	}
+}
+
+// TestChaosLatencyStillServes: injected latency delays but never
+// breaks a request.
+func TestChaosLatencyStillServes(t *testing.T) {
+	srv, base := startServer(t, Config{Chaos: ChaosConfig{Seed: 3, LatencyRate: 1, MaxLatency: 20 * time.Millisecond}})
+	var cr CompressResponse
+	if code := post(t, base+"/v1/compress", CompressRequest{Source: fibSrc}, &cr); code != 200 {
+		t.Fatalf("compress under latency chaos = %d", code)
+	}
+	if srv.rec.Counter("compressd.chaos.latency") == 0 {
+		t.Fatal("chaos latency not counted")
+	}
+}

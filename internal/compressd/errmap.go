@@ -1,0 +1,99 @@
+package compressd
+
+// errmap is the single point where the repository's error taxonomy
+// meets HTTP. Every handler funnels its error through Map, so a given
+// failure class always produces the same status code and `kind`
+// string no matter which endpoint surfaced it:
+//
+//	integrity.ErrCorrupt / ErrTruncated / ErrVersion  → 422 (the artifact is bad)
+//	integrity.ErrTooLarge                             → 413 (refused before allocating)
+//	guard.TrapError{LimitDeadline}                    → 408 (ran out of time)
+//	guard.TrapError{steps, mem, call-depth}           → 413 (ran out of budget)
+//	ErrShed                                           → 429 + Retry-After
+//	ErrDraining                                       → 503 + Retry-After
+//	compile / malformed request                       → 400
+//	anything else                                     → 500 + flight-recorder dump
+//
+// The mapping is deliberately conservative: an error that matches
+// nothing is an internal fault, and internal faults dump the flight
+// ring — an unmapped error class is exactly the surprise the ring
+// exists to capture.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/guard"
+	"repro/internal/integrity"
+)
+
+// Service-level sentinels.
+var (
+	// ErrShed reports an admission rejection: the wait queue or the
+	// estimated-memory watermark is over its configured bound. Clients
+	// should back off and retry.
+	ErrShed = errors.New("compressd: overloaded, request shed")
+	// ErrDraining reports a request that arrived after the server began
+	// shutting down.
+	ErrDraining = errors.New("compressd: draining, not accepting requests")
+)
+
+// reqError tags an error produced by a malformed or unprocessable
+// request with its taxonomy kind; the handlers wrap client mistakes
+// (bad JSON, unknown engine, compile errors) so Map can tell them
+// apart from internal faults.
+type reqError struct {
+	kind string
+	err  error
+}
+
+func (e *reqError) Error() string { return e.err.Error() }
+func (e *reqError) Unwrap() error { return e.err }
+
+// badRequest wraps a client-side mistake (400).
+func badRequest(format string, args ...any) error {
+	return &reqError{kind: "bad-request", err: fmt.Errorf(format, args...)}
+}
+
+// compileError wraps a front-end rejection of submitted source (400).
+func compileError(err error) error {
+	return &reqError{kind: "compile", err: err}
+}
+
+// Map resolves an error to its HTTP status and taxonomy kind.
+func Map(err error) (status int, kind string) {
+	var re *reqError
+	if errors.As(err, &re) {
+		return http.StatusBadRequest, re.kind
+	}
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests, "shed"
+	}
+	var trap *guard.TrapError
+	if errors.As(err, &trap) {
+		if trap.Limit == guard.LimitDeadline {
+			return http.StatusRequestTimeout, "limit:" + trap.Limit
+		}
+		return http.StatusRequestEntityTooLarge, "limit:" + trap.Limit
+	}
+	switch {
+	case errors.Is(err, integrity.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, "too-large"
+	case errors.Is(err, integrity.ErrVersion):
+		return http.StatusUnprocessableEntity, "version"
+	case errors.Is(err, integrity.ErrTruncated):
+		return http.StatusUnprocessableEntity, "truncated"
+	case errors.Is(err, integrity.ErrCorrupt):
+		return http.StatusUnprocessableEntity, "corrupt"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// A deadline that fired outside an engine (e.g. while queued for
+		// admission) is still the client's timeout.
+		return http.StatusRequestTimeout, "limit:" + guard.LimitDeadline
+	}
+	return http.StatusInternalServerError, "internal"
+}

@@ -11,6 +11,7 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -35,6 +36,13 @@ type Limits struct {
 	MaxMem       int       // machine memory bytes (0 = unlimited)
 	MaxCallDepth int       // nested activation records (0 = unlimited)
 	Deadline     time.Time // wall-clock cutoff (zero = none)
+
+	// Cancel, when non-nil, is polled alongside the deadline; once it is
+	// closed the governor traps with LimitDeadline. FromContext installs
+	// a context's Done channel here so a cancelled request (client gone,
+	// server draining) stops the engine instead of leaving a goroutine
+	// running to completion.
+	Cancel <-chan struct{}
 }
 
 // WithTimeout returns l with Deadline set d from now (d <= 0 leaves it
@@ -48,7 +56,28 @@ func (l Limits) WithTimeout(d time.Duration) Limits {
 
 // Zero reports whether no limit is set.
 func (l Limits) Zero() bool {
-	return l.MaxSteps == 0 && l.MaxMem == 0 && l.MaxCallDepth == 0 && l.Deadline.IsZero()
+	return l.MaxSteps == 0 && l.MaxMem == 0 && l.MaxCallDepth == 0 && l.Deadline.IsZero() && l.Cancel == nil
+}
+
+// FromContext folds a context's cancellation state into base, the
+// deadline-propagation bridge the service layer uses: a client timeout
+// becomes a LimitDeadline trap inside the engine rather than a hung
+// goroutine. The context deadline and base.Deadline merge earliest-
+// wins, and ctx.Done() is installed as Limits.Cancel so cancellation
+// without a deadline (client disconnect, server drain) also traps. A
+// context that is already cancelled yields a Deadline in the distant
+// past, so the very first governor check traps before any work runs.
+func FromContext(ctx context.Context, base Limits) Limits {
+	if d, ok := ctx.Deadline(); ok && (base.Deadline.IsZero() || d.Before(base.Deadline)) {
+		base.Deadline = d
+	}
+	if done := ctx.Done(); done != nil {
+		base.Cancel = done
+	}
+	if ctx.Err() != nil {
+		base.Deadline = time.Unix(0, 1)
+	}
+	return base
 }
 
 // TrapError reports a governor trap: which engine and limit, the
@@ -100,10 +129,17 @@ func (g *Gov) Check(steps int64, depth int, pc int64) error {
 	if g.L.MaxCallDepth > 0 && depth > g.L.MaxCallDepth {
 		return &TrapError{Engine: g.Engine, Limit: LimitDepth, PC: pc, Steps: steps}
 	}
-	if !g.L.Deadline.IsZero() && steps >= g.nextPoll {
+	if (!g.L.Deadline.IsZero() || g.L.Cancel != nil) && steps >= g.nextPoll {
 		g.nextPoll = steps + deadlinePollInterval
-		if time.Now().After(g.L.Deadline) {
+		if !g.L.Deadline.IsZero() && time.Now().After(g.L.Deadline) {
 			return &TrapError{Engine: g.Engine, Limit: LimitDeadline, PC: pc, Steps: steps}
+		}
+		if g.L.Cancel != nil {
+			select {
+			case <-g.L.Cancel:
+				return &TrapError{Engine: g.Engine, Limit: LimitDeadline, PC: pc, Steps: steps}
+			default:
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -83,6 +84,90 @@ func TestMemLimit(t *testing.T) {
 	var trap *TrapError
 	if !errors.As(err, &trap) || trap.Limit != LimitMem {
 		t.Fatalf("want mem trap, got %v", err)
+	}
+}
+
+func TestFromContextEarliestWins(t *testing.T) {
+	near := time.Now().Add(time.Second)
+	far := time.Now().Add(time.Hour)
+
+	// Context deadline earlier than the base deadline: context wins.
+	ctx, cancel := context.WithDeadline(context.Background(), near)
+	defer cancel()
+	l := FromContext(ctx, Limits{MaxSteps: 7, Deadline: far})
+	if !l.Deadline.Equal(near) {
+		t.Fatalf("context deadline should win: got %v, want %v", l.Deadline, near)
+	}
+	if l.MaxSteps != 7 {
+		t.Fatalf("unrelated limits must survive: %+v", l)
+	}
+	if l.Cancel == nil {
+		t.Fatal("ctx.Done() must be installed as Cancel")
+	}
+
+	// Base deadline earlier than the context deadline: base wins.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), far)
+	defer cancel2()
+	l = FromContext(ctx2, Limits{Deadline: near})
+	if !l.Deadline.Equal(near) {
+		t.Fatalf("base deadline should win: got %v, want %v", l.Deadline, near)
+	}
+
+	// No base deadline: the context's applies.
+	l = FromContext(ctx, Limits{})
+	if !l.Deadline.Equal(near) {
+		t.Fatalf("context deadline should apply: got %v", l.Deadline)
+	}
+
+	// No deadline anywhere: Limits stays deadline-free but carries Done.
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	defer cancel3()
+	l = FromContext(ctx3, Limits{})
+	if !l.Deadline.IsZero() || l.Cancel == nil {
+		t.Fatalf("cancel-only context: %+v", l)
+	}
+	if l.Zero() {
+		t.Fatal("Limits carrying a Cancel channel must not report Zero")
+	}
+}
+
+func TestFromContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := FromContext(ctx, Limits{Deadline: time.Now().Add(time.Hour)})
+	g := New("vm", l, nil)
+	err := g.Check(0, 0, 0)
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Limit != LimitDeadline {
+		t.Fatalf("already-cancelled context must trap immediately, got %v", err)
+	}
+	if trap.Steps != 0 {
+		t.Fatalf("trap should fire before any work: %+v", trap)
+	}
+}
+
+func TestCancelMidRunTrapsAsDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New("brisc", FromContext(ctx, Limits{}), nil)
+	// Running: no deadline, not cancelled — never traps.
+	for i := int64(0); i < 10_000; i++ {
+		if err := g.Check(i, 0, 0); err != nil {
+			t.Fatalf("live context trapped: %v", err)
+		}
+	}
+	cancel()
+	// The next poll boundary observes the closed Done channel. Polls
+	// happen every deadlinePollInterval steps, so sweep one interval.
+	var got error
+	for i := int64(10_000); i < 10_000+2*deadlinePollInterval; i++ {
+		if err := g.Check(i, 0, 0); err != nil {
+			got = err
+			break
+		}
+	}
+	var trap *TrapError
+	if !errors.As(got, &trap) || trap.Limit != LimitDeadline {
+		t.Fatalf("cancellation must surface as a deadline trap, got %v", got)
 	}
 }
 

@@ -74,6 +74,29 @@ func (p *Pool) Workers() int {
 	return cap(p.tokens)
 }
 
+// Stats is a point-in-time occupancy snapshot of one pool, the load
+// signal an admission controller reads to make shed decisions without
+// scraping the telemetry plane. Busy counts tasks currently holding a
+// worker token on this pool; it never exceeds Workers. Global is the
+// process-wide pooled-task count (InFlight), covering every pool.
+type Stats struct {
+	Workers int
+	Busy    int
+	Global  int64
+}
+
+// Stats snapshots the pool's occupancy. It is safe to call
+// concurrently with running fan-outs; the snapshot is advisory (the
+// pool may change occupancy the instant after it is taken). A nil pool
+// reports Workers=1 and Busy=0 — the serial path never occupies a
+// worker slot.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{Workers: 1, Global: InFlight()}
+	}
+	return Stats{Workers: cap(p.tokens), Busy: len(p.tokens), Global: InFlight()}
+}
+
 // ForEach runs fn(i) for every i in [0, n), using at most Workers()
 // concurrent goroutines. Submission order is ascending; a task that
 // cannot get a worker token runs inline on the caller. The returned

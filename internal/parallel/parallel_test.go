@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -243,4 +244,58 @@ func TestScratchConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestStatsNilPool: the serial path reports the fixed bound and no
+// occupancy.
+func TestStatsNilPool(t *testing.T) {
+	var p *Pool
+	st := p.Stats()
+	if st.Workers != 1 || st.Busy != 0 {
+		t.Fatalf("nil pool stats: %+v", st)
+	}
+}
+
+// TestStatsDuringFanOut polls Stats concurrently with a running
+// fan-out (-race coverage): every snapshot must stay inside the
+// invariant 0 <= Busy <= Workers, and a saturated fan-out must be
+// observable as nonzero occupancy at least once.
+func TestStatsDuringFanOut(t *testing.T) {
+	p := New(4)
+	if st := p.Stats(); st.Workers != 4 || st.Busy != 0 {
+		t.Fatalf("idle pool stats: %+v", st)
+	}
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- p.ForEach("stats-test", 8, func(i int) error {
+			<-release
+			return nil
+		})
+	}()
+
+	sawBusy := false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		st := p.Stats()
+		if st.Busy < 0 || st.Busy > st.Workers {
+			t.Fatalf("stats out of range: %+v", st)
+		}
+		if st.Busy == st.Workers {
+			sawBusy = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if !sawBusy {
+		t.Fatal("never observed the saturated pool via Stats")
+	}
+	// Quiescence: after the fan-out completes all tokens are returned.
+	if st := p.Stats(); st.Busy != 0 {
+		t.Fatalf("tokens leaked after fan-out: %+v", st)
+	}
 }

@@ -221,3 +221,67 @@ func TestWritePrometheusSanitizes(t *testing.T) {
 		t.Fatalf("dot leaked into exposition: %q", out)
 	}
 }
+
+// TestDrainOverrunDumpsFlight holds a debug request open past the
+// drain deadline and asserts the overrun (1) returns
+// context.DeadlineExceeded, (2) dumps the flight-recorder ring so the
+// stuck scrape leaves evidence, and (3) still tears the server down.
+func TestDrainOverrunDumpsFlight(t *testing.T) {
+	rec := telemetry.New()
+	defer rec.Close()
+	rec.EnableFlight(16)
+	var dump bytes.Buffer
+	rec.SetFlightOutput(&dump)
+	rec.Add("compress.requests", 1) // something for the ring to hold
+
+	srv, err := StartServer("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A CPU-profile scrape blocks for its `seconds` parameter — a
+	// realistic long-lived debug request.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		http.Get("http://" + srv.Addr() + "/debug/pprof/profile?seconds=5")
+	}()
+	<-started
+	time.Sleep(100 * time.Millisecond) // let the scrape reach the handler
+
+	start := time.Now()
+	err = srv.Drain(200 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("overrun drain: want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("drain did not respect its bound: took %v", elapsed)
+	}
+	if !strings.Contains(dump.String(), "drain deadline") {
+		t.Fatalf("flight ring not dumped on overrun:\n%s", dump.String())
+	}
+	// The listener must be gone: a late scrape cannot connect.
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still accepting after forced drain")
+	}
+}
+
+// TestDrainCleanNoDump: a drain with no in-flight requests finishes
+// inside the deadline without tripping the flight recorder.
+func TestDrainCleanNoDump(t *testing.T) {
+	rec := telemetry.New()
+	defer rec.Close()
+	rec.EnableFlight(16)
+	var dump bytes.Buffer
+	rec.SetFlightOutput(&dump)
+
+	srv, err := StartServer("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(time.Second); err != nil {
+		t.Fatalf("clean drain: %v", err)
+	}
+	if dump.Len() != 0 {
+		t.Fatalf("clean drain dumped the ring:\n%s", dump.String())
+	}
+}

@@ -12,6 +12,7 @@ package expose
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,11 +25,16 @@ import (
 	"repro/internal/telemetry"
 )
 
+// DefaultDrainTimeout bounds how long Close waits for in-flight debug
+// requests before force-closing their connections.
+const DefaultDrainTimeout = 2 * time.Second
+
 // Server is the embedded debug endpoint behind -debug-addr. It serves
 // live views of one recorder and the stdlib pprof handlers.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	rec *telemetry.Recorder
 }
 
 // StartServer binds addr (host:port; ":0" picks a free port) and
@@ -85,7 +91,7 @@ func StartServer(addr string, rec *telemetry.Recorder) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, rec: rec}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -98,14 +104,33 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the server down, waiting briefly for in-flight requests.
-func (s *Server) Close() error {
+// Close shuts the server down gracefully, waiting up to
+// DefaultDrainTimeout for in-flight requests.
+func (s *Server) Close() error { return s.Drain(DefaultDrainTimeout) }
+
+// Drain gracefully shuts the server down: the listener closes (late
+// scrapes get connection-refused), in-flight requests get up to
+// timeout to finish, and on overrun the flight-recorder ring is
+// dumped — a scrape that outlives the drain window is exactly the
+// kind of stuck-process evidence the ring exists to preserve — before
+// the remaining connections are force-closed. The overrun still
+// returns context.DeadlineExceeded so callers can distinguish a clean
+// drain from a forced one.
+func (s *Server) Drain(timeout time.Duration) error {
 	if s == nil {
 		return nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if timeout <= 0 {
+		timeout = DefaultDrainTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	return s.srv.Shutdown(ctx)
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.rec.Trip(fmt.Sprintf("expose: drain deadline (%v) exceeded; force-closing debug connections", timeout))
+		s.srv.Close()
+	}
+	return err
 }
 
 // WritePrometheus renders the recorder's aggregate state in the
