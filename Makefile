@@ -20,7 +20,7 @@ bench:
 # Benchmarks snapshotted into the committed baseline and re-run by the
 # `check` regression gate: the parallel-pipeline encoders plus the
 # serial fast-path decode/dispatch micro-benchmarks.
-GATED_BENCH = WireCompress|BriscCompress|Batch|WireDecompress|RawDecode|InterpDispatch
+GATED_BENCH = WireCompress|BriscCompress|Batch|WireDecompress|RawDecode|InterpDispatch|XIP
 
 # Regenerate the committed short-mode baseline the `check` regression
 # gate compares against. Run this (and commit the result) after an

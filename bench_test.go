@@ -444,6 +444,70 @@ func BenchmarkPagingScenario(b *testing.B) {
 	report(b, briscMs, "brisc-ms")
 }
 
+// BenchmarkXIP measures execute-in-place from the compressed page
+// store: the wep workload runs demand-paged under two cache budgets,
+// with the sequential layout and with the profile-driven layout from a
+// traced run (the compscope-hot join). The fault count, miss rate, and
+// peak residency are deterministic for a given (layout, budget) pair,
+// so they gate through benchdiff; steps/s is the throughput price of
+// paging and stays informational.
+func BenchmarkXIP(b *testing.B) {
+	obj := benchObject(b, workload.Wep)
+	// Profile once: a traced full run yields the per-block execution
+	// counts the layout pass consumes.
+	counts := map[int32]int64{}
+	{
+		it := brisc.NewInterp(obj, 0, io.Discard)
+		it.Trace = func(off int32) { counts[off]++ }
+		if _, err := it.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blockCounts := brisc.BlockCountsFromTrace(obj, counts)
+	const pageSize = 256
+	for _, layout := range []struct {
+		name   string
+		counts map[int32]int64
+	}{
+		{"seq", nil},
+		{"hot", blockCounts},
+	} {
+		img, err := brisc.BuildXIP(obj, brisc.XIPOptions{PageSize: pageSize, BlockCounts: layout.counts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cachePages := range []int{4, 16} {
+			b.Run(fmt.Sprintf("%s/cache%d", layout.name, cachePages), func(b *testing.B) {
+				var stats brisc.XIPStats
+				var steps int64
+				defer allocTracked(b)()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					it := brisc.NewInterp(obj, 0, io.Discard)
+					if err := it.EnableXIP(img, cachePages, 0); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := it.Run(0); err != nil {
+						b.Fatal(err)
+					}
+					stats = it.XIPStats()
+					steps = it.Steps
+				}
+				b.StopTimer()
+				report(b, float64(stats.Faults), "faults")
+				if acc := stats.Faults + stats.Hits; acc > 0 {
+					report(b, float64(stats.Faults)/float64(acc)*100, "miss-pct")
+				}
+				report(b, float64(stats.PeakResidentBytes), "resident-bytes")
+				report(b, float64(steps), "steps")
+				if ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N); ns > 0 {
+					report(b, float64(steps)/ns*1e9, "steps/s")
+				}
+			})
+		}
+	}
+}
+
 // ---- ablations the design sections call out ----
 
 func BenchmarkWireAblations(b *testing.B) {

@@ -16,11 +16,17 @@
 // attributed bytes do not sum exactly to the artifact size, compscope
 // exits nonzero.
 //
+// In hot mode, -json writes the full static×dynamic join (entries,
+// opcodes, and per-basic-block execution counts) as machine-readable
+// JSON — the profile `briscrun -layout` consumes to pack hot blocks
+// onto shared pages for execute-in-place.
+//
 // Observability (shared across the tools):
 //
 //	-metrics             telemetry summary on stderr
 //	-trace file.jsonl    machine-readable span/counter trace
-//	-json file           attribution gauges as a JSON snapshot ("-" = stdout)
+//	-json file           report/diff: attribution gauges as a JSON snapshot;
+//	                     hot: the HotReport profile ("-" = stdout)
 //	-cpuprofile f.pprof  CPU profile
 //	-memprofile f.pprof  heap profile
 package main
@@ -52,7 +58,7 @@ func main() {
 	mode := os.Args[1]
 	fs := flag.NewFlagSet("compscope "+mode, flag.ExitOnError)
 	format := fs.String("format", "", "artifact kind for .mc inputs: wire, brisc, or both (default: both for report, wire for diff, brisc for hot)")
-	jsonOut := fs.String("json", "", `write the attribution gauges as a JSON snapshot to this file ("-" = stdout)`)
+	jsonOut := fs.String("json", "", `write a JSON snapshot to this file ("-" = stdout); hot mode emits the block-level profile for briscrun -layout`)
 	obs := expose.AddFlags(fs)
 	switch mode {
 	case "report", "diff", "hot":
@@ -73,6 +79,7 @@ func main() {
 		rec = telemetry.New()
 	}
 
+	var hotReport *attrib.HotReport
 	switch mode {
 	case "report":
 		if fs.NArg() < 1 {
@@ -115,6 +122,7 @@ func main() {
 			fatal(err)
 		}
 		attrib.FormatHot(os.Stdout, hr)
+		hotReport = hr
 	}
 
 	if *jsonOut != "" {
@@ -127,7 +135,14 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		if err := telemetry.WriteJSON(w, rec); err != nil {
+		// hot's -json is the machine-readable profile consumed by
+		// briscrun -layout; the other modes snapshot telemetry gauges.
+		if hotReport != nil {
+			err = attrib.WriteHotJSON(w, hotReport)
+		} else {
+			err = telemetry.WriteJSON(w, rec)
+		}
+		if err != nil {
 			fatal(err)
 		}
 	}

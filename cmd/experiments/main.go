@@ -12,6 +12,7 @@
 //	experiments -table workingset     working-set reduction (S3)
 //	experiments -table paging         intro paging scenario (S4)
 //	experiments -table penalty        interpretation penalty (S1)
+//	experiments -table xip            execute-in-place fault/miss sweep (X1)
 //	experiments -table batch          batch-compress the corpus through the shared pool
 //	experiments -quick                skip the slow timing columns
 //	experiments -workers N            worker pool size for -table batch (0 = one per CPU)
@@ -106,6 +107,11 @@ func main() {
 		var rows []experiments.PenaltyRow
 		if rows, err = experiments.InterpPenalty(); err == nil {
 			fmt.Print(experiments.FormatPenalty(rows))
+		}
+	case "xip":
+		var rows []experiments.XIPRow
+		if rows, err = experiments.XIPTable(workload.Wep); err == nil {
+			fmt.Print(experiments.FormatXIP(workload.Wep.Name, rows))
 		}
 	case "profile":
 		var r experiments.CallProfileResult

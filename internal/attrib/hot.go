@@ -2,6 +2,7 @@ package attrib
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -16,29 +17,41 @@ import (
 // high-density entry earns its table bytes at run time, a zero-density
 // one is pure size-only value.
 type HotEntry struct {
-	Pid         int
-	Pattern     string
-	Learned     bool
-	StaticUnits int
-	StaticBytes int
-	DynCount    int64 // units executed (interpreter trace)
-	Density     float64
+	Pid         int     `json:"pid"`
+	Pattern     string  `json:"pattern"`
+	Learned     bool    `json:"learned"`
+	StaticUnits int     `json:"static_units"`
+	StaticBytes int     `json:"static_bytes"`
+	DynCount    int64   `json:"executed"` // units executed (interpreter trace)
+	Density     float64 `json:"density"`
 }
 
 // HotOp joins one VM opcode's static occurrence count with the
 // interpreter's dispatch counter.
 type HotOp struct {
-	Name     string
-	Static   int64
-	Dispatch int64
+	Name     string `json:"name"`
+	Static   int64  `json:"static"`
+	Dispatch int64  `json:"dispatch"`
+}
+
+// HotBlock joins one basic block's byte range in the compressed code
+// stream with its dynamic execution weight (units executed inside the
+// block). This is the machine-readable profile the execute-in-place
+// layout pass consumes: hot-together blocks are packed onto shared
+// pages (see brisc.XIPOptions.BlockCounts).
+type HotBlock struct {
+	Off        int32 `json:"off"`
+	Bytes      int32 `json:"bytes"`
+	Executions int64 `json:"executions"`
 }
 
 // HotReport is the static-times-dynamic view of one BRISC artifact.
 type HotReport struct {
-	Source   string
-	Entries  []HotEntry // ranked by density, then dynamic count
-	Ops      []HotOp    // ranked by dispatch count
-	TotalDyn int64      // units executed
+	Source   string     `json:"source"`
+	Entries  []HotEntry `json:"entries"`        // ranked by density, then dynamic count
+	Ops      []HotOp    `json:"ops"`            // ranked by dispatch count
+	Blocks   []HotBlock `json:"blocks"`         // basic blocks in code order
+	TotalDyn int64      `json:"units_executed"` // units executed
 }
 
 // Hot joins a BRISC inspection with runtime data: unitCounts maps code
@@ -85,7 +98,54 @@ func Hot(source string, insp *brisc.Inspection, unitCounts map[int32]int64, disp
 		}
 		return hr.Ops[i].Name < hr.Ops[j].Name
 	})
+	if obj := insp.Obj; obj != nil {
+		bc := brisc.BlockCountsFromTrace(obj, unitCounts)
+		offs := make([]int32, 0, len(obj.Blocks))
+		seen := map[int32]bool{}
+		for _, off := range obj.Blocks {
+			if !seen[off] {
+				seen[off] = true
+				offs = append(offs, off)
+			}
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		for i, off := range offs {
+			end := int32(len(obj.Code))
+			if i+1 < len(offs) {
+				end = offs[i+1]
+			}
+			hr.Blocks = append(hr.Blocks, HotBlock{Off: off, Bytes: end - off, Executions: bc[off]})
+		}
+	}
 	return hr
+}
+
+// BlockCounts flattens the per-block profile into the map
+// brisc.XIPOptions.BlockCounts takes.
+func (hr *HotReport) BlockCounts() map[int32]int64 {
+	out := make(map[int32]int64, len(hr.Blocks))
+	for _, b := range hr.Blocks {
+		out[b.Off] = b.Executions
+	}
+	return out
+}
+
+// WriteHotJSON emits the report as indented JSON — the machine-
+// readable form `compscope hot -json` produces and `briscrun -layout`
+// consumes.
+func WriteHotJSON(w io.Writer, hr *HotReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(hr)
+}
+
+// ParseHotJSON reads a report written by WriteHotJSON.
+func ParseHotJSON(data []byte) (*HotReport, error) {
+	var hr HotReport
+	if err := json.Unmarshal(data, &hr); err != nil {
+		return nil, fmt.Errorf("attrib: hot profile: %w", err)
+	}
+	return &hr, nil
 }
 
 func staticOps(insp *brisc.Inspection) map[string]int64 {

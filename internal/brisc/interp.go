@@ -57,6 +57,16 @@ type Interp struct {
 	// accounting (the predecoded image *is* the cache).
 	visited []bool
 
+	// xip, when non-nil (EnableXIP), switches Run to demand-paged
+	// execution out of the compressed page store with a bounded
+	// decoded-page LRU cache; pre stays nil in that mode.
+	xip *xipRuntime
+
+	// XIPFault, when non-nil, is invoked with the page id just before
+	// each page fault loads from the store — an instrumentation/test
+	// hook (mid-execution tamper injection), like Trace.
+	XIPFault func(page int32)
+
 	// cache, when enabled, memoizes decoded units by byte offset. This
 	// is the working-set-for-speed trade the paper's W cost models:
 	// the decoder's expanded tables make interpretation faster but
@@ -127,6 +137,9 @@ func (it *Interp) Reset() {
 	if it.cache != nil {
 		it.cache = make(map[int32]*cachedUnit)
 	}
+	if it.xip != nil {
+		it.xip.reset()
+	}
 	it.flushedSteps, it.flushedUnits = 0, 0
 	it.cacheHits, it.cacheMisses = 0, 0
 	if it.opCounts != nil {
@@ -182,6 +195,18 @@ func (it *Interp) FlushTelemetry() {
 			it.opCounts[op] = 0
 		}
 	}
+	if rt := it.xip; rt != nil {
+		it.rec.Add("paging.xip.faults", rt.faults-rt.flushedFaults)
+		it.rec.Add("paging.xip.hits", rt.hits-rt.flushedHits)
+		it.rec.Add("paging.xip.evictions", rt.evictions-rt.flushedEvictions)
+		rt.flushedFaults, rt.flushedHits, rt.flushedEvictions = rt.faults, rt.hits, rt.evictions
+		it.rec.SetGauge("paging.xip.pages", float64(rt.img.NumPages()))
+		it.rec.SetGauge("paging.xip.page_size", float64(rt.img.PageSize()))
+		it.rec.SetGauge("paging.xip.resident_pages", float64(len(rt.pages)))
+		it.rec.SetGauge("paging.xip.resident_bytes", float64(rt.resident))
+		it.rec.SetGauge("paging.xip.peak_resident_pages", float64(rt.peakPages))
+		it.rec.SetGauge("paging.xip.peak_resident_bytes", float64(rt.peakBytes))
+	}
 }
 
 // SetLimits installs resource limits honored by every subsequent Run.
@@ -208,6 +233,12 @@ func (it *Interp) Run(maxSteps int64) (int32, error) {
 		l.MaxSteps = maxSteps
 	}
 	g := guard.New("brisc", l, ErrOutOfSteps)
+	if it.xip != nil {
+		if err := it.runPaged(&g, !l.Zero()); err != nil {
+			return 0, err
+		}
+		return it.ExitCode, nil
+	}
 	if pre, err := it.Obj.predecode(); err == nil {
 		it.pre = pre
 		it.unitIdx = -1
@@ -345,6 +376,9 @@ func (it *Interp) CacheBytes() int {
 				n += 16 + 4*int(it.pre.units[i].nvals)
 			}
 		}
+	}
+	if it.xip != nil {
+		n += int(it.xip.resident)
 	}
 	return n
 }

@@ -534,7 +534,15 @@ func (o *Object) Func(name string) *ObjFunc {
 // ctx (0 = block start, pid+1 otherwise). It returns the pattern id,
 // the unfixed operand values, and the offset of the next unit.
 func (o *Object) decodeUnit(off int32, ctx int) (pid int, vals []int32, next int32, err error) {
-	code := o.Code
+	return o.decodeUnitIn(o.Code, off, ctx)
+}
+
+// decodeUnitIn is decodeUnit over an arbitrary code slice: the
+// demand-paging executor decodes units out of a faulted-in page frame
+// at page-local offsets, without the full Code stream resident. Every
+// basic block starts at Markov context 0, so any block-aligned byte
+// range is independently decodable.
+func (o *Object) decodeUnitIn(code []byte, off int32, ctx int) (pid int, vals []int32, next int32, err error) {
 	if off < 0 || int(off) >= len(code) {
 		return 0, nil, 0, fmt.Errorf("%w: unit offset %d", ErrCorrupt, off)
 	}

@@ -352,6 +352,69 @@ func TestCompscopeHot(t *testing.T) {
 	}
 }
 
+// TestBriscrunPagedXIP: the execute-in-place pipeline end to end —
+// compile, profile with `compscope hot -json`, then run demand-paged
+// with the profile-driven layout and a bounded predecode cache.
+func TestBriscrunPagedXIP(t *testing.T) {
+	src := writeSample(t)
+	dir := t.TempDir()
+	obj := filepath.Join(dir, "app.brisc")
+	out, code := run(t, "briscc", "-o", obj, src)
+	if code != 0 {
+		t.Fatalf("briscc exited %d:\n%s", code, out)
+	}
+	profile := filepath.Join(dir, "hot.json")
+	out, code = run(t, "compscope", "hot", "-json", profile, obj)
+	if code != 0 {
+		t.Fatalf("compscope hot -json exited %d:\n%s", code, out)
+	}
+	raw, err := os.ReadFile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot struct {
+		Blocks []struct {
+			Off        int32 `json:"off"`
+			Bytes      int32 `json:"bytes"`
+			Executions int64 `json:"executions"`
+		} `json:"blocks"`
+		Units int64 `json:"units_executed"`
+	}
+	if err := json.Unmarshal(raw, &hot); err != nil {
+		t.Fatalf("hot profile is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(hot.Blocks) == 0 || hot.Units == 0 {
+		t.Fatalf("hot profile missing block data: %s", raw)
+	}
+	var executed int64
+	for _, b := range hot.Blocks {
+		executed += b.Executions
+	}
+	if executed == 0 {
+		t.Fatalf("no block recorded any executions: %s", raw)
+	}
+
+	out, code = run(t, "briscrun",
+		"-paged", "-page-size", "128", "-page-cache", "2", "-layout", profile, "-time", obj)
+	if code != 0 {
+		t.Fatalf("briscrun -paged exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "55\n") {
+		t.Errorf("paged run output missing fib(10):\n%s", out)
+	}
+	for _, want := range []string{"paging.xip.faults", "paging.xip.peak_resident_pages", "briscrun.run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-time report missing %q:\n%s", want, out)
+		}
+	}
+	// -paged and -jit are two different executors; asking for both is a
+	// usage error, not a silent choice.
+	out, code = run(t, "briscrun", "-paged", "-jit", obj)
+	if code == 0 {
+		t.Fatalf("briscrun -paged -jit must fail:\n%s", out)
+	}
+}
+
 // TestBenchdiffGate: the regression gate must pass identical
 // snapshots, fail a regressed one past the threshold, and honor
 // -ignore for timing-derived metrics.

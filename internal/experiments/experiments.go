@@ -590,6 +590,106 @@ func FormatPaging(program string, rows []PagingRow) string {
 	return sb.String()
 }
 
+// ---- S5: execute-in-place from the page store ----
+
+// XIPRow is one (layout, cache budget) point in the execute-in-place
+// sweep: the workload runs demand-paged from the compressed page store
+// with a bounded predecode cache.
+type XIPRow struct {
+	Layout      string // "seq" (image order) or "hot" (profile-driven)
+	CachePages  int
+	Faults      int64
+	MissPct     float64
+	PeakKB      float64
+	StepsPerSec float64
+}
+
+// XIPTable measures demand-paged execution on one workload: page
+// faults, miss rate, and peak decoded residency across cache budgets,
+// with the sequential layout and with the profile-driven layout built
+// from a traced run (the same join `compscope hot -json` emits). The
+// claim under test: profile-driven packing keeps hot blocks co-resident
+// and strictly reduces faults at equal budget.
+func XIPTable(profile workload.Profile) ([]XIPRow, error) {
+	sp := rec.StartSpan("experiments.xip", telemetry.String("program", profile.Name))
+	defer sp.End()
+	prog, err := buildNative(profile, codegen.Options{})
+	if err != nil {
+		return nil, err
+	}
+	obj, err := brisc.Compress(prog, brisc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Profile once: per-block execution counts from a traced full run.
+	counts := map[int32]int64{}
+	it := brisc.NewInterp(obj, 0, io.Discard)
+	it.Trace = func(off int32) { counts[off]++ }
+	if _, err := it.Run(0); err != nil {
+		return nil, err
+	}
+	blockCounts := brisc.BlockCountsFromTrace(obj, counts)
+
+	const pageSize = 256
+	var rows []XIPRow
+	for _, layout := range []struct {
+		name   string
+		counts map[int32]int64
+	}{{"seq", nil}, {"hot", blockCounts}} {
+		img, err := brisc.BuildXIP(obj, brisc.XIPOptions{PageSize: pageSize, BlockCounts: layout.counts})
+		if err != nil {
+			return nil, err
+		}
+		for _, cachePages := range []int{2, 4, 8, 16} {
+			var stats brisc.XIPStats
+			var steps int64
+			d, err := measureNamed(fmt.Sprintf("xip.%s.%s.cache%d", profile.Name, layout.name, cachePages), func() error {
+				it := brisc.NewInterp(obj, 0, io.Discard)
+				if err := it.EnableXIP(img, cachePages, 0); err != nil {
+					return err
+				}
+				if _, err := it.Run(0); err != nil {
+					return err
+				}
+				stats = it.XIPStats()
+				steps = it.Steps
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := XIPRow{
+				Layout:     layout.name,
+				CachePages: cachePages,
+				Faults:     stats.Faults,
+				PeakKB:     float64(stats.PeakResidentBytes) / 1024,
+			}
+			if acc := stats.Faults + stats.Hits; acc > 0 {
+				row.MissPct = float64(stats.Faults) / float64(acc) * 100
+			}
+			if d > 0 {
+				row.StepsPerSec = float64(steps) / d.Seconds()
+			}
+			rec.SetGauge(fmt.Sprintf("experiments.xip.%s.cache%d.faults", layout.name, cachePages), float64(stats.Faults))
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatXIP renders the execute-in-place sweep.
+func FormatXIP(program string, rows []XIPRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Execute-in-place, program %s (profile-driven layout packs hot\n", program)
+	fmt.Fprintf(&sb, "blocks onto shared pages, cutting demand faults at equal budget)\n")
+	fmt.Fprintf(&sb, "%-7s %11s %8s %9s %9s %12s\n", "layout", "cache pages", "faults", "miss", "peak KB", "steps/s")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-7s %11d %8d %8.2f%% %9.1f %12.0f\n",
+			r.Layout, r.CachePages, r.Faults, r.MissPct, r.PeakKB, r.StepsPerSec)
+	}
+	return sb.String()
+}
+
 // ---- S1: interpretation penalty ----
 
 // PenaltyRow reports interpreted-vs-native time for one kernel.
@@ -755,6 +855,12 @@ func RunAll(w io.Writer, quick bool) error {
 		return err
 	}
 	fmt.Fprintln(w, FormatPaging("lcc-sweep", pr))
+
+	xr, err := XIPTable(workload.Wep)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, FormatXIP(workload.Wep.Name, xr))
 
 	cp, err := CallProfile(workload.Lcc)
 	if err != nil {

@@ -195,6 +195,58 @@ func TestPagingCrossover(t *testing.T) {
 	}
 }
 
+func TestXIPTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := XIPTable(workload.Wep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("want 2 layouts x 4 budgets = 8 rows, got %d", len(rows))
+	}
+	byKey := map[string]XIPRow{}
+	for _, r := range rows {
+		if r.Faults <= 0 || r.MissPct <= 0 || r.PeakKB <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		byKey[r.Layout+string(rune('0'+r.CachePages))] = r
+	}
+	// Growing the budget never increases faults within a layout, and
+	// the profile-driven layout never loses to sequential at equal
+	// budget — the tentpole claim.
+	for _, layout := range []string{"seq", "hot"} {
+		prev := int64(-1)
+		for _, c := range []int{2, 4, 8, 16} {
+			r := byKey[layout+string(rune('0'+c))]
+			if prev >= 0 && r.Faults > prev {
+				t.Errorf("%s: faults grew with budget: %d pages -> %d faults (prev %d)", layout, c, r.Faults, prev)
+			}
+			prev = r.Faults
+		}
+	}
+	var hotWinsSomewhere bool
+	for _, c := range []int{2, 4, 8, 16} {
+		seq, hot := byKey["seq"+string(rune('0'+c))], byKey["hot"+string(rune('0'+c))]
+		if hot.Faults > seq.Faults {
+			t.Errorf("cache %d: profiled layout faults more than sequential (%d > %d)", c, hot.Faults, seq.Faults)
+		}
+		if hot.Faults < seq.Faults {
+			hotWinsSomewhere = true
+		}
+	}
+	if !hotWinsSomewhere {
+		t.Error("profiled layout never beats sequential at any budget")
+	}
+	out := FormatXIP(workload.Wep.Name, rows)
+	for _, want := range []string{"Execute-in-place", "cache pages", "faults", "seq", "hot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCallProfile(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -116,6 +116,11 @@ func buildTargets(t *testing.T) []target {
 		brs1 := obj.Bytes()
 		brd1 := brisc.EncodeDict(obj.LearnedDict())
 		fz1 := flatezip.Compress(native.EncodeVariable(progs[i].Code))
+		img, err := brisc.BuildXIP(obj, brisc.XIPOptions{PageSize: 128})
+		if err != nil {
+			t.Fatalf("xip %s: %v", names[i], err)
+		}
+		pgs1 := img.StoreBytes()
 
 		targets = append(targets,
 			target{format: "wir2", data: wir2, check: checkWire},
@@ -123,6 +128,7 @@ func buildTargets(t *testing.T) []target {
 			target{format: "brs1", data: brs1, check: checkBrisc},
 			target{format: "brd1", data: brd1, check: checkDict},
 			target{format: "fz1", data: fz1, check: checkFlatezip},
+			target{format: "pgs1", data: pgs1, check: checkXIP(obj)},
 		)
 	}
 	return targets
@@ -167,6 +173,30 @@ func checkBrisc(mutant []byte) error {
 	}
 	_, err = m.Run(0)
 	return err
+}
+
+// checkXIP reopens the mutant page store against the original object
+// and, when the header and geometry still line up, executes it demand-
+// paged with a bounded predecode cache. Page payloads are integrity-
+// checked only at fault time, so a corrupt page may surface
+// mid-execution — the contract is a typed error (or a governor trap),
+// never a panic and never a silent wrong result from tampered code.
+func checkXIP(obj *brisc.Object) func([]byte) error {
+	return func(mutant []byte) error {
+		img, err := brisc.OpenXIPStore(obj, mutant, brisc.XIPOptions{PageSize: 128})
+		if err != nil {
+			return err
+		}
+		it := brisc.NewInterp(obj, 0, io.Discard)
+		if err := it.EnableXIP(img, 4, 0); err != nil {
+			return err
+		}
+		if err := it.SetLimits(execLimits()); err != nil {
+			return err
+		}
+		_, err = it.Run(0)
+		return err
+	}
 }
 
 func checkDict(mutant []byte) error {

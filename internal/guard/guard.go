@@ -167,8 +167,17 @@ func Report(rec *telemetry.Recorder, err error) *TrapError {
 // CheckMem validates a machine's memory size against the limit; it is
 // called once at setup, not per step.
 func (g *Gov) CheckMem(memBytes int) error {
+	return g.CheckMemAt(memBytes, 0, 0)
+}
+
+// CheckMemAt enforces the memory limit mid-run, recording where the
+// trap fired. Engines whose working set can grow after setup — the
+// demand-paging executor's decoded-page cache faulting pages in — call
+// this on each growth event so a run that would exceed MaxMem traps
+// instead of silently ballooning.
+func (g *Gov) CheckMemAt(memBytes int, pc, steps int64) error {
 	if g.L.MaxMem > 0 && memBytes > g.L.MaxMem {
-		return &TrapError{Engine: g.Engine, Limit: LimitMem, PC: 0, Steps: 0}
+		return &TrapError{Engine: g.Engine, Limit: LimitMem, PC: pc, Steps: steps}
 	}
 	return nil
 }

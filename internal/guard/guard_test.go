@@ -87,6 +87,26 @@ func TestMemLimit(t *testing.T) {
 	}
 }
 
+// TestMemLimitMidRun: CheckMemAt records where a mid-run working-set
+// growth (a demand-paged cache faulting a page in) blew the limit.
+func TestMemLimitMidRun(t *testing.T) {
+	g := New("brisc", Limits{MaxMem: 4096}, nil)
+	if err := g.CheckMemAt(4096, 77, 1000); err != nil {
+		t.Fatalf("at limit: %v", err)
+	}
+	err := g.CheckMemAt(4097, 77, 1000)
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Limit != LimitMem {
+		t.Fatalf("want mem trap, got %v", err)
+	}
+	if trap.PC != 77 || trap.Steps != 1000 {
+		t.Fatalf("trap position not recorded: pc=%d steps=%d", trap.PC, trap.Steps)
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("mem trap does not match ErrLimit: %v", err)
+	}
+}
+
 func TestFromContextEarliestWins(t *testing.T) {
 	near := time.Now().Add(time.Second)
 	far := time.Now().Add(time.Hour)

@@ -1,0 +1,221 @@
+package paging
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func cachedStore(t *testing.T, imgBytes, pageSize int) (*Store, []byte) {
+	t.Helper()
+	img := testImage(imgBytes)
+	s, err := OpenStore(NewStore(img, pageSize).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, img
+}
+
+func wantPage(img []byte, pageSize, i int) []byte {
+	end := (i + 1) * pageSize
+	if end > len(img) {
+		end = len(img)
+	}
+	return img[i*pageSize : end]
+}
+
+// TestStoreCacheLRU: hits are served from the cache, the
+// least-recently-used page is evicted first, and the counters (both
+// CacheStats and the telemetry series) track the traffic.
+func TestStoreCacheLRU(t *testing.T) {
+	s, img := cachedStore(t, 4*512, 512)
+	rec := telemetry.New()
+	defer rec.Close()
+	s.SetRecorder(rec)
+	s.EnableCache(2, 0)
+
+	check := func(i int) {
+		t.Helper()
+		p, err := s.Page(i)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if !bytes.Equal(p, wantPage(img, 512, i)) {
+			t.Fatalf("page %d content wrong", i)
+		}
+	}
+	check(0)
+	check(1)
+	st := s.CacheStats()
+	if st.Misses != 2 || st.Hits != 0 || st.Pages != 2 {
+		t.Fatalf("after 2 cold faults: %+v", st)
+	}
+	check(0) // hit, renews page 0
+	if st = s.CacheStats(); st.Hits != 1 {
+		t.Fatalf("after hit: %+v", st)
+	}
+	check(2) // evicts page 1 (LRU)
+	st = s.CacheStats()
+	if st.Evictions != 1 || st.Pages != 2 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	check(0) // still cached
+	check(1) // miss again: it was the one evicted
+	st = s.CacheStats()
+	if st.Hits != 2 || st.Misses != 4 || st.Evictions != 2 {
+		t.Fatalf("final: %+v", st)
+	}
+	c := rec.Counters()
+	if c["paging.store.cache_hits"] != st.Hits || c["paging.store.evictions"] != st.Evictions {
+		t.Fatalf("telemetry counters diverge from stats: %v vs %+v", c, st)
+	}
+	if g := rec.Gauges(); g["paging.store.cached_pages"] != 2 {
+		t.Fatalf("cached_pages gauge = %v", g["paging.store.cached_pages"])
+	}
+	// The uncompressed-page loads only happened on misses.
+	if c["paging.pages_loaded"] != st.Misses {
+		t.Fatalf("pages_loaded %d, want %d (misses only)", c["paging.pages_loaded"], st.Misses)
+	}
+}
+
+// TestStoreCacheByteBudget: the byte budget evicts down to a single
+// resident page when a page fills it.
+func TestStoreCacheByteBudget(t *testing.T) {
+	s, _ := cachedStore(t, 4*512, 512)
+	s.EnableCache(0, 512)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Page(i); err != nil {
+			t.Fatal(err)
+		}
+		if st := s.CacheStats(); st.Pages != 1 || st.Bytes != 512 {
+			t.Fatalf("after page %d: %+v", i, st)
+		}
+	}
+	if st := s.CacheStats(); st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+}
+
+// TestStoreCachePin: pinned pages survive eviction pressure; unpinning
+// makes them evictable again.
+func TestStoreCachePin(t *testing.T) {
+	s, img := cachedStore(t, 4*512, 512)
+	s.EnableCache(1, 0)
+	if _, err := s.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Page(1); err != nil {
+		t.Fatal(err)
+	}
+	// Over budget but nothing evictable: 0 is pinned, 1 was just kept.
+	if st := s.CacheStats(); st.Pages != 2 || st.Evictions != 0 {
+		t.Fatalf("pinned page evicted: %+v", st)
+	}
+	hitsBefore := s.CacheStats().Hits
+	p, err := s.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, wantPage(img, 512, 0)) {
+		t.Fatal("pinned page content wrong")
+	}
+	if s.CacheStats().Hits != hitsBefore+1 {
+		t.Fatal("pinned page not served from cache")
+	}
+	s.Unpin(0)
+	if _, err := s.Page(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Pages != 1 || st.Evictions != 2 {
+		t.Fatalf("unpinned pages not reclaimed: %+v", st)
+	}
+	// Unpin of uncached/unpinned pages is a no-op.
+	s.Unpin(0)
+	s.Unpin(99)
+}
+
+// TestStoreCacheCorruptNotCached: a corrupt page errors typed on every
+// fault — the failure is not cached and healthy pages stay served.
+func TestStoreCacheCorruptNotCached(t *testing.T) {
+	img := testImage(4 * 512)
+	enc := NewStore(img, 512).Encode()
+	enc[len(enc)-3] ^= 0xFF // damage the last page's sealed frame
+	s, err := OpenStore(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableCache(2, 0)
+	last := s.NumPages() - 1
+	for round := 0; round < 2; round++ {
+		if _, err := s.Page(last); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("round %d: corrupt page error = %v", round, err)
+		}
+		if p, err := s.Page(0); err != nil || !bytes.Equal(p, wantPage(img, 512, 0)) {
+			t.Fatalf("round %d: healthy page after corruption: %v", round, err)
+		}
+	}
+	if st := s.CacheStats(); st.Pages != 1 {
+		t.Fatalf("corrupt page entered the cache: %+v", st)
+	}
+}
+
+// TestStoreCacheRace: concurrent faults, hits, and pin/unpin cycles
+// over a shared cached store stay consistent (run with -race in make
+// check). Every returned page must match the original image bytes.
+func TestStoreCacheRace(t *testing.T) {
+	const pageSize, pages = 256, 8
+	s, img := cachedStore(t, pages*pageSize, pageSize)
+	rec := telemetry.New()
+	defer rec.Close()
+	s.SetRecorder(rec)
+	s.EnableCache(3, 0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				pg := (g*7 + i*3) % pages
+				if g%2 == 0 {
+					p, err := s.Pin(pg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(p, wantPage(img, pageSize, pg)) {
+						errs <- errors.New("pinned page content diverged")
+						return
+					}
+					s.Unpin(pg)
+					continue
+				}
+				p, err := s.Page(pg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(p, wantPage(img, pageSize, pg)) {
+					errs <- errors.New("page content diverged")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.Hits+st.Misses != 8*400 {
+		t.Fatalf("accesses %d, want %d", st.Hits+st.Misses, 8*400)
+	}
+	if st.Pages > 3+1 { // budget + the just-kept page
+		t.Fatalf("resident pages %d over budget", st.Pages)
+	}
+}
